@@ -1,0 +1,52 @@
+"""Ablation: recompute vs materialise the supplementary common subexpression.
+
+Section 5.1/5.3 of the paper: "the version of Starburst on which the
+experiments were run always recomputes common sub-expressions"; for
+Figure 5 the authors note magic "would be comparable to Dayal's method if
+the system materialized the common sub-expression instead". This ablation
+measures exactly that knob (``cse_mode``).
+"""
+
+import pytest
+
+from repro import Strategy
+from repro.bench.harness import warm
+from repro.tpcd import QUERY_1, QUERY_1_VARIANT
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="ablation-cse")
+@pytest.mark.parametrize("cse_mode", ["recompute", "materialize"])
+@pytest.mark.parametrize("query", [QUERY_1, QUERY_1_VARIANT], ids=["q1", "q1b"])
+def test_bench_cse_mode(benchmark, tpcd_db, query, cse_mode):
+    warm(tpcd_db)
+    result = run_once(
+        benchmark,
+        lambda: tpcd_db.execute(query, strategy=Strategy.MAGIC, cse_mode=cse_mode),
+    )
+    assert len(result.rows) >= 1
+
+
+def test_materialize_eliminates_recomputation(tpcd_db):
+    recompute = tpcd_db.execute(
+        QUERY_1, strategy=Strategy.MAGIC, cse_mode="recompute"
+    )
+    materialize = tpcd_db.execute(
+        QUERY_1, strategy=Strategy.MAGIC, cse_mode="materialize"
+    )
+    assert sorted(recompute.rows) == sorted(materialize.rows)
+    assert (
+        materialize.metrics.boxes_recomputed
+        < recompute.metrics.boxes_recomputed
+    )
+    assert materialize.metrics.total_work() < recompute.metrics.total_work()
+
+
+def test_materialized_magic_comparable_to_dayal(tpcd_db):
+    # The paper's Figure 5 hypothesis, verified on the work metric.
+    magic = tpcd_db.execute(
+        QUERY_1, strategy=Strategy.MAGIC, cse_mode="materialize"
+    )
+    dayal = tpcd_db.execute(QUERY_1, strategy=Strategy.DAYAL)
+    assert magic.metrics.total_work() <= dayal.metrics.total_work() * 2.0

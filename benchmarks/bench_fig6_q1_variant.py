@@ -1,0 +1,42 @@
+"""Figure 6: Query 1 variant (drop p_size, widen to two regions).
+
+Paper claims: ~3 954 invocations of which ~2 138 distinct; magic continues
+to perform well; Kim improves relative to Figure 5; Dayal now performs
+poorly (large join before aggregation, redundant aggregation per duplicate
+binding).
+"""
+
+import pytest
+
+from repro import Strategy
+from repro.bench.figures import figure6
+from repro.bench.harness import warm
+from repro.tpcd import QUERY_1_VARIANT
+
+from conftest import BENCH_SCALE, run_once
+
+STRATEGIES = [
+    Strategy.NESTED_ITERATION,
+    Strategy.KIM,
+    Strategy.DAYAL,
+    Strategy.MAGIC,
+    Strategy.MAGIC_OPT,
+]
+
+
+@pytest.mark.benchmark(group="figure6")
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.label)
+def test_bench_query1_variant(benchmark, tpcd_db, strategy):
+    warm(tpcd_db)
+    result = run_once(
+        benchmark, lambda: tpcd_db.execute(QUERY_1_VARIANT, strategy=strategy)
+    )
+    assert len(result.rows) > 0
+
+
+def test_figure6_report():
+    report = figure6(scale_factor=BENCH_SCALE, repeat=1)
+    report.print()
+    row_counts = {r.n_rows for r in report.results if r.applicable}
+    assert len(row_counts) == 1
+    assert report.shape_holds(), report.shape

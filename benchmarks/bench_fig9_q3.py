@@ -1,0 +1,46 @@
+"""Figure 9: Query 3 -- non-linear (UNION ALL), duplicate bindings.
+
+Paper claims: neither Kim's nor Dayal's method applies; most of the ~209
+invocations are redundant (only 5 distinct European nations); magic yields
+a tremendous improvement.
+"""
+
+import pytest
+
+from repro import Strategy
+from repro.bench.figures import figure9
+from repro.bench.harness import warm
+from repro.errors import NotApplicableError
+from repro.tpcd import QUERY_3
+
+from conftest import BENCH_SCALE, run_once
+
+APPLICABLE = [
+    Strategy.NESTED_ITERATION,
+    Strategy.MAGIC,
+    Strategy.MAGIC_OPT,
+]
+
+
+@pytest.mark.benchmark(group="figure9")
+@pytest.mark.parametrize("strategy", APPLICABLE, ids=lambda s: s.label)
+def test_bench_query3(benchmark, tpcd_db, strategy):
+    warm(tpcd_db)
+    result = run_once(
+        benchmark, lambda: tpcd_db.execute(QUERY_3, strategy=strategy)
+    )
+    assert len(result.rows) > 0
+
+
+@pytest.mark.parametrize(
+    "strategy", [Strategy.KIM, Strategy.DAYAL], ids=lambda s: s.label
+)
+def test_inapplicable_strategies(tpcd_db, strategy):
+    with pytest.raises(NotApplicableError):
+        tpcd_db.execute(QUERY_3, strategy=strategy)
+
+
+def test_figure9_report():
+    report = figure9(scale_factor=BENCH_SCALE, repeat=3)
+    report.print()
+    assert report.shape_holds(), report.shape

@@ -1,0 +1,49 @@
+"""Table 1: the TPC-D database (customers / parts / suppliers / partsupp /
+lineitem cardinalities) -- regenerates the database and checks that row
+counts scale to the paper's numbers."""
+
+import pytest
+
+from repro.storage import Catalog
+from repro.tpcd import TPCDGenerator, create_tpcd_schema
+from repro.tpcd.schema import paper_row_counts
+
+from conftest import BENCH_SCALE, run_once
+
+#: Paper Table 1 (at the paper's scale factor 0.1).
+PAPER_TABLE_1 = {
+    "customers": 15_000,
+    "parts": 20_000,
+    "suppliers": 1_000,
+    "partsupp": 80_000,
+    "lineitem": 600_000,
+}
+
+
+def test_table1_counts_scale_to_paper():
+    counts = paper_row_counts(0.1)
+    assert counts == PAPER_TABLE_1
+
+
+def test_table1_generated_counts_match():
+    catalog = Catalog()
+    create_tpcd_schema(catalog)
+    produced = TPCDGenerator(scale_factor=BENCH_SCALE).generate_all(catalog)
+    ratio = BENCH_SCALE / 0.1
+    for name, paper_count in PAPER_TABLE_1.items():
+        expected = round(paper_count * ratio)
+        assert produced[name] == expected, name
+    print("\nTable 1 (scaled by %.3f):" % ratio)
+    for name, paper_count in PAPER_TABLE_1.items():
+        print(f"  {name:<10} paper={paper_count:>7}  generated={produced[name]:>7}")
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_generate_database(benchmark):
+    def generate():
+        catalog = Catalog()
+        create_tpcd_schema(catalog)
+        return TPCDGenerator(scale_factor=BENCH_SCALE).generate_all(catalog)
+
+    produced = run_once(benchmark, generate)
+    assert produced["partsupp"] == produced["parts"] * 4

@@ -1,0 +1,50 @@
+"""Decorrelation in a shared-nothing parallel database (paper section 6).
+
+Simulates the section-2 query over EMP/DEPT partitioned across n nodes:
+
+* nested iteration broadcasts every correlation binding to every node --
+  O(n^2) computation fragments, one small message per binding per node;
+* the magic-decorrelated plan repartitions once on the correlation
+  attribute and then runs n fully local pipelines.
+
+Run:  python examples/parallel_cluster.py
+"""
+
+from repro.parallel import simulate_decorrelated, simulate_nested_iteration
+from repro.tpcd import load_empdept
+
+
+def main() -> None:
+    catalog = load_empdept(n_depts=400, n_emps=8000, n_buildings=40)
+    dept = list(catalog.table("dept").rows)
+    emp = list(catalog.table("emp").rows)
+
+    print(f"EMP/DEPT: {len(dept)} departments, {len(emp)} employees\n")
+    print(
+        f"{'nodes':>5} | {'strategy':<18} {'fragments':>9} {'messages':>9} "
+        f"{'row work':>9} {'makespan':>9}"
+    )
+    print("-" * 70)
+    for n in (1, 2, 4, 8, 16):
+        ni = simulate_nested_iteration(dept, emp, n)
+        magic = simulate_decorrelated(dept, emp, n)
+        assert ni.answer == magic.answer
+        for metrics in (ni, magic):
+            print(
+                f"{n:>5} | {metrics.strategy:<18} {metrics.fragments:>9} "
+                f"{metrics.messages:>9} {metrics.rows_processed:>9} "
+                f"{metrics.makespan:>9.0f}"
+            )
+        print(f"      | decorrelated speedup over NI: "
+              f"{ni.makespan / magic.makespan:.1f}x")
+        print("-" * 70)
+
+    print(
+        "\nNested iteration's fragments grow as n^2 and its total row work "
+        "never shrinks\n(every invocation scans every partition); the "
+        "decorrelated plan's work is constant\nand divides across nodes."
+    )
+
+
+if __name__ == "__main__":
+    main()

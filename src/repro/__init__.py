@@ -1,0 +1,9 @@
+"""Reproduction of Complex Query Decorrelation (Seshadri, Pirahesh, Leung - ICDE 1996).
+
+Public entry points: Database, Strategy, Result.
+"""
+
+from .api import Database, Result, Strategy
+
+__version__ = "1.0.0"
+__all__ = ["Database", "Result", "Strategy", "__version__"]

@@ -1,0 +1,200 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro shell                      # interactive SQL shell
+    python -m repro run script.sql             # execute a SQL script
+    python -m repro figures [--scale 0.01]     # regenerate the paper figures
+    python -m repro explain "SELECT ..." --db script.sql --strategy magic
+
+The shell keeps one in-memory database per session; ``\\strategy magic``
+switches the decorrelation strategy, ``\\explain on`` prints the rewritten
+QGM before each query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import Database, Strategy
+from .errors import ReproError
+
+_STRATEGY_NAMES = {s.value: s for s in Strategy}
+_STRATEGY_NAMES.update({s.label.lower(): s for s in Strategy})
+
+
+def _parse_strategy(name: str) -> Strategy:
+    try:
+        return _STRATEGY_NAMES[name.lower()]
+    except KeyError:
+        valid = ", ".join(sorted({s.value for s in Strategy}))
+        raise SystemExit(f"unknown strategy {name!r}; choose from: {valid}")
+
+
+def _print_result(result) -> None:
+    if result.columns:
+        print(" | ".join(result.columns))
+        print("-+-".join("-" * len(c) for c in result.columns))
+    for row in result.rows:
+        print(" | ".join("NULL" if v is None else str(v) for v in row))
+    print(
+        f"({len(result.rows)} rows; {result.metrics.subquery_invocations} "
+        f"subquery invocations; work {result.metrics.total_work()})"
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run``: execute a SQL script file statement by statement."""
+    db = Database()
+    with open(args.script) as handle:
+        sql = handle.read()
+    strategy = _parse_strategy(args.strategy)
+    from .sql.parser import parse_statements
+    from .sql import ast as sql_ast
+
+    for statement in parse_statements(sql):
+        if isinstance(statement, (sql_ast.Select, sql_ast.SetOp)):
+            result = db._run_query(statement, strategy, args.cse_mode)
+            _print_result(result)
+        else:
+            db._execute_statement(statement)
+    return 0
+
+
+def cmd_shell(args: argparse.Namespace) -> int:
+    """``repro shell``: the interactive SQL loop."""
+    db = Database()
+    strategy = _parse_strategy(args.strategy)
+    explain = False
+    print("repro SQL shell -- \\q quits, \\strategy <name>, \\explain on|off")
+    buffer = ""
+    while True:
+        try:
+            prompt = "....> " if buffer else "repro> "
+            line = input(prompt)
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        stripped = line.strip()
+        if not buffer and stripped.startswith("\\"):
+            parts = stripped.split()
+            if parts[0] in ("\\q", "\\quit"):
+                return 0
+            if parts[0] == "\\strategy" and len(parts) > 1:
+                strategy = _parse_strategy(parts[1])
+                print(f"strategy = {strategy.label}")
+            elif parts[0] == "\\explain":
+                explain = len(parts) > 1 and parts[1] == "on"
+                print(f"explain = {explain}")
+            else:
+                print("commands: \\q, \\strategy <name>, \\explain on|off")
+            continue
+        buffer += line + "\n"
+        if not stripped.endswith(";"):
+            continue
+        sql, buffer = buffer, ""
+        try:
+            if explain:
+                try:
+                    print(db.explain(sql, strategy))
+                except ReproError:
+                    pass
+            result = db.execute(sql, strategy=strategy)
+            _print_result(result)
+        except ReproError as exc:
+            print(f"error: {exc}")
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """``repro figures``: regenerate the paper's tables and figures."""
+    from .bench.figures import ALL_FIGURES, table1
+
+    print(f"Table 1 at scale factor {args.scale}:")
+    for name, (expected, actual) in table1(args.scale).items():
+        print(f"  {name:<10} expected={expected:>8}  generated={actual:>8}")
+    print()
+    ok = True
+    for name, fn in ALL_FIGURES.items():
+        if args.only and name not in args.only:
+            continue
+        report = fn(scale_factor=args.scale, repeat=args.repeat)
+        report.print()
+        ok = ok and report.shape_holds()
+        print()
+    return 0 if ok else 1
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``repro explain``: print the (rewritten) QGM of one query."""
+    db = Database()
+    if args.db:
+        with open(args.db) as handle:
+            db.execute_script(handle.read())
+    print(db.explain(args.query, _parse_strategy(args.strategy)))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``repro report``: regenerate the evaluation as a Markdown document."""
+    from .bench.report import generate_report
+
+    text = generate_report(
+        scale_factor=args.scale, repeat=args.repeat, figures=args.only
+    )
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Complex Query Decorrelation (ICDE 1996) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute a SQL script")
+    p_run.add_argument("script")
+    p_run.add_argument("--strategy", default="ni")
+    p_run.add_argument("--cse-mode", default="recompute", dest="cse_mode")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_shell = sub.add_parser("shell", help="interactive SQL shell")
+    p_shell.add_argument("--strategy", default="ni")
+    p_shell.set_defaults(fn=cmd_shell)
+
+    p_fig = sub.add_parser("figures", help="regenerate the paper's figures")
+    p_fig.add_argument("--scale", type=float, default=0.01)
+    p_fig.add_argument("--repeat", type=int, default=1)
+    p_fig.add_argument("--only", nargs="*", default=None,
+                       help="e.g. --only figure8 figure9")
+    p_fig.set_defaults(fn=cmd_figures)
+
+    p_explain = sub.add_parser("explain", help="print the rewritten QGM")
+    p_explain.add_argument("query")
+    p_explain.add_argument("--db", help="SQL script creating the schema")
+    p_explain.add_argument("--strategy", default="magic")
+    p_explain.set_defaults(fn=cmd_explain)
+
+    p_report = sub.add_parser(
+        "report", help="write the full evaluation as Markdown"
+    )
+    p_report.add_argument("--scale", type=float, default=0.01)
+    p_report.add_argument("--repeat", type=int, default=1)
+    p_report.add_argument("--out", default="-",
+                          help="output path ('-' for stdout)")
+    p_report.add_argument("--only", nargs="*", default=None)
+    p_report.set_defaults(fn=cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

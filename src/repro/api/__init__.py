@@ -1,0 +1,6 @@
+"""Public API: the :class:`Database` facade and decorrelation strategies."""
+
+from .strategies import Strategy
+from .database import Database, Result
+
+__all__ = ["Database", "Result", "Strategy"]

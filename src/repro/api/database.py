@@ -1,0 +1,256 @@
+"""The ``Database`` facade: DDL/DML plus strategy-parameterised querying.
+
+Typical use::
+
+    from repro import Database, Strategy
+
+    db = Database()
+    db.execute_script(open("schema.sql").read())
+    result = db.execute(correlated_sql, strategy=Strategy.MAGIC)
+    print(result.columns, result.rows, result.metrics.subquery_invocations)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..errors import BindError, ExecutionError
+from ..exec import Metrics, execute_graph
+from ..qgm import build_qgm, graph_to_text, validate_graph
+from ..qgm.model import QueryGraph
+from ..sql import ast
+from ..sql.parser import parse_statement, parse_statements
+from ..sql.printer import to_sql
+from ..storage import Catalog, Column, Schema
+from ..types import SQLType
+from .strategies import Strategy
+
+
+@dataclass
+class Result:
+    """Rows plus schema and work counters for one executed statement."""
+
+    columns: list[str]
+    rows: list[tuple]
+    metrics: Metrics
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"scalar() on a {len(self.rows)}x{len(self.columns)} result"
+            )
+        return self.rows[0][0]
+
+
+def _const_value(expr: ast.Expr) -> Any:
+    """Evaluate a constant expression (INSERT ... VALUES entries)."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.UnaryMinus):
+        value = _const_value(expr.operand)
+        return None if value is None else -value
+    if isinstance(expr, ast.BinaryOp):
+        from ..types import ARITHMETIC
+
+        return ARITHMETIC[expr.op](
+            _const_value(expr.left), _const_value(expr.right)
+        )
+    raise BindError("INSERT values must be constant expressions")
+
+
+class Database:
+    """An in-memory database with pluggable correlated-query strategies."""
+
+    def __init__(self, catalog: Optional[Catalog] = None):
+        self.catalog = catalog if catalog is not None else Catalog()
+
+    # -- DDL / DML -----------------------------------------------------------
+
+    def execute_script(self, sql: str) -> list[Result]:
+        """Run a ``;``-separated script; returns one Result per statement."""
+        return [self._execute_statement(s) for s in parse_statements(sql)]
+
+    def _execute_statement(self, statement: ast.Statement) -> Result:
+        if isinstance(statement, ast.CreateTable):
+            columns = [
+                Column(c.name, SQLType[c.type_name], nullable=not c.not_null)
+                for c in statement.columns
+            ]
+            self.catalog.create_table(
+                statement.name, Schema(columns, primary_key=statement.primary_key)
+            )
+            return Result([], [], Metrics())
+        if isinstance(statement, ast.CreateIndex):
+            table = self.catalog.table(statement.table)
+            table.create_index(
+                statement.name, list(statement.columns),
+                unique=statement.unique, kind=statement.kind,
+            )
+            return Result([], [], Metrics())
+        if isinstance(statement, ast.DropIndex):
+            self.catalog.table(statement.table).drop_index(statement.name)
+            return Result([], [], Metrics())
+        if isinstance(statement, ast.CreateView):
+            # Views are validated eagerly then stored as SQL text.
+            build_qgm(statement.query, self.catalog)
+            self.catalog.create_view(statement.name, to_sql(statement.query))
+            return Result([], [], Metrics())
+        if isinstance(statement, ast.Insert):
+            return self._insert(statement)
+        if isinstance(statement, (ast.Select, ast.SetOp)):
+            return self._run_query(statement, Strategy.NESTED_ITERATION, "recompute")
+        raise BindError(f"unsupported statement {type(statement).__name__}")
+
+    def _insert(self, statement: ast.Insert) -> Result:
+        table = self.catalog.table(statement.table)
+        names = table.schema.names()
+        columns = [c.lower() for c in statement.columns] or names
+        positions = {c: names.index(c) for c in columns}
+        if statement.query is not None:
+            source = self._run_query(
+                statement.query, Strategy.NESTED_ITERATION, "recompute"
+            )
+            value_rows: list[tuple] = source.rows
+        else:
+            value_rows = [
+                tuple(_const_value(e) for e in row_exprs)
+                for row_exprs in statement.rows
+            ]
+        inserted = 0
+        for values in value_rows:
+            if len(values) != len(columns):
+                raise BindError("INSERT arity mismatch")
+            row: list[Any] = [None] * len(names)
+            for column, value in zip(columns, values):
+                row[positions[column]] = value
+            table.insert(row)
+            inserted += 1
+        self.catalog.invalidate_stats(table.name)
+        metrics = Metrics()
+        metrics.rows_output = inserted
+        return Result([], [], metrics)
+
+    # -- queries ---------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        strategy: Strategy = Strategy.NESTED_ITERATION,
+        cse_mode: str = "recompute",
+        decorrelate_existential: bool = True,
+    ) -> Result:
+        """Parse, bind, rewrite per ``strategy``, and execute one statement.
+
+        ``cse_mode`` controls whether shared boxes created by decorrelation
+        (the supplementary table) are recomputed per reference (the paper's
+        Starburst behaviour) or materialised once.
+        ``decorrelate_existential`` is the paper's section 4.4 knob: when
+        False, magic decorrelation leaves EXISTS/IN/ANY/ALL subqueries
+        correlated instead of building CI boxes over materialised results.
+        """
+        statement = parse_statement(sql)
+        if not isinstance(statement, (ast.Select, ast.SetOp)):
+            return self._execute_statement(statement)
+        return self._run_query(
+            statement, strategy, cse_mode,
+            decorrelate_existential=decorrelate_existential,
+        )
+
+    def _run_query(
+        self,
+        statement: ast.QueryBody,
+        strategy: Strategy,
+        cse_mode: str,
+        decorrelate_existential: bool = True,
+    ) -> Result:
+        graph = self.rewrite(
+            statement, strategy,
+            decorrelate_existential=decorrelate_existential,
+        )
+        rows, metrics = execute_graph(graph, self.catalog, cse_mode=cse_mode)
+        return Result(graph.output_names(), rows, metrics)
+
+    def rewrite(
+        self,
+        statement: ast.QueryBody,
+        strategy: Strategy,
+        decorrelate_existential: bool = True,
+    ) -> QueryGraph:
+        """Build the QGM and apply the strategy's rewrite (validated)."""
+        graph = build_qgm(statement, self.catalog)
+        validate_graph(graph, self.catalog)
+        graph = self._apply_strategy(graph, strategy, decorrelate_existential)
+        validate_graph(graph, self.catalog)
+        return graph
+
+    def _apply_strategy(
+        self,
+        graph: QueryGraph,
+        strategy: Strategy,
+        decorrelate_existential: bool = True,
+    ) -> QueryGraph:
+        from ..rewrite import decorrelate
+
+        if strategy is Strategy.NESTED_ITERATION:
+            return graph
+        if strategy is Strategy.KIM:
+            return decorrelate.apply_kim(graph, self.catalog)
+        if strategy is Strategy.DAYAL:
+            return decorrelate.apply_dayal(graph, self.catalog)
+        if strategy is Strategy.GANSKI_WONG:
+            return decorrelate.apply_ganski_wong(graph, self.catalog)
+        if strategy is Strategy.MAGIC:
+            return decorrelate.apply_magic(
+                graph, self.catalog, optimize_keys=False,
+                decorrelate_existential=decorrelate_existential,
+            )
+        if strategy is Strategy.MAGIC_OPT:
+            return decorrelate.apply_magic(
+                graph, self.catalog, optimize_keys=True,
+                decorrelate_existential=decorrelate_existential,
+            )
+        raise ExecutionError(f"unknown strategy {strategy!r}")
+
+    def explain(
+        self, sql: str, strategy: Strategy = Strategy.NESTED_ITERATION
+    ) -> str:
+        """The (rewritten) QGM as text -- the engine's EXPLAIN."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, (ast.Select, ast.SetOp)):
+            raise BindError("EXPLAIN is only available for queries")
+        return graph_to_text(self.rewrite(statement, strategy))
+
+    def explain_plan(
+        self, sql: str, strategy: Strategy = Strategy.NESTED_ITERATION
+    ) -> str:
+        """The physical plan after the strategy's rewrite: access paths,
+        join order, predicate placement and -- the paper's section 7
+        concern -- where correlated subqueries are evaluated."""
+        from ..plan.pretty import plan_to_text
+
+        statement = parse_statement(sql)
+        if not isinstance(statement, (ast.Select, ast.SetOp)):
+            raise BindError("EXPLAIN PLAN is only available for queries")
+        graph = self.rewrite(statement, strategy)
+        return plan_to_text(self.catalog, graph)
+
+    def rewritten_sql(
+        self, sql: str, strategy: Strategy = Strategy.MAGIC
+    ) -> str:
+        """The rewritten query as CREATE VIEW statements plus a final
+        SELECT -- the presentation the paper uses in section 2.1 for the
+        magic-decorrelated example."""
+        from ..qgm.sqlgen import graph_to_sql
+
+        statement = parse_statement(sql)
+        if not isinstance(statement, (ast.Select, ast.SetOp)):
+            raise BindError("rewritten_sql is only available for queries")
+        return graph_to_sql(self.rewrite(statement, strategy))

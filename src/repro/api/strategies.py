@@ -1,0 +1,34 @@
+"""The correlated-query processing strategies compared by the paper."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Strategy(enum.Enum):
+    """How to process a (possibly correlated) query.
+
+    Mirrors section 5.1 of the paper: nested iteration (NI), Kim's method,
+    Dayal's method, magic decorrelation without (Mag) and with (OptMag) the
+    supplementary-table common-subexpression elimination. GANSKI_WONG is the
+    historical special case of magic decorrelation discussed in section 2.
+    """
+
+    NESTED_ITERATION = "ni"
+    KIM = "kim"
+    DAYAL = "dayal"
+    GANSKI_WONG = "ganski_wong"
+    MAGIC = "magic"
+    MAGIC_OPT = "magic_opt"
+
+    @property
+    def label(self) -> str:
+        """The short name used in the paper's figures (NI, Kim, ...)."""
+        return {
+            Strategy.NESTED_ITERATION: "NI",
+            Strategy.KIM: "Kim",
+            Strategy.DAYAL: "Dayal",
+            Strategy.GANSKI_WONG: "Ganski/Wong",
+            Strategy.MAGIC: "Mag",
+            Strategy.MAGIC_OPT: "OptMag",
+        }[self]

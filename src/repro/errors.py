@@ -1,0 +1,76 @@
+"""Exception hierarchy for the repro engine.
+
+All engine errors derive from :class:`ReproError` so applications can catch
+one base class. The hierarchy mirrors the pipeline stages: lexing/parsing,
+semantic analysis (QGM construction), rewriting, planning and execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro engine."""
+
+
+class SQLError(ReproError):
+    """Base class for errors in the SQL front-end."""
+
+
+class LexError(SQLError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(SQLError):
+    """Raised when the parser cannot derive a statement from the token stream."""
+
+
+class CatalogError(ReproError):
+    """Raised for catalog problems: unknown/duplicate tables, columns, indexes."""
+
+
+class SchemaError(ReproError):
+    """Raised for schema violations: arity mismatch, bad types, key violations."""
+
+
+class BindError(ReproError):
+    """Raised during AST -> QGM building when a name cannot be resolved or is
+    ambiguous, or when a construct is used in an invalid context."""
+
+
+class QGMConsistencyError(ReproError):
+    """Raised by the QGM validator when a graph invariant is broken.
+
+    The paper (section 3) requires every rewrite rule application to leave the
+    QGM consistent; the validator enforces that contract in tests.
+    """
+
+
+class RewriteError(ReproError):
+    """Raised when a rewrite rule fails in an unexpected way."""
+
+
+class NotApplicableError(RewriteError):
+    """Raised when a decorrelation method cannot be applied to a query.
+
+    Kim's and Dayal's methods only handle restricted query shapes (section 2);
+    this error carries the human-readable reason used in benchmark reports.
+    """
+
+    def __init__(self, method: str, reason: str):
+        super().__init__(f"{method} is not applicable: {reason}")
+        self.method = method
+        self.reason = reason
+
+
+class PlanError(ReproError):
+    """Raised when the planner cannot produce a physical plan."""
+
+
+class ExecutionError(ReproError):
+    """Raised at runtime, e.g. a scalar subquery returning more than one row."""

@@ -1,0 +1,6 @@
+"""Query executor: evaluates QGM graphs with a cost-based mini-planner."""
+
+from .metrics import Metrics
+from .executor import ExecutionContext, execute_graph
+
+__all__ = ["Metrics", "ExecutionContext", "execute_graph"]

@@ -1,0 +1,229 @@
+"""Row-context expression evaluation with SQL three-valued logic.
+
+The evaluator works over an :class:`Env` -- the bindings of quantifiers to
+current rows. Subquery expression nodes are evaluated by running the nested
+box through the executor with the current env as the outer environment;
+this *is* nested iteration, and every such run is counted in
+``metrics.subquery_invocations``. Scalar subqueries whose values were
+pre-computed by a ``SubqueryEvalStep`` are read from the env cache instead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..errors import ExecutionError
+from ..qgm.expr import (
+    BoxExists,
+    BoxInSubquery,
+    BoxQuantifiedComparison,
+    BoxScalarSubquery,
+    ColumnRef,
+)
+from ..sql import ast
+from ..types import (
+    ARITHMETIC,
+    COMPARISONS,
+    Truth,
+    is_true,
+    sql_like,
+    tv_and,
+    tv_not,
+    tv_or,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .executor import ExecutionContext
+
+
+class Env:
+    """Quantifier bindings plus cached scalar-subquery values."""
+
+    __slots__ = ("bindings", "values")
+
+    def __init__(self, bindings: Optional[dict] = None, values: Optional[dict] = None):
+        self.bindings: dict = bindings if bindings is not None else {}
+        self.values: dict = values if values is not None else {}
+
+    def bind(self, quantifier, row: tuple) -> "Env":
+        """A new Env extending this one with ``quantifier -> row``."""
+        new_bindings = dict(self.bindings)
+        new_bindings[quantifier] = row
+        return Env(new_bindings, self.values)
+
+    def with_value(self, key: int, value: Any) -> "Env":
+        """A new Env caching a pre-computed scalar subquery value."""
+        new_values = dict(self.values)
+        new_values[key] = value
+        return Env(self.bindings, new_values)
+
+
+def evaluate(expr: ast.Expr, env: Env, ctx: "ExecutionContext") -> Any:
+    """Evaluate ``expr`` to a SQL value (``None`` = NULL / UNKNOWN)."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        row = env.bindings.get(expr.quantifier)
+        if row is None:
+            raise ExecutionError(
+                f"unbound quantifier {expr.quantifier.name!r} while evaluating "
+                f"{expr!r}"
+            )
+        return row[ctx.column_position(expr.quantifier.box, expr.column)]
+    if isinstance(expr, ast.BinaryOp):
+        left = evaluate(expr.left, env, ctx)
+        right = evaluate(expr.right, env, ctx)
+        if expr.op == "||":
+            if left is None or right is None:
+                return None
+            return str(left) + str(right)
+        return ARITHMETIC[expr.op](left, right)
+    if isinstance(expr, ast.UnaryMinus):
+        value = evaluate(expr.operand, env, ctx)
+        return None if value is None else -value
+    if isinstance(expr, ast.Comparison):
+        return COMPARISONS[expr.op](
+            evaluate(expr.left, env, ctx), evaluate(expr.right, env, ctx)
+        )
+    if isinstance(expr, ast.And):
+        result: Truth = True
+        for item in expr.items:
+            result = tv_and(result, evaluate(item, env, ctx))
+            if result is False:
+                return False
+        return result
+    if isinstance(expr, ast.Or):
+        result = False
+        for item in expr.items:
+            result = tv_or(result, evaluate(item, env, ctx))
+            if result is True:
+                return True
+        return result
+    if isinstance(expr, ast.Not):
+        return tv_not(evaluate(expr.operand, env, ctx))
+    if isinstance(expr, ast.IsNull):
+        value = evaluate(expr.operand, env, ctx)
+        truth = value is None
+        return not truth if expr.negated else truth
+    if isinstance(expr, ast.Like):
+        truth = sql_like(
+            evaluate(expr.operand, env, ctx), evaluate(expr.pattern, env, ctx)
+        )
+        return tv_not(truth) if expr.negated else truth
+    if isinstance(expr, ast.Between):
+        value = evaluate(expr.operand, env, ctx)
+        low = evaluate(expr.low, env, ctx)
+        high = evaluate(expr.high, env, ctx)
+        truth = tv_and(COMPARISONS[">="](value, low), COMPARISONS["<="](value, high))
+        return tv_not(truth) if expr.negated else truth
+    if isinstance(expr, ast.InList):
+        value = evaluate(expr.operand, env, ctx)
+        truth: Truth = False
+        for item in expr.items:
+            truth = tv_or(truth, COMPARISONS["="](value, evaluate(item, env, ctx)))
+            if truth is True:
+                break
+        return tv_not(truth) if expr.negated else truth
+    if isinstance(expr, ast.Case):
+        for condition, value in expr.whens:
+            if is_true(evaluate(condition, env, ctx)):
+                return evaluate(value, env, ctx)
+        if expr.otherwise is not None:
+            return evaluate(expr.otherwise, env, ctx)
+        return None
+    if isinstance(expr, ast.FunctionCall):
+        return _call_function(expr, env, ctx)
+    if isinstance(expr, BoxScalarSubquery):
+        if id(expr) in env.values:
+            return env.values[id(expr)]
+        return scalar_subquery_value(expr, env, ctx)
+    if isinstance(expr, BoxExists):
+        truth = _exists(expr, env, ctx)
+        return tv_not(truth) if expr.negated else truth
+    if isinstance(expr, BoxInSubquery):
+        truth = _in_subquery(expr, env, ctx)
+        return tv_not(truth) if expr.negated else truth
+    if isinstance(expr, BoxQuantifiedComparison):
+        return _quantified(expr, env, ctx)
+    if isinstance(expr, ast.AggregateCall):
+        raise ExecutionError("aggregate call evaluated outside a GROUP BY box")
+    raise ExecutionError(f"cannot evaluate expression {expr!r}")
+
+
+def predicate_holds(expr: ast.Expr, env: Env, ctx: "ExecutionContext") -> bool:
+    """WHERE semantics: UNKNOWN does not qualify."""
+    return is_true(evaluate(expr, env, ctx))
+
+
+def scalar_subquery_value(
+    node: BoxScalarSubquery, env: Env, ctx: "ExecutionContext"
+) -> Any:
+    """Run a scalar subquery: 0 rows -> NULL, >1 row -> error."""
+    rows = ctx.subquery_rows(node.box, env)
+    if len(rows) > 1:
+        raise ExecutionError("scalar subquery returned more than one row")
+    if not rows:
+        return None
+    row = rows[0]
+    if len(row) != 1:
+        raise ExecutionError("scalar subquery must return exactly one column")
+    return row[0]
+
+
+def _exists(node: BoxExists, env: Env, ctx: "ExecutionContext") -> Truth:
+    return bool(ctx.subquery_rows(node.box, env, first_only=True))
+
+
+def _in_subquery(node: BoxInSubquery, env: Env, ctx: "ExecutionContext") -> Truth:
+    value = evaluate(node.operand, env, ctx)
+    truth: Truth = False
+    for row in ctx.subquery_rows(node.box, env):
+        truth = tv_or(truth, COMPARISONS["="](value, row[0]))
+        if truth is True:
+            break
+    return truth
+
+
+def _quantified(
+    node: BoxQuantifiedComparison, env: Env, ctx: "ExecutionContext"
+) -> Truth:
+    value = evaluate(node.operand, env, ctx)
+    compare = COMPARISONS[node.op]
+    rows = ctx.subquery_rows(node.box, env)
+    if node.quantifier_kind == "any":
+        truth: Truth = False
+        for row in rows:
+            truth = tv_or(truth, compare(value, row[0]))
+            if truth is True:
+                break
+        return truth
+    truth = True
+    for row in rows:
+        truth = tv_and(truth, compare(value, row[0]))
+        if truth is False:
+            break
+    return truth
+
+
+def _call_function(expr: ast.FunctionCall, env: Env, ctx: "ExecutionContext") -> Any:
+    name = expr.name.lower()
+    if name == "coalesce":
+        for arg in expr.args:
+            value = evaluate(arg, env, ctx)
+            if value is not None:
+                return value
+        return None
+    args = [evaluate(a, env, ctx) for a in expr.args]
+    if name == "abs":
+        if len(args) != 1:
+            raise ExecutionError("abs takes one argument")
+        return None if args[0] is None else abs(args[0])
+    if name == "nullif":
+        if len(args) != 2:
+            raise ExecutionError("nullif takes two arguments")
+        return None if args[0] == args[1] else args[0]
+    if name == "upper":
+        return None if args[0] is None else str(args[0]).upper()
+    if name == "lower":
+        return None if args[0] is None else str(args[0]).lower()
+    raise ExecutionError(f"unknown function {expr.name!r}")

@@ -1,0 +1,64 @@
+"""Work counters collected during execution.
+
+The paper reports wall-clock times on 1996 hardware; absolute numbers are
+not reproducible, but the *work* that drives them is. Every benchmark in
+this repository therefore reports these counters next to wall time:
+
+* ``subquery_invocations`` -- how many times a subquery plan was executed
+  from an expression context (the paper quotes these exactly: 6 / 3954 /
+  209 invocations for its queries);
+* ``rows_scanned`` -- base-table rows read by sequential scans;
+* ``index_lookups`` / ``index_rows`` -- probes into indexes and rows fetched;
+* ``rows_joined`` -- env combinations produced by join steps;
+* ``rows_grouped`` -- input rows consumed by aggregation;
+* ``boxes_recomputed`` -- how many times shared (common-subexpression)
+  boxes were re-executed, separating Mag from OptMag behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Metrics:
+    """Work counters for one query execution (see module docstring)."""
+
+    subquery_invocations: int = 0
+    rows_scanned: int = 0
+    index_lookups: int = 0
+    index_rows: int = 0
+    rows_joined: int = 0
+    rows_grouped: int = 0
+    boxes_recomputed: int = 0
+    rows_output: int = 0
+
+    def total_work(self) -> int:
+        """A single hardware-independent work figure used by benchmarks."""
+        return (
+            self.rows_scanned
+            + self.index_lookups
+            + self.index_rows
+            + self.rows_joined
+            + self.rows_grouped
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters (plus total_work) as a plain dict for reporting."""
+        return {
+            "subquery_invocations": self.subquery_invocations,
+            "rows_scanned": self.rows_scanned,
+            "index_lookups": self.index_lookups,
+            "index_rows": self.index_rows,
+            "rows_joined": self.rows_joined,
+            "rows_grouped": self.rows_grouped,
+            "boxes_recomputed": self.boxes_recomputed,
+            "rows_output": self.rows_output,
+            "total_work": self.total_work(),
+        }
+
+    def __add__(self, other: "Metrics") -> "Metrics":
+        result = Metrics()
+        for name in vars(result):
+            setattr(result, name, getattr(self, name) + getattr(other, name))
+        return result

@@ -1,0 +1,19 @@
+"""Shared-nothing parallel execution simulator (section 6 of the paper)."""
+
+from .cluster import Cluster, Node, hash_partition
+from .simulate import (
+    ParallelMetrics,
+    simulate_decorrelated,
+    simulate_nested_iteration,
+    sweep_nodes,
+)
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "hash_partition",
+    "ParallelMetrics",
+    "simulate_nested_iteration",
+    "simulate_decorrelated",
+    "sweep_nodes",
+]

@@ -1,0 +1,25 @@
+"""Cost-based mini-planner: row estimation, access selection, join ordering,
+and correlated-subquery placement (paper section 7)."""
+
+from .cost import estimate_box_rows, predicate_selectivity
+from .planner import (
+    HashJoinStep,
+    IndexLookupStep,
+    PredicateStep,
+    ScanStep,
+    SelectPlan,
+    SubqueryEvalStep,
+    plan_select_box,
+)
+
+__all__ = [
+    "estimate_box_rows",
+    "predicate_selectivity",
+    "SelectPlan",
+    "ScanStep",
+    "IndexLookupStep",
+    "HashJoinStep",
+    "PredicateStep",
+    "SubqueryEvalStep",
+    "plan_select_box",
+]

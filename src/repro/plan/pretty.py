@@ -1,0 +1,92 @@
+"""Textual rendering of physical plans (the engine's EXPLAIN PLAN).
+
+Walks the query graph and prints, for every SPJ box, the step list the
+planner chose: access paths (scan / index lookup / hash join), predicate
+placement, and -- the paper's section 7 concern -- where each correlated
+scalar subquery is evaluated relative to the joins.
+"""
+
+from __future__ import annotations
+
+from ..qgm.analysis import iter_boxes
+from ..qgm.model import (
+    BaseTableBox,
+    Box,
+    GroupByBox,
+    OuterJoinBox,
+    QueryGraph,
+    SelectBox,
+    SetOpBox,
+)
+from ..qgm.pretty import expr_to_text
+from ..storage.catalog import Catalog
+from .planner import (
+    HashJoinStep,
+    IndexLookupStep,
+    PredicateStep,
+    ScanStep,
+    SubqueryEvalStep,
+    plan_select_box,
+)
+
+
+def _step_to_text(step, own: set[int]) -> str:
+    if isinstance(step, ScanStep):
+        suffix = "  [re-executed per row: correlated]" if step.correlated_to_self else ""
+        return f"scan {step.quantifier.name} (box {step.quantifier.box.id}){suffix}"
+    if isinstance(step, IndexLookupStep):
+        keys = ", ".join(
+            f"{col} = {expr_to_text(e, own)}"
+            for col, e in zip(step.key_columns, step.key_exprs)
+        )
+        return (
+            f"index lookup {step.quantifier.name} via {step.index_name} "
+            f"on {keys}"
+        )
+    if isinstance(step, HashJoinStep):
+        pairs = ", ".join(
+            f"{expr_to_text(b, own)} {'<=>' if ns else '='} {expr_to_text(p, own)}"
+            for b, p, ns in zip(
+                step.build_exprs, step.probe_exprs,
+                step.null_safe or (False,) * len(step.build_exprs),
+            )
+        )
+        return f"hash join {step.quantifier.name} on {pairs}"
+    if isinstance(step, PredicateStep):
+        return f"filter {expr_to_text(step.predicate, own)}"
+    if isinstance(step, SubqueryEvalStep):
+        return f"evaluate scalar subquery (box {step.node.box.id}) per row"
+    return repr(step)
+
+
+def plan_to_text(catalog: Catalog, graph: QueryGraph | Box) -> str:
+    """Render the physical plan of every box in the graph."""
+    root = graph.root if isinstance(graph, QueryGraph) else graph
+    sections: list[str] = []
+    for box in iter_boxes(root):
+        if isinstance(box, SelectBox):
+            plan = plan_select_box(catalog, box)
+            own = {id(q) for q in box.quantifiers}
+            lines = [
+                f"[{box.id}] SELECT{' DISTINCT' if box.distinct else ''} "
+                f"(est. {plan.estimated_rows:.1f} rows)"
+            ]
+            for step in plan.steps:
+                lines.append(f"    {_step_to_text(step, own)}")
+            sections.append("\n".join(lines))
+        elif isinstance(box, GroupByBox):
+            n_keys = len(box.group_by)
+            sections.append(
+                f"[{box.id}] HASH AGGREGATE ({n_keys} grouping "
+                f"column{'s' if n_keys != 1 else ''})"
+            )
+        elif isinstance(box, SetOpBox):
+            sections.append(
+                f"[{box.id}] {box.op.upper()}{' ALL' if box.all else ''} "
+                f"of {len(box.quantifiers)} inputs"
+            )
+        elif isinstance(box, OuterJoinBox):
+            sections.append(f"[{box.id}] LEFT OUTER HASH/NL JOIN")
+        elif isinstance(box, BaseTableBox):
+            sections.append(f"[{box.id}] TABLE {box.table_name}")
+    return "\n".join(sections)

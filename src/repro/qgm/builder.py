@@ -1,0 +1,705 @@
+"""AST -> QGM translation (binding).
+
+Responsibilities:
+
+* name resolution through nested scopes -- a reference that resolves to a
+  quantifier of an *outer* block is exactly what the paper calls a
+  correlation, and needs no special representation: the ``ColumnRef`` simply
+  points at the outer quantifier;
+* normalisation of aggregation: ``SELECT ... GROUP BY ... HAVING`` becomes a
+  three-box pipeline SPJ -> GroupBy -> SPJ, which is the shape the
+  decorrelation algorithm operates on (Figure 1 of the paper);
+* view expansion, derived tables (including correlated ones, needed for the
+  paper's Query 3), star expansion, explicit inner/outer joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import BindError
+from ..sql import ast
+from ..sql.parser import parse_statement
+from ..storage.catalog import Catalog
+from .expr import (
+    BoxExists,
+    BoxInSubquery,
+    BoxQuantifiedComparison,
+    BoxScalarSubquery,
+    ColumnRef,
+    column_refs,
+    contains_aggregate,
+    transform_expr,
+    walk_expr,
+)
+from .model import (
+    BaseTableBox,
+    Box,
+    GroupByBox,
+    OuterJoinBox,
+    OutputColumn,
+    Quantifier,
+    QueryGraph,
+    SelectBox,
+    SetOpBox,
+)
+
+
+@dataclass
+class Binding:
+    """An alias visible in a scope: a quantifier plus a column-name view.
+
+    ``columns`` maps user-visible column names to the quantifier's actual
+    output column names (they differ for outer-join flattening, where both
+    sides' columns are exposed through one quantifier with mangled names).
+    """
+
+    alias: str
+    quantifier: Quantifier
+    columns: dict[str, str]  # visible name -> actual output column
+
+    def ref(self, visible: str) -> ColumnRef:
+        return ColumnRef(self.quantifier, self.columns[visible])
+
+
+@dataclass
+class Scope:
+    """A lexical scope: the bindings of one query block, linked outward."""
+
+    parent: Optional["Scope"] = None
+    bindings: list[Binding] = field(default_factory=list)
+
+    def add(self, binding: Binding) -> None:
+        if any(b.alias == binding.alias for b in self.bindings):
+            raise BindError(f"duplicate alias {binding.alias!r} in FROM")
+        self.bindings.append(binding)
+
+    def resolve_qualified(self, alias: str, column: str) -> ColumnRef:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            for binding in scope.bindings:
+                if binding.alias == alias:
+                    if column not in binding.columns:
+                        raise BindError(
+                            f"column {column!r} not found in {alias!r}"
+                        )
+                    return binding.ref(column)
+            scope = scope.parent
+        raise BindError(f"unknown alias {alias!r}")
+
+    def resolve_unqualified(self, column: str) -> ColumnRef:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            matches = [b for b in scope.bindings if column in b.columns]
+            if len(matches) > 1:
+                raise BindError(f"ambiguous column {column!r}")
+            if matches:
+                return matches[0].ref(column)
+            scope = scope.parent
+        raise BindError(f"unknown column {column!r}")
+
+
+def expr_equal(a: ast.Expr, b: ast.Expr) -> bool:
+    """Structural equality treating ColumnRef as (quantifier identity, column)."""
+    if isinstance(a, ColumnRef) or isinstance(b, ColumnRef):
+        return (
+            isinstance(a, ColumnRef)
+            and isinstance(b, ColumnRef)
+            and a.same(b)
+        )
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, ast.Literal):
+        return a.value == b.value and type(a.value) is type(b.value)
+    children_a, children_b = a.children(), b.children()
+    if len(children_a) != len(children_b):
+        return False
+    # Compare non-child attributes via a shallow field check.
+    for attr in ("op", "func", "name", "negated", "distinct", "quantifier_kind"):
+        if getattr(a, attr, None) != getattr(b, attr, None):
+            return False
+    return all(expr_equal(x, y) for x, y in zip(children_a, children_b))
+
+
+class _Builder:
+    """Stateful AST -> QGM translator for one statement."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self._name_counter = 0
+        self._view_stack: list[str] = []
+
+    # -- entry points ------------------------------------------------------
+
+    def build(self, body: ast.QueryBody) -> QueryGraph:
+        self._order_result: Optional[list[tuple[int, bool]]] = None
+        self._visible_columns: Optional[int] = None
+        if isinstance(body, ast.Select):
+            box = self.build_select(body, Scope(), top=True)
+        else:
+            box = self.build_query(body, Scope())
+        if self._order_result is not None:
+            order_by = self._order_result
+        else:
+            order_by = self._resolve_order(body, box)
+        limit = body.limit if isinstance(body, (ast.Select, ast.SetOp)) else None
+        return QueryGraph(
+            root=box, order_by=order_by, limit=limit,
+            visible_columns=self._visible_columns,
+        )
+
+    def build_query(self, body: ast.QueryBody, scope: Scope) -> Box:
+        if isinstance(body, ast.Select):
+            return self.build_select(body, scope)
+        if isinstance(body, ast.SetOp):
+            return self.build_setop(body, scope)
+        raise BindError(f"cannot build query from {type(body).__name__}")
+
+    # -- set operations ------------------------------------------------------
+
+    def build_setop(self, body: ast.SetOp, scope: Scope) -> Box:
+        left = self.build_query(body.left, scope)
+        right = self.build_query(body.right, scope)
+        left_names = left.output_names()
+        right_names = right.output_names()
+        if len(left_names) != len(right_names):
+            raise BindError(
+                f"{body.op.upper()} arms have different arities "
+                f"({len(left_names)} vs {len(right_names)})"
+            )
+        box = SetOpBox(
+            body.op, body.all,
+            quantifiers=[],
+            output_names=left_names,
+        )
+        box.quantifiers = [Quantifier.fresh(left, "u"), Quantifier.fresh(right, "u")]
+        return box
+
+    # -- SELECT blocks -----------------------------------------------------
+
+    def build_select(
+        self, select: ast.Select, outer_scope: Scope, top: bool = False
+    ) -> Box:
+        spj = SelectBox()
+        scope = Scope(parent=outer_scope)
+        for item in select.from_items:
+            self._add_from_item(spj, item, scope)
+
+        where_expr = self._bind(select.where, scope) if select.where else None
+        group_exprs = [self._bind(g, scope) for g in select.group_by]
+        having_expr = self._bind(select.having, scope) if select.having else None
+        select_items = self._expand_stars(select.items, scope)
+        bound_items = [
+            (self._bind(item.expr, scope), item.alias) for item in select_items
+        ]
+
+        from .expr import conjuncts
+        spj.predicates.extend(conjuncts(where_expr))
+
+        has_aggregates = any(contains_aggregate(e) for e, _ in bound_items)
+        if having_expr is not None and not group_exprs and not contains_aggregate(having_expr) and not has_aggregates:
+            raise BindError("HAVING requires GROUP BY or aggregates")
+        needs_groupby = bool(group_exprs) or has_aggregates or (
+            having_expr is not None and contains_aggregate(having_expr)
+        )
+
+        if not needs_groupby:
+            spj.distinct = select.distinct
+            spj.outputs = self._make_outputs(bound_items)
+            if top and select.order_by:
+                self._resolve_top_order(select, spj, scope)
+            return spj
+
+        box = self._build_aggregation(
+            spj, group_exprs, having_expr, bound_items, select.distinct
+        )
+        if top and select.order_by:
+            self._resolve_top_order(select, box, scope, allow_hidden=False)
+        return box
+
+    def _resolve_top_order(
+        self, select: ast.Select, box: Box, scope: Scope, allow_hidden: bool = True
+    ) -> None:
+        """Resolve top-level ORDER BY: by output name, position, or -- for
+        plain SELECTs -- by any expression over the FROM scope, appending a
+        hidden sort column when needed."""
+        names = box.output_names()
+        visible = len(names)
+        resolved: list[tuple[int, bool]] = []
+        for item in select.order_by:
+            expr = item.expr
+            position: Optional[int] = None
+            # Syntactic match against a select item (covers qualified names
+            # and expressions repeated verbatim, e.g. ORDER BY d.name) --
+            # only when no * expansion shifted the positions.
+            if not any(isinstance(i.expr, ast.Star) for i in select.items):
+                for i, select_item in enumerate(select.items[:visible]):
+                    if select_item.expr == expr:
+                        position = i
+                        break
+            if position is not None:
+                pass
+            elif isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                position = expr.value - 1
+                if not 0 <= position < visible:
+                    raise BindError(f"ORDER BY position {expr.value} out of range")
+            elif isinstance(expr, ast.Name) and len(expr.parts) == 1 \
+                    and expr.parts[0].lower() in names:
+                position = names.index(expr.parts[0].lower())
+            else:
+                if not allow_hidden or not isinstance(box, SelectBox):
+                    raise BindError(
+                        "ORDER BY over aggregated queries supports output "
+                        "column names or positions only"
+                    )
+                bound = self._bind(expr, scope)
+                for i, output in enumerate(box.outputs):
+                    if expr_equal(output.expr, bound):
+                        position = i
+                        break
+                if position is None:
+                    if box.distinct:
+                        raise BindError(
+                            "ORDER BY expression must be in the select list "
+                            "of a SELECT DISTINCT"
+                        )
+                    hidden_name = self._fresh_name("ord")
+                    box.outputs.append(OutputColumn(hidden_name, bound))
+                    position = len(box.outputs) - 1
+            resolved.append((position, item.descending))
+        self._order_result = resolved
+        if len(box.output_names()) != visible:
+            self._visible_columns = visible
+
+    def _build_aggregation(
+        self,
+        spj: SelectBox,
+        group_exprs: list[ast.Expr],
+        having_expr: Optional[ast.Expr],
+        bound_items: list[tuple[ast.Expr, Optional[str]]],
+        distinct: bool,
+    ) -> Box:
+        """Normalise into SPJ -> GroupBy -> SPJ (Figure 1's box pipeline)."""
+        # 1. Collect aggregate calls appearing anywhere above the SPJ.
+        aggregates: list[ast.AggregateCall] = []
+
+        def collect(expr: ast.Expr) -> None:
+            for node in walk_expr(expr):
+                if isinstance(node, ast.AggregateCall):
+                    if not any(expr_equal(node, a) for a in aggregates):
+                        aggregates.append(node)
+
+        for expr, _ in bound_items:
+            collect(expr)
+        if having_expr is not None:
+            collect(having_expr)
+
+        for agg in aggregates:
+            if agg.argument is not None and contains_aggregate(agg.argument):
+                raise BindError("nested aggregate calls are not allowed")
+
+        # 2. SPJ outputs: each group expression and each aggregate argument.
+        spj_outputs: list[tuple[str, ast.Expr]] = []
+
+        def spj_output_for(expr: ast.Expr) -> str:
+            for name, existing in spj_outputs:
+                if expr_equal(existing, expr):
+                    return name
+            name = self._fresh_name("g" if not spj_outputs else "g")
+            spj_outputs.append((name, expr))
+            return name
+
+        group_cols = [spj_output_for(g) for g in group_exprs]
+        agg_arg_cols: list[Optional[str]] = [
+            None if a.argument is None else spj_output_for(a.argument)
+            for a in aggregates
+        ]
+        spj.outputs = [OutputColumn(n, e) for n, e in spj_outputs]
+        if not spj.outputs:
+            # COUNT(*) over no grouping columns: the SPJ must still emit rows.
+            spj.outputs = [OutputColumn(self._fresh_name("one"), ast.Literal(1))]
+
+        # 3. GroupBy box.
+        gq = Quantifier.fresh(spj, "a")
+        group_box = GroupByBox(gq)
+        group_box.group_by = [gq.ref(c) for c in group_cols]
+        group_outputs: list[OutputColumn] = []
+        group_col_names: list[str] = []
+        for col in group_cols:
+            name = self._fresh_name("k")
+            group_col_names.append(name)
+            group_outputs.append(OutputColumn(name, gq.ref(col)))
+        agg_col_names: list[str] = []
+        for agg, arg_col in zip(aggregates, agg_arg_cols):
+            name = self._fresh_name("agg")
+            agg_col_names.append(name)
+            argument = None if arg_col is None else gq.ref(arg_col)
+            group_outputs.append(
+                OutputColumn(name, ast.AggregateCall(agg.func, argument, agg.distinct))
+            )
+        group_box.outputs = group_outputs
+
+        # 4. When every select item is directly an aggregate or a group
+        # expression and there is no HAVING/DISTINCT, the GroupBy box itself
+        # is the block (this matches the paper's Figure 1, where the
+        # correlated subquery is a bare Aggregate box over an SPJ box).
+        if having_expr is None and not distinct:
+            direct: list[OutputColumn] = []
+            for expr, alias in bound_items:
+                matched: Optional[ast.Expr] = None
+                for agg, arg_col in zip(aggregates, agg_arg_cols):
+                    if expr_equal(expr, agg):
+                        argument = None if arg_col is None else gq.ref(arg_col)
+                        matched = ast.AggregateCall(agg.func, argument, agg.distinct)
+                        break
+                if matched is None:
+                    for group, col in zip(group_exprs, group_cols):
+                        if expr_equal(expr, group):
+                            matched = gq.ref(col)
+                            break
+                if matched is None:
+                    break
+                direct.append(OutputColumn("pending", matched))
+            else:
+                # Derive user-facing names from the *original* expressions
+                # (so ``SELECT building, count(*) ...`` keeps its names).
+                named = self._make_outputs(bound_items)
+                group_box.outputs = [
+                    OutputColumn(n.name, o.expr) for n, o in zip(named, direct)
+                ]
+                return group_box
+
+        # 5. Final SPJ: HAVING + select items over the GroupBy box. Aggregates
+        # and group expressions are replaced by references to GroupBy outputs.
+        top = SelectBox(distinct=distinct)
+        tq = top.add_quantifier(group_box, "h")
+
+        def to_group_level(expr: ast.Expr) -> ast.Expr:
+            def substitute(node: ast.Expr) -> Optional[ast.Expr]:
+                for agg, name in zip(aggregates, agg_col_names):
+                    if expr_equal(node, agg):
+                        return tq.ref(name)
+                for group, name in zip(group_exprs, group_col_names):
+                    if expr_equal(node, group):
+                        return tq.ref(name)
+                return None
+
+            rewritten = transform_expr(expr, substitute)
+            # Any remaining reference into the SPJ means a non-grouped column.
+            for ref in column_refs(rewritten):
+                if ref.quantifier in spj.quantifiers:
+                    raise BindError(
+                        f"column {ref.column!r} must appear in GROUP BY "
+                        "or be used in an aggregate"
+                    )
+            self._retarget_subquery_correlations(
+                rewritten, spj, group_exprs, group_col_names, tq
+            )
+            return rewritten
+
+        if having_expr is not None:
+            from .expr import conjuncts
+            top.predicates = conjuncts(to_group_level(having_expr))
+        top.outputs = self._make_outputs(
+            [(to_group_level(e), alias) for e, alias in bound_items]
+        )
+        return top
+
+    def _retarget_subquery_correlations(
+        self,
+        expr: ast.Expr,
+        spj: SelectBox,
+        group_exprs: list[ast.Expr],
+        group_col_names: list[str],
+        tq: Quantifier,
+    ) -> None:
+        """Fix correlated refs inside HAVING-level subqueries.
+
+        A subquery in HAVING may reference the block's FROM aliases; after
+        aggregation normalisation those quantifiers live in a *descendant*
+        box, so such references are remapped onto the GroupBy outputs (legal
+        only for grouped columns)."""
+        from .analysis import rewrite_subtree_refs
+
+        plain_groups = {
+            g.column: name
+            for g, name in zip(group_exprs, group_col_names)
+            if isinstance(g, ColumnRef)
+        }
+        group_quantifiers = {
+            g.quantifier: name
+            for g, name in zip(group_exprs, group_col_names)
+            if isinstance(g, ColumnRef)
+        }
+
+        def substitute(ref: ColumnRef) -> Optional[ast.Expr]:
+            if ref.quantifier not in spj.quantifiers:
+                return None
+            for g, name in zip(group_exprs, group_col_names):
+                if isinstance(g, ColumnRef) and g.same(ref):
+                    return tq.ref(name)
+            raise BindError(
+                f"correlated reference to non-grouped column {ref.column!r} "
+                "from a HAVING/select-level subquery"
+            )
+
+        for node in walk_expr(expr):
+            if isinstance(node, (BoxScalarSubquery, BoxExists, BoxInSubquery,
+                                 BoxQuantifiedComparison)):
+                rewrite_subtree_refs(node.box, substitute)
+        # silence linters for unused precomputations kept for clarity
+        del plain_groups, group_quantifiers
+
+    # -- FROM items ------------------------------------------------------------
+
+    def _add_from_item(self, spj: SelectBox, item: ast.FromItem, scope: Scope) -> None:
+        if isinstance(item, ast.TableRef):
+            box, columns = self._relation_box(item.name)
+            q = spj.add_quantifier(box, item.binding_name)
+            q.name = item.binding_name
+            scope.add(Binding(item.binding_name, q, {c: c for c in columns}))
+            return
+        if isinstance(item, ast.DerivedTable):
+            box = self.build_query(item.query, scope)
+            columns = self._apply_column_aliases(box, item.column_aliases)
+            q = spj.add_quantifier(box, item.binding_name)
+            q.name = item.binding_name
+            scope.add(Binding(item.binding_name, q, {c: c for c in columns}))
+            return
+        if isinstance(item, ast.Join):
+            if item.kind == "inner":
+                self._add_from_item(spj, item.left, scope)
+                self._add_from_item(spj, item.right, scope)
+                if item.condition is not None:
+                    from .expr import conjuncts
+                    spj.predicates.extend(conjuncts(self._bind(item.condition, scope)))
+                return
+            self._add_outer_join(spj, item, scope)
+            return
+        raise BindError(f"unsupported FROM item {type(item).__name__}")
+
+    def _add_outer_join(self, spj: SelectBox, item: ast.Join, scope: Scope) -> None:
+        """LEFT OUTER JOIN: build an OuterJoinBox exposing both sides' columns
+        (with mangled names) through a single quantifier."""
+        left_box, left_bindings = self._from_item_as_box(item.left, scope)
+        right_box, right_bindings = self._from_item_as_box(item.right, scope)
+        preserved = Quantifier.fresh(left_box, "ojl")
+        null_producing = Quantifier.fresh(right_box, "ojr")
+
+        join_scope = Scope(parent=scope)
+        outputs: list[OutputColumn] = []
+        outer_bindings: list[tuple[str, dict[str, str]]] = []
+        for quantifier, side_bindings in (
+            (preserved, left_bindings),
+            (null_producing, right_bindings),
+        ):
+            for alias, colmap in side_bindings:
+                join_scope.add(Binding(alias, quantifier, dict(colmap)))
+                mangled: dict[str, str] = {}
+                for visible, actual in colmap.items():
+                    out_name = self._fresh_name(f"{alias}_{visible}")
+                    outputs.append(OutputColumn(out_name, quantifier.ref(actual)))
+                    mangled[visible] = out_name
+                outer_bindings.append((alias, mangled))
+
+        condition = self._bind(item.condition, join_scope) if item.condition else None
+        oj_box = OuterJoinBox(preserved, null_producing, condition, outputs)
+        q = spj.add_quantifier(oj_box, "oj")
+        for alias, mangled in outer_bindings:
+            scope.add(Binding(alias, q, mangled))
+
+    def _from_item_as_box(
+        self, item: ast.FromItem, scope: Scope
+    ) -> tuple[Box, list[tuple[str, dict[str, str]]]]:
+        """Build one side of an outer join as a standalone box plus the alias
+        views it exposes."""
+        if isinstance(item, ast.TableRef):
+            box, columns = self._relation_box(item.name)
+            return box, [(item.binding_name, {c: c for c in columns})]
+        if isinstance(item, ast.DerivedTable):
+            box = self.build_query(item.query, scope)
+            columns = self._apply_column_aliases(box, item.column_aliases)
+            return box, [(item.binding_name, {c: c for c in columns})]
+        if isinstance(item, ast.Join):
+            # Wrap a nested join in its own SPJ box.
+            inner = SelectBox()
+            inner_scope = Scope(parent=scope)
+            self._add_from_item(inner, item, inner_scope)
+            outputs: list[OutputColumn] = []
+            bindings: list[tuple[str, dict[str, str]]] = []
+            for binding in inner_scope.bindings:
+                mangled: dict[str, str] = {}
+                for visible, actual in binding.columns.items():
+                    out_name = self._fresh_name(f"{binding.alias}_{visible}")
+                    outputs.append(
+                        OutputColumn(out_name, binding.quantifier.ref(actual))
+                    )
+                    mangled[visible] = out_name
+                bindings.append((binding.alias, mangled))
+            inner.outputs = outputs
+            return inner, bindings
+        raise BindError(f"unsupported FROM item {type(item).__name__}")
+
+    def _relation_box(self, name: str) -> tuple[Box, list[str]]:
+        """A fresh box for a base table or (expanded) view."""
+        if self.catalog.has_view(name):
+            key = name.lower()
+            if key in self._view_stack:
+                cycle = " -> ".join(self._view_stack + [key])
+                raise BindError(f"cyclic view definition: {cycle}")
+            statement = parse_statement(self.catalog.view_sql(name))
+            if not isinstance(statement, (ast.Select, ast.SetOp)):
+                raise BindError(f"view {name!r} does not define a query")
+            self._view_stack.append(key)
+            try:
+                box = self.build_query(statement, Scope())
+            finally:
+                self._view_stack.pop()
+            return box, box.output_names()
+        table = self.catalog.table(name)
+        box = BaseTableBox(table.name, table.schema.names())
+        return box, box.column_names
+
+    @staticmethod
+    def _apply_column_aliases(box: Box, aliases: tuple[str, ...]) -> list[str]:
+        if not aliases:
+            return box.output_names()
+        names = box.output_names()
+        if len(aliases) != len(names):
+            raise BindError(
+                f"derived table alias list has {len(aliases)} names "
+                f"for {len(names)} columns"
+            )
+        lowered = [a.lower() for a in aliases]
+        if isinstance(box, (SelectBox, GroupByBox, OuterJoinBox)):
+            for output, alias in zip(box.outputs, lowered):
+                output.name = alias
+        elif isinstance(box, SetOpBox):
+            box._output_names = lowered
+        else:
+            raise BindError("cannot alias columns of this relation")
+        return lowered
+
+    # -- expressions ---------------------------------------------------------
+
+    def _bind(self, expr: ast.Expr, scope: Scope) -> ast.Expr:
+        def substitute(node: ast.Expr) -> Optional[ast.Expr]:
+            if isinstance(node, ast.Name):
+                return self._resolve_name(node, scope)
+            if isinstance(node, ast.ScalarSubquery):
+                return BoxScalarSubquery(self.build_query(node.query, scope))
+            if isinstance(node, ast.Exists):
+                return BoxExists(self.build_query(node.query, scope), node.negated)
+            if isinstance(node, ast.InSubquery):
+                box = self.build_query(node.query, scope)
+                self._require_single_column(box, "IN")
+                return BoxInSubquery(node.operand, box, node.negated)
+            if isinstance(node, ast.QuantifiedComparison):
+                box = self.build_query(node.query, scope)
+                self._require_single_column(box, node.quantifier.upper())
+                return BoxQuantifiedComparison(
+                    node.op, node.operand, node.quantifier, box
+                )
+            if isinstance(node, ast.Star):
+                raise BindError("* is only allowed in the select list")
+            return None
+
+        return transform_expr(expr, substitute)
+
+    @staticmethod
+    def _require_single_column(box: Box, construct: str) -> None:
+        if len(box.output_names()) != 1:
+            raise BindError(f"{construct} subquery must produce exactly one column")
+
+    def _resolve_name(self, name: ast.Name, scope: Scope) -> ColumnRef:
+        if len(name.parts) == 1:
+            return scope.resolve_unqualified(name.parts[0].lower())
+        if len(name.parts) == 2:
+            return scope.resolve_qualified(name.parts[0].lower(), name.parts[1].lower())
+        raise BindError(f"over-qualified name {'.'.join(name.parts)!r}")
+
+    def _expand_stars(
+        self, items: tuple[ast.SelectItem, ...], scope: Scope
+    ) -> list[ast.SelectItem]:
+        expanded: list[ast.SelectItem] = []
+        for item in items:
+            if isinstance(item.expr, ast.Star):
+                if item.expr.qualifier is None:
+                    bindings = scope.bindings
+                    if not bindings:
+                        raise BindError("* with no FROM clause")
+                else:
+                    alias = item.expr.qualifier.lower()
+                    bindings = [b for b in scope.bindings if b.alias == alias]
+                    if not bindings:
+                        raise BindError(f"unknown alias {alias!r} in {alias}.*")
+                for binding in bindings:
+                    for visible in binding.columns:
+                        expanded.append(
+                            ast.SelectItem(
+                                ast.Name((binding.alias, visible)), alias=visible
+                            )
+                        )
+            else:
+                expanded.append(item)
+        return expanded
+
+    def _make_outputs(
+        self, bound_items: list[tuple[ast.Expr, Optional[str]]]
+    ) -> list[OutputColumn]:
+        outputs: list[OutputColumn] = []
+        used: set[str] = set()
+        for expr, alias in bound_items:
+            name = alias
+            if name is None:
+                if isinstance(expr, ColumnRef):
+                    name = expr.column
+                elif isinstance(expr, ast.AggregateCall):
+                    name = expr.func
+                else:
+                    name = f"c{len(outputs)}"
+            name = name.lower()
+            base = name
+            counter = 1
+            while name in used:
+                name = f"{base}_{counter}"
+                counter += 1
+            used.add(name)
+            outputs.append(OutputColumn(name, expr))
+        return outputs
+
+    def _resolve_order(self, body: ast.QueryBody, box: Box) -> list[tuple[int, bool]]:
+        order_items = body.order_by if isinstance(body, (ast.Select, ast.SetOp)) else ()
+        if not order_items:
+            return []
+        names = box.output_names()
+        resolved: list[tuple[int, bool]] = []
+        for item in order_items:
+            expr = item.expr
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                position = expr.value - 1
+                if not 0 <= position < len(names):
+                    raise BindError(f"ORDER BY position {expr.value} out of range")
+            elif isinstance(expr, ast.Name) and len(expr.parts) == 1:
+                column = expr.parts[0].lower()
+                if column not in names:
+                    raise BindError(
+                        f"ORDER BY column {column!r} is not in the select list"
+                    )
+                position = names.index(column)
+            else:
+                raise BindError(
+                    "ORDER BY supports output column names or positions only"
+                )
+            resolved.append((position, item.descending))
+        return resolved
+
+    def _fresh_name(self, prefix: str) -> str:
+        self._name_counter += 1
+        return f"{prefix}_{self._name_counter}"
+
+
+def build_qgm(body: ast.QueryBody, catalog: Catalog) -> QueryGraph:
+    """Bind a parsed query body against ``catalog`` and return its QGM."""
+    return _Builder(catalog).build(body)

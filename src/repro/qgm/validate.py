@@ -1,0 +1,169 @@
+"""QGM consistency validation.
+
+The paper (section 3) requires that "each rule application should leave the
+QGM in a consistent state, because the query rewrite phase may be terminated
+at any point". This validator defines what *consistent* means for this
+engine and is called by tests after every individual rewrite step.
+
+Checked invariants:
+
+1. every quantifier's box is reachable and each quantifier is owned by
+   exactly one box;
+2. every ColumnRef targets an existing output column of its quantifier's box;
+3. every ColumnRef's quantifier is *visible* at the point of use: owned by
+   the box containing the expression, or by an ancestor box (a correlation);
+4. GroupBy boxes only aggregate over their single input quantifier and every
+   output is a group expression or an aggregate;
+5. SetOp arms have matching arities;
+6. output column names are unique within a box;
+7. base tables referenced by BaseTableBox exist in the catalog (if given).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import QGMConsistencyError
+from ..sql import ast
+from ..storage.catalog import Catalog
+from .analysis import box_children, iter_boxes, quantifier_owner_map
+from .expr import ColumnRef, contains_aggregate, walk_expr
+from .model import (
+    BaseTableBox,
+    Box,
+    GroupByBox,
+    QueryGraph,
+    SelectBox,
+    SetOpBox,
+)
+
+
+def _fail(box: Box, message: str) -> None:
+    raise QGMConsistencyError(f"box {box.id} ({box.kind}): {message}")
+
+
+def validate_graph(graph: QueryGraph | Box, catalog: Optional[Catalog] = None) -> None:
+    """Validate the whole graph; raises :class:`QGMConsistencyError`."""
+    root = graph.root if isinstance(graph, QueryGraph) else graph
+    boxes = list(iter_boxes(root))
+    owners = quantifier_owner_map(root)
+
+    # Quantifier ownership is unique by construction of quantifier_owner_map
+    # only if no quantifier appears in two boxes' FROM lists; check that.
+    seen_quantifiers: dict[int, Box] = {}
+    for box in boxes:
+        for q in box.child_quantifiers():
+            if id(q) in seen_quantifiers and seen_quantifiers[id(q)] is not box:
+                _fail(box, f"quantifier {q.name} owned by two boxes")
+            seen_quantifiers[id(q)] = box
+
+    for box in boxes:
+        _validate_box(box, boxes, owners, catalog)
+
+    if isinstance(graph, QueryGraph):
+        n_outputs = len(root.output_names())
+        for position, _ in graph.order_by:
+            if not 0 <= position < n_outputs:
+                raise QGMConsistencyError(
+                    f"ORDER BY position {position} out of range"
+                )
+
+
+def _validate_box(
+    box: Box,
+    boxes: list[Box],
+    owners: dict[int, Box],
+    catalog: Optional[Catalog],
+) -> None:
+    names = box.output_names()
+    if len(set(names)) != len(names):
+        _fail(box, f"duplicate output names: {names}")
+
+    if isinstance(box, BaseTableBox):
+        if catalog is not None:
+            if not catalog.has_table(box.table_name):
+                _fail(box, f"unknown base table {box.table_name!r}")
+            schema_names = catalog.table(box.table_name).schema.names()
+            if box.column_names != schema_names:
+                _fail(box, "column list does not match table schema")
+        return
+
+    if isinstance(box, SetOpBox):
+        if len(box.quantifiers) < 2:
+            _fail(box, "set operation needs at least two inputs")
+        arity = len(box.output_names())
+        for q in box.quantifiers:
+            if len(q.box.output_names()) != arity:
+                _fail(box, "set operation arm arity mismatch")
+        return
+
+    # Expression-bearing boxes: check refs.
+    visible = _visible_quantifiers(box, boxes)
+    for expr in box.own_exprs():
+        for node in walk_expr(expr):
+            if isinstance(node, ColumnRef):
+                if id(node.quantifier) not in owners:
+                    _fail(box, f"ref {node!r} to unreachable quantifier")
+                if id(node.quantifier) not in visible:
+                    _fail(
+                        box,
+                        f"ref {node!r} to quantifier not visible here "
+                        "(neither own nor ancestor)",
+                    )
+                if node.column not in node.quantifier.box.output_names():
+                    _fail(
+                        box,
+                        f"ref {node!r}: no such output column on box "
+                        f"{node.quantifier.box.id}",
+                    )
+
+    if isinstance(box, GroupByBox):
+        for group in box.group_by:
+            if contains_aggregate(group):
+                _fail(box, "aggregate call in GROUP BY expression")
+        for output in box.outputs:
+            if contains_aggregate(output.expr):
+                if not isinstance(output.expr, ast.AggregateCall):
+                    _fail(box, "aggregates must be top-level output expressions")
+            else:
+                from .builder import expr_equal
+
+                if not any(expr_equal(output.expr, g) for g in box.group_by):
+                    _fail(
+                        box,
+                        f"output {output.name!r} is neither an aggregate nor "
+                        "a grouping expression",
+                    )
+    if isinstance(box, SelectBox):
+        for predicate in box.predicates:
+            if contains_aggregate(predicate):
+                _fail(box, "aggregate call in SPJ predicate")
+        for output in box.outputs:
+            if contains_aggregate(output.expr):
+                _fail(box, "aggregate call in SPJ output")
+
+
+def _visible_quantifiers(box: Box, boxes: list[Box]) -> set[int]:
+    """Quantifier ids visible inside ``box``: its own plus all ancestors'.
+
+    With shared boxes (post-rewrite DAGs) a box can have several parents; a
+    quantifier is visible if *some* ancestor chain provides it, so visibility
+    is the union over all parents.
+    """
+    visible: set[int] = {id(q) for q in box.child_quantifiers()}
+    # Build reverse edges once per call; graphs are small.
+    parents: dict[int, list[Box]] = {}
+    for candidate in boxes:
+        for child in box_children(candidate):
+            parents.setdefault(child.id, []).append(candidate)
+    frontier = [box]
+    seen = {box.id}
+    while frontier:
+        current = frontier.pop()
+        for parent in parents.get(current.id, []):
+            if parent.id in seen:
+                continue
+            seen.add(parent.id)
+            visible |= {id(q) for q in parent.child_quantifiers()}
+            frontier.append(parent)
+    return visible

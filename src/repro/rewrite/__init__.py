@@ -1,0 +1,14 @@
+"""Query rewrite: Starburst-style cleanup rules plus the decorrelation
+strategies compared in the paper (Kim, Dayal, Ganski/Wong, magic)."""
+
+from . import decorrelate
+from .cleanup import merge_spj_boxes, remove_trivial_selects, run_cleanup
+from .pushdown import push_down_predicates
+
+__all__ = [
+    "decorrelate",
+    "merge_spj_boxes",
+    "remove_trivial_selects",
+    "push_down_predicates",
+    "run_cleanup",
+]

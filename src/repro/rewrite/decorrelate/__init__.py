@@ -1,0 +1,28 @@
+"""Decorrelation strategies: magic (the paper's contribution), plus the
+Kim, Dayal and Ganski/Wong baselines it compares against."""
+
+from .common import (
+    EqualityCorrelation,
+    ScalarAggPattern,
+    correlation_refs_into,
+    match_outer_agg_subquery,
+    match_scalar_agg,
+    node_use_is_null_rejecting,
+)
+from .magic import MagicDecorrelator, apply_ganski_wong, apply_magic
+from .kim import apply_kim
+from .dayal import apply_dayal
+
+__all__ = [
+    "apply_magic",
+    "apply_ganski_wong",
+    "apply_kim",
+    "apply_dayal",
+    "MagicDecorrelator",
+    "match_scalar_agg",
+    "match_outer_agg_subquery",
+    "correlation_refs_into",
+    "node_use_is_null_rejecting",
+    "ScalarAggPattern",
+    "EqualityCorrelation",
+]

@@ -1,0 +1,123 @@
+"""Box encapsulators: per-box-kind magic-absorption behaviour.
+
+Section 4.4 of the paper: "the actual Starburst implementation allows for
+extensibility of SQL constructs by classifying each kind of box as either
+capable of accepting a magic table (AM) or incapable of it (NM). The
+behavior of each box with respect to the magic decorrelation algorithm is
+captured by a box *encapsulator*."
+
+This module is that mechanism: each box type registers an encapsulator
+that answers (a) whether its subtree can absorb a magic table and (b) how
+to perform the absorption. Unregistered kinds (and kinds whose
+encapsulator declines, like the left outer join) are NM: the decorrelator
+leaves them correlated -- the section 4.4 knob in action.
+
+New box kinds plug in via :func:`register_encapsulator` without touching
+the decorrelation algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ...errors import RewriteError
+from ...qgm.model import Box, GroupByBox, SelectBox, SetOpBox
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .magic import MagicDecorrelator
+
+#: An absorb function: (decorrelator, box, magic box, mapping) -> the output
+#: column names under which the box now exposes the binding columns.
+AbsorbFn = Callable[["MagicDecorrelator", Box, Box, dict], list[str]]
+#: A capability check: can this box's subtree absorb a magic table?
+CanAbsorbFn = Callable[[Box], bool]
+
+
+class BoxEncapsulator:
+    """Behaviour of one box kind under magic decorrelation."""
+
+    def __init__(self, can_absorb: CanAbsorbFn, absorb: AbsorbFn):
+        self._can_absorb = can_absorb
+        self._absorb = absorb
+
+    def can_absorb(self, box: Box) -> bool:
+        return self._can_absorb(box)
+
+    def absorb(
+        self, decorrelator: "MagicDecorrelator", box: Box, magic: Box,
+        mapping: dict,
+    ) -> list[str]:
+        return self._absorb(decorrelator, box, magic, mapping)
+
+
+_REGISTRY: dict[type, BoxEncapsulator] = {}
+
+
+def register_encapsulator(box_type: type, encapsulator: BoxEncapsulator) -> None:
+    """Register (or replace) the encapsulator for a box type."""
+    _REGISTRY[box_type] = encapsulator
+
+
+def encapsulator_for(box: Box) -> Optional[BoxEncapsulator]:
+    """The encapsulator handling ``box`` (walking the MRO so subclasses of
+    registered box kinds inherit behaviour); None for NM kinds."""
+    for klass in type(box).__mro__:
+        found = _REGISTRY.get(klass)
+        if found is not None:
+            return found
+    return None
+
+
+def subtree_can_absorb(box: Box) -> bool:
+    """AM/NM classification of a whole subtree."""
+    encapsulator = encapsulator_for(box)
+    return encapsulator is not None and encapsulator.can_absorb(box)
+
+
+def absorb_via_encapsulator(
+    decorrelator: "MagicDecorrelator", box: Box, magic: Box, mapping: dict
+) -> list[str]:
+    encapsulator = encapsulator_for(box)
+    if encapsulator is None:
+        raise RewriteError(
+            f"no encapsulator registered for box kind {box.kind!r}"
+        )
+    return encapsulator.absorb(decorrelator, box, magic, mapping)
+
+
+# -- built-in encapsulators -----------------------------------------------------
+
+
+def _register_builtins() -> None:
+    register_encapsulator(
+        SelectBox,
+        BoxEncapsulator(
+            can_absorb=lambda box: True,
+            absorb=lambda d, box, magic, mapping: d._absorb_select(
+                box, magic, mapping
+            ),
+        ),
+    )
+    register_encapsulator(
+        GroupByBox,
+        BoxEncapsulator(
+            can_absorb=lambda box: subtree_can_absorb(box.quantifier.box),
+            absorb=lambda d, box, magic, mapping: d._absorb_groupby(
+                box, magic, mapping
+            ),
+        ),
+    )
+    register_encapsulator(
+        SetOpBox,
+        BoxEncapsulator(
+            can_absorb=lambda box: all(
+                subtree_can_absorb(q.box) for q in box.quantifiers
+            ),
+            absorb=lambda d, box, magic, mapping: d._absorb_setop(
+                box, magic, mapping
+            ),
+        ),
+    )
+
+
+_register_builtins()

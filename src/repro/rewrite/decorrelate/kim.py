@@ -1,0 +1,115 @@
+"""Kim's method (Kim 1982, as characterised in section 2 of the paper).
+
+The correlated aggregate subquery becomes a grouped table expression: the
+equality correlation columns turn into GROUP BY columns, and the correlation
+predicate moves to the outer block as a plain equi-join.
+
+This implementation is *deliberately faithful to the method's known flaws*:
+
+* the **COUNT bug** -- bindings with no matching inner rows produce no group,
+  so outer rows whose COUNT should be 0 silently disappear (tests assert the
+  divergence on the paper's section-2 example);
+* the aggregate is computed for *every* group in the inner table, not just
+  the bindings the outer block needs (the source of its poor performance on
+  the paper's Queries 1 and 2);
+* it applies only to linear queries whose single correlated subquery is a
+  scalar aggregate with pure equality correlation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ...qgm.expr import ColumnRef, replace_column_refs
+from ...qgm.model import OutputColumn, Quantifier, QueryGraph
+from ...sql import ast
+from ...storage.catalog import Catalog
+from ..cleanup import run_cleanup
+from .common import ScalarAggPattern, match_outer_agg_subquery
+
+StepHook = Optional[Callable[[str, QueryGraph], None]]
+
+
+def _value_expression(
+    pattern: ScalarAggPattern, bq: Quantifier, value_cols: dict[str, str]
+) -> ast.Expr:
+    """Expression replacing the subquery node (re-applies a Q2-style wrapper)."""
+    scalar_col = pattern.group_box.outputs[0].name
+    if pattern.wrapper is None:
+        return ColumnRef(bq, value_cols[scalar_col])
+    wrapper_q = pattern.wrapper.quantifiers[0]
+
+    def substitute(ref: ColumnRef):
+        if ref.quantifier is wrapper_q:
+            return ColumnRef(bq, value_cols[ref.column])
+        return None
+
+    return replace_column_refs(pattern.wrapper.outputs[0].expr, substitute)
+
+
+def apply_kim(
+    graph: QueryGraph, catalog: Catalog, on_step: StepHook = None
+) -> QueryGraph:
+    """Apply Kim's method or raise :class:`NotApplicableError`."""
+    match = match_outer_agg_subquery(graph.root, "Kim", require_equality=True)
+    outer = match.outer
+    pattern = match.pattern
+    group_box = pattern.group_box
+    spj = pattern.spj
+
+    # 1. Remove the correlation predicates from the subquery SPJ and expose
+    # the inner columns instead.
+    inner_cols: list[str] = []
+    for correlation in match.correlations:
+        spj.predicates = [
+            p for p in spj.predicates if p is not correlation.predicate
+        ]
+        name = f"kim_{correlation.inner.column}"
+        counter = 1
+        existing = set(spj.output_names())
+        while name in existing:
+            name = f"kim_{correlation.inner.column}_{counter}"
+            counter += 1
+        spj.outputs.append(OutputColumn(name, correlation.inner))
+        inner_cols.append(name)
+
+    # 2. Group the aggregate by the correlation columns.
+    gq = group_box.quantifier
+    group_out_cols: list[str] = []
+    for name in inner_cols:
+        group_box.group_by.append(gq.ref(name))
+        out_name = name
+        counter = 1
+        existing = set(group_box.output_names())
+        while out_name in existing:
+            out_name = f"{name}_{counter}"
+            counter += 1
+        group_box.outputs.append(OutputColumn(out_name, gq.ref(name)))
+        group_out_cols.append(out_name)
+    if on_step is not None:
+        on_step("kim: group subquery by correlation columns", graph)
+
+    # 3. Join the grouped table expression into the outer block with plain
+    # equality -- Kim's semantics, COUNT bug included.
+    bq = Quantifier.fresh(group_box, "kim")
+    outer.quantifiers.append(bq)
+    for correlation, out_col in zip(match.correlations, group_out_cols):
+        outer.predicates.append(
+            ast.Comparison("=", correlation.outer, ColumnRef(bq, out_col))
+        )
+    value_cols = {o.name: o.name for o in group_box.outputs}
+    value_expr = _value_expression(pattern, bq, value_cols)
+
+    def substitute(n: ast.Expr):
+        return value_expr if n is pattern.node else None
+
+    from ...qgm.expr import transform_expr
+
+    outer.predicates = [
+        transform_expr(p, substitute) for p in outer.predicates
+    ]
+    if on_step is not None:
+        on_step("kim: join grouped expression into outer block", graph)
+
+    run_cleanup(graph, on_step=on_step)
+    return graph

@@ -1,0 +1,15 @@
+"""SQL front-end: lexer, AST, recursive-descent parser and SQL printer."""
+
+from .lexer import Token, TokenKind, tokenize
+from .parser import parse_expression, parse_statement, parse_statements
+from .printer import to_sql
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_statement",
+    "parse_statements",
+    "parse_expression",
+    "to_sql",
+]

@@ -1,0 +1,160 @@
+"""Hand-written SQL lexer.
+
+Produces a flat list of :class:`Token`. Keywords are not distinguished from
+identifiers here; the parser matches identifier tokens case-insensitively
+against expected keywords, which keeps the lexer reusable for the Starburst
+``DT(cols) AS (...)`` derived-table syntax where e.g. ``DT`` is a name.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import LexError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    SYMBOL = "SYMBOL"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: object  # parsed value for NUMBER/STRING, text otherwise
+    position: int
+    line: int
+    column: int
+
+    def matches_keyword(self, word: str) -> bool:
+        """Case-insensitive identifier/keyword match."""
+        return self.kind is TokenKind.IDENT and self.text.upper() == word.upper()
+
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_SYMBOLS = ("<>", "<=", ">=", "!=", "||", "(", ")", ",", ".", "+", "-", "*", "/", "<", ">", "=", ";")
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789#$")
+_DIGITS = set("0123456789")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`LexError` on invalid input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def here(pos: int) -> tuple[int, int]:
+        return line, pos - line_start + 1
+
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            # Line comment.
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start = i
+        ln, col = here(i)
+        if ch in _IDENT_START:
+            while i < n and text[i] in _IDENT_CONT:
+                i += 1
+            word = text[start:i]
+            tokens.append(Token(TokenKind.IDENT, word, word, start, ln, col))
+            continue
+        if ch in _DIGITS or (ch == "." and i + 1 < n and text[i + 1] in _DIGITS):
+            i, token = _scan_number(text, start, ln, col)
+            tokens.append(token)
+            continue
+        if ch == "'":
+            i, token = _scan_string(text, start, ln, col)
+            tokens.append(token)
+            continue
+        if ch == '"':
+            i, token = _scan_quoted_ident(text, start, ln, col)
+            tokens.append(token)
+            continue
+        for sym in _SYMBOLS:
+            if text.startswith(sym, i):
+                i += len(sym)
+                tokens.append(Token(TokenKind.SYMBOL, sym, sym, start, ln, col))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", start, ln, col)
+    tokens.append(Token(TokenKind.EOF, "", None, n, *here(n)))
+    return tokens
+
+
+def _scan_number(text: str, start: int, ln: int, col: int) -> tuple[int, Token]:
+    i = start
+    n = len(text)
+    is_float = False
+    while i < n and text[i] in _DIGITS:
+        i += 1
+    if i < n and text[i] == ".":
+        is_float = True
+        i += 1
+        while i < n and text[i] in _DIGITS:
+            i += 1
+    if i < n and text[i] in "eE":
+        j = i + 1
+        if j < n and text[j] in "+-":
+            j += 1
+        if j < n and text[j] in _DIGITS:
+            is_float = True
+            i = j
+            while i < n and text[i] in _DIGITS:
+                i += 1
+    word = text[start:i]
+    value: object = float(word) if is_float else int(word)
+    return i, Token(TokenKind.NUMBER, word, value, start, ln, col)
+
+
+def _scan_string(text: str, start: int, ln: int, col: int) -> tuple[int, Token]:
+    # Single-quoted SQL string; '' escapes a quote.
+    i = start + 1
+    n = len(text)
+    parts: list[str] = []
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            i += 1
+            word = text[start:i]
+            return i, Token(TokenKind.STRING, word, "".join(parts), start, ln, col)
+        parts.append(ch)
+        i += 1
+    raise LexError("unterminated string literal", start, ln, col)
+
+
+def _scan_quoted_ident(text: str, start: int, ln: int, col: int) -> tuple[int, Token]:
+    # Double-quoted identifier (case-preserving not supported: folded lower
+    # like plain identifiers, but allows reserved words / odd characters).
+    i = start + 1
+    n = len(text)
+    while i < n and text[i] != '"':
+        i += 1
+    if i >= n:
+        raise LexError("unterminated quoted identifier", start, ln, col)
+    word = text[start + 1 : i]
+    i += 1
+    return i, Token(TokenKind.IDENT, word, word, start, ln, col)

@@ -1,0 +1,114 @@
+"""The catalog: named tables, views, and their statistics."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import CatalogError
+from .schema import Schema
+from .stats import StatsCache, TableStats
+from .table import Table
+
+
+class Catalog:
+    """Registry of base tables and view definitions.
+
+    Views are stored as SQL text and expanded by the QGM builder; the engine
+    uses them both for user views and for the rewritten-query examples in the
+    README.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, str] = {}
+        self._stats = StatsCache()
+
+    # -- tables ------------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """Create an empty table; fails on duplicate names (tables or views)."""
+        key = name.lower()
+        if key in self._tables or key in self._views:
+            raise CatalogError(f"relation {name!r} already exists")
+        table = Table(key, schema)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and its cached statistics."""
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"no table named {name!r}")
+        del self._tables[key]
+        self._stats.invalidate(key)
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table(self, name: str) -> Table:
+        """Look up a base table by name."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table named {name!r}") from None
+
+    def tables(self) -> Iterable[Table]:
+        return self._tables.values()
+
+    # -- views -------------------------------------------------------------
+
+    def create_view(self, name: str, sql_text: str) -> None:
+        """Register a view as SQL text (expanded at bind time)."""
+        key = name.lower()
+        if key in self._tables or key in self._views:
+            raise CatalogError(f"relation {name!r} already exists")
+        self._views[key] = sql_text
+
+    def drop_view(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._views:
+            raise CatalogError(f"no view named {name!r}")
+        del self._views[key]
+
+    def has_view(self, name: str) -> bool:
+        return name.lower() in self._views
+
+    def view_sql(self, name: str) -> str:
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no view named {name!r}") from None
+
+    # -- statistics ----------------------------------------------------------
+
+    def stats(self, name: str) -> TableStats:
+        """(Cached) statistics for a base table."""
+        return self._stats.get(self.table(name))
+
+    def invalidate_stats(self, name: str) -> None:
+        self._stats.invalidate(name)
+
+    # -- keys ---------------------------------------------------------------
+
+    def is_key(self, table_name: str, columns: Sequence[str]) -> bool:
+        """True when ``columns`` is a superset of a declared key of the table,
+        or a unique index exists on a subset of ``columns``.
+
+        Used by the OptMag check (section 5.1: "when the correlation
+        attributes form a key of the supplementary table") and by Dayal's
+        rewrite, which must group on a key of the outer relation.
+        """
+        table = self.table(table_name)
+        cols = {c.lower() for c in columns}
+        pk = set(table.schema.primary_key)
+        if pk and pk <= cols:
+            return True
+        for index in table.indexes.values():
+            if not index.unique:
+                continue
+            index_cols = {
+                table.schema.columns[p].name for p in index.column_positions
+            }
+            if index_cols <= cols:
+                return True
+        return False

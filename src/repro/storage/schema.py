@@ -1,0 +1,102 @@
+"""Table schemas: ordered, typed, optionally keyed column lists."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from ..errors import SchemaError
+from ..types import SQLType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column: name, declared type, nullability."""
+
+    name: str
+    type: SQLType
+    nullable: bool = True
+
+    def validate(self, value: Any) -> Any:
+        """Validate ``value`` against type and nullability."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is NOT NULL")
+            return None
+        return self.type.validate(value)
+
+
+class Schema:
+    """An ordered collection of :class:`Column` with an optional primary key.
+
+    Column names are case-insensitive (stored lower-cased), matching the SQL
+    front-end's identifier folding.
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[Column],
+        primary_key: Sequence[str] = (),
+    ):
+        self.columns: tuple[Column, ...] = tuple(
+            Column(c.name.lower(), c.type, c.nullable) for c in columns
+        )
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        self._index = {c.name: i for i, c in enumerate(self.columns)}
+        self.primary_key: tuple[str, ...] = tuple(k.lower() for k in primary_key)
+        for key_col in self.primary_key:
+            if key_col not in self._index:
+                raise SchemaError(f"primary key column {key_col!r} not in schema")
+
+    # -- lookups ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def names(self) -> list[str]:
+        """Column names in schema order."""
+        return [c.name for c in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        """True when ``name`` (case-insensitive) is a column of this schema."""
+        return name.lower() in self._index
+
+    def position(self, name: str) -> int:
+        """Ordinal position of column ``name``; raises on unknown name."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}") from None
+
+    def column(self, name: str) -> Column:
+        """The :class:`Column` named ``name``."""
+        return self.columns[self.position(name)]
+
+    # -- validation ------------------------------------------------------
+
+    def validate_row(self, row: Sequence[Any]) -> tuple:
+        """Validate one row (arity, types, nullability); returns a tuple."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row arity {len(row)} does not match schema arity {len(self.columns)}"
+            )
+        return tuple(col.validate(val) for col, val in zip(self.columns, row))
+
+    def key_positions(self) -> tuple[int, ...]:
+        """Ordinal positions of the primary key columns (empty if keyless)."""
+        return tuple(self._index[k] for k in self.primary_key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name} {c.type.value}" for c in self.columns)
+        pk = f" PRIMARY KEY ({', '.join(self.primary_key)})" if self.primary_key else ""
+        return f"Schema({cols}{pk})"
+
+
+def schema_from_pairs(pairs: Iterable[tuple[str, SQLType]], primary_key: Sequence[str] = ()) -> Schema:
+    """Convenience constructor from ``(name, type)`` pairs."""
+    return Schema([Column(n, t) for n, t in pairs], primary_key=primary_key)

@@ -1,0 +1,98 @@
+"""Table and column statistics used by the cost-based planner.
+
+The optimizer in the paper (section 7) "optimizes the query once without
+decorrelation, and using the chosen join orders repeats the optimization with
+decorrelation"; both passes need cardinality and distinct-value estimates.
+Statistics are computed on demand and cached per table snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..types import sort_key
+from .table import Table
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for a single column."""
+
+    n_distinct: int
+    n_null: int
+    min_value: Any
+    max_value: Any
+
+    def selectivity_eq(self, row_count: int) -> float:
+        """Estimated selectivity of an equality predicate on this column."""
+        if row_count == 0 or self.n_distinct == 0:
+            return 0.0
+        return (row_count - self.n_null) / row_count / self.n_distinct
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics for a whole table."""
+
+    row_count: int
+    columns: dict[str, ColumnStats]
+
+    def column(self, name: str) -> ColumnStats:
+        return self.columns[name.lower()]
+
+
+def compute_column_stats(table: Table, column: str) -> ColumnStats:
+    """Exact statistics for one column (exact is affordable in-memory)."""
+    pos = table.schema.position(column)
+    values = set()
+    n_null = 0
+    min_value = None
+    max_value = None
+    for row in table.rows:
+        v = row[pos]
+        if v is None:
+            n_null += 1
+            continue
+        values.add(v)
+        if min_value is None or sort_key(v) < sort_key(min_value):
+            min_value = v
+        if max_value is None or sort_key(v) > sort_key(max_value):
+            max_value = v
+    return ColumnStats(
+        n_distinct=len(values), n_null=n_null,
+        min_value=min_value, max_value=max_value,
+    )
+
+
+def compute_table_stats(table: Table) -> TableStats:
+    """Exact statistics for every column of ``table``."""
+    return TableStats(
+        row_count=len(table),
+        columns={
+            col.name: compute_column_stats(table, col.name)
+            for col in table.schema
+        },
+    )
+
+
+class StatsCache:
+    """Per-catalog cache of :class:`TableStats`, invalidated by row count.
+
+    Tables are append-mostly; recomputing when the row count changed is a
+    simple and correct invalidation rule for this engine.
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[str, tuple[int, TableStats]] = {}
+
+    def get(self, table: Table) -> TableStats:
+        cached = self._cache.get(table.name)
+        if cached is not None and cached[0] == len(table):
+            return cached[1]
+        stats = compute_table_stats(table)
+        self._cache[table.name] = (len(table), stats)
+        return stats
+
+    def invalidate(self, table_name: str) -> None:
+        self._cache.pop(table_name.lower(), None)

@@ -1,0 +1,123 @@
+"""In-memory tables: validated rows plus attached secondary indexes."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence, Union
+
+from ..errors import CatalogError, SchemaError
+from .index import HashIndex, SortedIndex
+from .schema import Schema
+
+Index = Union[HashIndex, SortedIndex]
+
+
+class Table:
+    """A named, schema-validated, append-only row store.
+
+    Rows are tuples in schema order. A primary key declared on the schema is
+    enforced through an implicit unique :class:`HashIndex`. Additional
+    indexes can be attached (and dropped -- the paper's Figure 7 experiment
+    drops an index) by name.
+    """
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name.lower()
+        self.schema = schema
+        self.rows: list[tuple] = []
+        self.indexes: dict[str, Index] = {}
+        self._pk_index: HashIndex | None = None
+        if schema.primary_key:
+            self._pk_index = HashIndex(
+                f"{self.name}_pkey", schema.key_positions(), unique=True
+            )
+            self.indexes[self._pk_index.name] = self._pk_index
+
+    # -- data loading ----------------------------------------------------
+
+    def insert(self, row: Sequence[Any]) -> None:
+        """Validate and append one row, maintaining all indexes."""
+        validated = self.schema.validate_row(row)
+        if self._pk_index is not None:
+            for pos in self.schema.key_positions():
+                if validated[pos] is None:
+                    raise SchemaError(
+                        f"primary key column of table {self.name!r} cannot be NULL"
+                    )
+        row_id = len(self.rows)
+        # Validate unique indexes before mutating so a failed insert leaves
+        # the table unchanged.
+        for index in self.indexes.values():
+            index.insert(row_id, validated)
+        self.rows.append(validated)
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    # -- access ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scan(self) -> Iterator[tuple]:
+        """Full scan in insertion order."""
+        return iter(self.rows)
+
+    def fetch(self, row_id: int) -> tuple:
+        """Row at ``row_id`` (as assigned at insert time)."""
+        return self.rows[row_id]
+
+    # -- index management --------------------------------------------------
+
+    def create_index(
+        self, index_name: str, columns: Sequence[str], unique: bool = False,
+        kind: str = "hash",
+    ) -> Index:
+        """Create and backfill a secondary index.
+
+        ``kind`` is ``"hash"`` (any number of columns, equality only) or
+        ``"sorted"`` (single column, supports ranges).
+        """
+        index_name = index_name.lower()
+        if index_name in self.indexes:
+            raise CatalogError(f"index {index_name!r} already exists on {self.name!r}")
+        positions = [self.schema.position(c) for c in columns]
+        index: Index
+        if kind == "hash":
+            index = HashIndex(index_name, positions, unique=unique)
+            for row_id, row in enumerate(self.rows):
+                index.insert(row_id, row)
+        elif kind == "sorted":
+            if len(positions) != 1:
+                raise CatalogError("sorted indexes take exactly one column")
+            index = SortedIndex(index_name, positions[0], unique=unique)
+            index.bulk_load((rid, row[positions[0]]) for rid, row in enumerate(self.rows))
+        else:
+            raise CatalogError(f"unknown index kind {kind!r}")
+        self.indexes[index_name] = index
+        return index
+
+    def drop_index(self, index_name: str) -> None:
+        """Drop a secondary index (the primary key index cannot be dropped)."""
+        index_name = index_name.lower()
+        if index_name not in self.indexes:
+            raise CatalogError(f"no index {index_name!r} on table {self.name!r}")
+        if self.indexes[index_name] is self._pk_index:
+            raise CatalogError("cannot drop the primary key index")
+        del self.indexes[index_name]
+
+    def find_index(self, columns: Sequence[str]) -> Index | None:
+        """An index whose key is exactly ``columns`` (order-insensitive for
+        hash indexes), or ``None``. Used by the planner for access selection."""
+        wanted = tuple(sorted(self.schema.position(c) for c in columns))
+        for index in self.indexes.values():
+            if tuple(sorted(index.column_positions)) == wanted:
+                return index
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name}, {len(self.rows)} rows, {len(self.indexes)} indexes)"

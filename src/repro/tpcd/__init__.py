@@ -1,0 +1,33 @@
+"""TPC-D substrate: schema, deterministic data generator, paper queries.
+
+The paper used the (late-1993) TPC-D benchmark database at 120 MB, i.e.
+scale factor 0.1: customers 15 000, parts 20 000, suppliers 1 000,
+partsupp 80 000, lineitem 600 000 (Table 1). The schema here is the
+1993-style *denormalised* variant the paper's query text implies
+(``s_nation``, ``s_region``, ``c_nation`` inline, no NATION/REGION joins).
+"""
+
+from .schema import TPCD_TABLES, create_tpcd_schema, paper_row_counts
+from .generator import TPCDGenerator, load_tpcd
+from .queries import (
+    EMP_DEPT_QUERY,
+    QUERY_1,
+    QUERY_1_VARIANT,
+    QUERY_2,
+    QUERY_3,
+)
+from .empdept import load_empdept
+
+__all__ = [
+    "TPCD_TABLES",
+    "create_tpcd_schema",
+    "paper_row_counts",
+    "TPCDGenerator",
+    "load_tpcd",
+    "load_empdept",
+    "QUERY_1",
+    "QUERY_1_VARIANT",
+    "QUERY_2",
+    "QUERY_3",
+    "EMP_DEPT_QUERY",
+]

@@ -1,0 +1,73 @@
+"""The paper's benchmark queries (section 5), as SQL text.
+
+Query 1 and 2 come from the late-1993 TPC-D draft (the paper used those
+versions); Query 3 is the paper's non-linear UNION query. The EMP/DEPT
+query is the running example of section 2.
+"""
+
+#: Section 2's running example.
+EMP_DEPT_QUERY = """
+    Select D.name From Dept D
+    Where D.budget < 10000 and D.num_emps >
+      (Select Count(*) From Emp E Where D.building = E.building)
+"""
+
+#: Query 1 (Figure 5): minimum-cost supplier; ~6 invocations, no duplicate
+#: correlation bindings. The correlation attribute p_partkey is not a key of
+#: the supplementary table (a three-way join), so the supplementary common
+#: subexpression cannot be eliminated.
+QUERY_1 = """
+    Select s.s_name, s.s_acctbal, s.s_address, s.s_phone, s.s_comment
+    From Parts p, Suppliers s, Partsupp ps
+    Where s.s_nation = 'FRANCE' and p.p_size = 15 and p.p_type = 'BRASS'
+      and p.p_partkey = ps.ps_partkey and s.s_suppkey = ps.ps_suppkey
+      and ps.ps_supplycost =
+        (Select min(ps1.ps_supplycost)
+         From Partsupp ps1, Suppliers s1
+         Where p.p_partkey = ps1.ps_partkey
+           and s1.s_suppkey = ps1.ps_suppkey
+           and s1.s_nation = 'FRANCE')
+"""
+
+#: Query 1 variant (Figures 6 and 7): drop "p_size = 15", widen the
+#: supplier predicate to two regions -- ~3 954 invocations, ~2 138 distinct.
+QUERY_1_VARIANT = """
+    Select s.s_name, s.s_acctbal, s.s_address, s.s_phone, s.s_comment
+    From Parts p, Suppliers s, Partsupp ps
+    Where s.s_region in ('AMERICA', 'EUROPE') and p.p_type = 'BRASS'
+      and p.p_partkey = ps.ps_partkey and s.s_suppkey = ps.ps_suppkey
+      and ps.ps_supplycost =
+        (Select min(ps1.ps_supplycost)
+         From Partsupp ps1, Suppliers s1
+         Where p.p_partkey = ps1.ps_partkey
+           and s1.s_suppkey = ps1.ps_suppkey
+           and s1.s_region in ('AMERICA', 'EUROPE'))
+"""
+
+#: Query 2 (Figure 8): average yearly loss in revenue; ~209 keyed
+#: invocations of a cheap (indexed) subquery -- the case where
+#: decorrelation should not help, and must not hurt.
+QUERY_2 = """
+    Select sum(l.l_extendedprice * l.l_quantity) / 5
+    From Lineitem l, Parts p
+    Where p.p_partkey = l.l_partkey and p.p_brand = 'Brand#23'
+      and p.p_container = '6 PACK' and l.l_quantity <
+        (Select 0.2 * avg(l1.l_quantity)
+         From Lineitem l1 Where l1.l_partkey = p.p_partkey)
+"""
+
+#: Query 3 (Figure 9): non-linear (UNION ALL inside the correlated table
+#: expression), duplicate correlation values (only 5 distinct European
+#: nations among ~209 European suppliers). Kim's and Dayal's methods are
+#: not applicable. Uses the paper's Starburst DT(cols) AS (...) syntax.
+QUERY_3 = """
+    Select s.s_name, s.s_nation, dt.sumbal
+    From Suppliers s, DT(sumbal) AS
+      (Select sum(bal) From DDT(bal) AS
+        ((Select a.c_acctbal From Customers a
+          Where a.c_mktsegment = 'BUILDING' and a.c_nation = s.s_nation)
+         Union All
+         (Select b.c_acctbal From Customers b
+          Where b.c_mktsegment = 'AUTOMOBILE' and b.c_nation = s.s_nation)))
+    Where s.s_region = 'EUROPE'
+"""

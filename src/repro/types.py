@@ -1,0 +1,261 @@
+"""SQL value model and three-valued logic (3VL).
+
+SQL values are represented by plain Python objects:
+
+* ``None``  -> SQL NULL
+* ``bool``  -> SQL BOOLEAN
+* ``int``   -> SQL INTEGER
+* ``float`` -> SQL DOUBLE
+* ``str``   -> SQL VARCHAR (also used for DATE in ISO format, which keeps
+  lexicographic ordering consistent with chronological ordering)
+
+Truth values in predicates are ``True``, ``False`` and ``None`` (UNKNOWN).
+The helpers in this module centralise NULL propagation so that the executor,
+the rewrite null-rejection analysis, and tests all share one definition.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from .errors import SchemaError
+
+#: Truth value type alias used in signatures: True / False / None (UNKNOWN).
+Truth = Optional[bool]
+
+
+class SQLType(enum.Enum):
+    """Declared column types. Runtime values are duck-typed (see module doc);
+    the declared type is used for validation on insert and for display."""
+
+    INT = "INT"
+    FLOAT = "FLOAT"
+    STR = "STR"
+    BOOL = "BOOL"
+    DATE = "DATE"
+
+    def validate(self, value: Any) -> Any:
+        """Check (and mildly coerce) ``value`` for this type.
+
+        Returns the stored representation or raises :class:`SchemaError`.
+        NULL is accepted for every type; nullability is enforced at the
+        schema level, not here.
+        """
+        if value is None:
+            return None
+        if self is SQLType.INT:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SchemaError(f"expected INT, got {value!r}")
+            return value
+        if self is SQLType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"expected FLOAT, got {value!r}")
+            return float(value)
+        if self is SQLType.STR or self is SQLType.DATE:
+            if not isinstance(value, str):
+                raise SchemaError(f"expected {self.value}, got {value!r}")
+            return value
+        if self is SQLType.BOOL:
+            if not isinstance(value, bool):
+                raise SchemaError(f"expected BOOL, got {value!r}")
+            return value
+        raise AssertionError(f"unhandled type {self}")
+
+
+def tv_not(a: Truth) -> Truth:
+    """3VL NOT: NOT UNKNOWN = UNKNOWN."""
+    if a is None:
+        return None
+    return not a
+
+
+def tv_and(a: Truth, b: Truth) -> Truth:
+    """3VL AND: FALSE dominates, UNKNOWN otherwise propagates."""
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def tv_or(a: Truth, b: Truth) -> Truth:
+    """3VL OR: TRUE dominates, UNKNOWN otherwise propagates."""
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+def is_true(t: Truth) -> bool:
+    """WHERE-clause semantics: only TRUE qualifies (UNKNOWN filters out)."""
+    return t is True
+
+
+_NUMERIC = (int, float)
+
+
+def _comparable(a: Any, b: Any) -> bool:
+    if isinstance(a, bool) or isinstance(b, bool):
+        return isinstance(a, bool) and isinstance(b, bool)
+    if isinstance(a, _NUMERIC) and isinstance(b, _NUMERIC):
+        return True
+    return isinstance(a, str) and isinstance(b, str)
+
+
+def _check_comparable(a: Any, b: Any) -> None:
+    if not _comparable(a, b):
+        raise SchemaError(f"cannot compare {a!r} with {b!r}")
+
+
+def sql_eq(a: Any, b: Any) -> Truth:
+    """SQL ``=``: NULL if either operand is NULL."""
+    if a is None or b is None:
+        return None
+    _check_comparable(a, b)
+    return a == b
+
+
+def sql_ne(a: Any, b: Any) -> Truth:
+    """SQL ``<>``."""
+    return tv_not(sql_eq(a, b))
+
+
+def sql_lt(a: Any, b: Any) -> Truth:
+    """SQL ``<``."""
+    if a is None or b is None:
+        return None
+    _check_comparable(a, b)
+    return a < b
+
+
+def sql_le(a: Any, b: Any) -> Truth:
+    """SQL ``<=``."""
+    if a is None or b is None:
+        return None
+    _check_comparable(a, b)
+    return a <= b
+
+
+def sql_gt(a: Any, b: Any) -> Truth:
+    """SQL ``>``."""
+    return sql_lt(b, a)
+
+
+def sql_ge(a: Any, b: Any) -> Truth:
+    """SQL ``>=``."""
+    return sql_le(b, a)
+
+
+def sql_is_not_distinct(a: Any, b: Any) -> Truth:
+    """Null-safe equality (``<=>``): NULL matches NULL, never UNKNOWN.
+
+    Used by magic decorrelation's correlated-input join: a NULL correlation
+    binding must still find its (count = 0 / NULL) row in the decorrelated
+    subquery result.
+    """
+    if a is None or b is None:
+        return a is None and b is None
+    _check_comparable(a, b)
+    return a == b
+
+
+#: Comparison operator name -> implementation. Shared by evaluator and tests.
+COMPARISONS = {
+    "=": sql_eq,
+    "<>": sql_ne,
+    "!=": sql_ne,
+    "<": sql_lt,
+    "<=": sql_le,
+    ">": sql_gt,
+    ">=": sql_ge,
+    "<=>": sql_is_not_distinct,
+}
+
+
+def sql_add(a: Any, b: Any) -> Any:
+    """SQL ``+`` with NULL propagation."""
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+def sql_sub(a: Any, b: Any) -> Any:
+    """SQL ``-`` with NULL propagation."""
+    if a is None or b is None:
+        return None
+    return a - b
+
+
+def sql_mul(a: Any, b: Any) -> Any:
+    """SQL ``*`` with NULL propagation."""
+    if a is None or b is None:
+        return None
+    return a * b
+
+
+def sql_div(a: Any, b: Any) -> Any:
+    """SQL ``/`` with NULL propagation; division by zero yields NULL
+    (a pragmatic choice also made by several analytical engines)."""
+    if a is None or b is None:
+        return None
+    if b == 0:
+        return None
+    return a / b
+
+
+#: Arithmetic operator name -> implementation.
+ARITHMETIC = {
+    "+": sql_add,
+    "-": sql_sub,
+    "*": sql_mul,
+    "/": sql_div,
+}
+
+
+def sql_like(value: Any, pattern: Any) -> Truth:
+    """SQL ``LIKE`` with ``%`` and ``_`` wildcards (no escape support)."""
+    if value is None or pattern is None:
+        return None
+    if not isinstance(value, str) or not isinstance(pattern, str):
+        raise SchemaError("LIKE requires string operands")
+    return _like_match(value, pattern)
+
+
+def _like_match(value: str, pattern: str) -> bool:
+    # Iterative matcher with backtracking on '%', linear in practice.
+    vi, pi = 0, 0
+    star_pi, star_vi = -1, 0
+    while vi < len(value):
+        # '%' must be tested first: a literal '%' in the *value* must not be
+        # consumed by the literal-match branch.
+        if pi < len(pattern) and pattern[pi] == "%":
+            star_pi, star_vi = pi, vi
+            pi += 1
+        elif pi < len(pattern) and (pattern[pi] == "_" or pattern[pi] == value[vi]):
+            vi += 1
+            pi += 1
+        elif star_pi >= 0:
+            star_vi += 1
+            vi = star_vi
+            pi = star_pi + 1
+        else:
+            return False
+    while pi < len(pattern) and pattern[pi] == "%":
+        pi += 1
+    return pi == len(pattern)
+
+
+def sort_key(value: Any) -> tuple:
+    """Total-order key placing NULLs first, then by type class, then value.
+
+    Used for ORDER BY and for deterministic result comparison in tests.
+    """
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, value)
+    return (3, value)

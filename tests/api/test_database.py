@@ -1,0 +1,86 @@
+"""Unit tests for the public Database facade."""
+
+import pytest
+
+from repro import Database, Result, Strategy
+from repro.errors import BindError, CatalogError, ExecutionError
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.execute_script(
+        """
+        CREATE TABLE t (id INT PRIMARY KEY, v TEXT, n FLOAT);
+        INSERT INTO t VALUES (1, 'a', 1.5), (2, 'b', NULL), (3, 'a', 3.0);
+        """
+    )
+    return database
+
+
+class TestFacade:
+    def test_execute_returns_result(self, db):
+        result = db.execute("SELECT id, v FROM t ORDER BY id")
+        assert isinstance(result, Result)
+        assert result.columns == ["id", "v"]
+        assert list(result) == [(1, "a"), (2, "b"), (3, "a")]
+        assert len(result) == 3
+
+    def test_scalar_helper(self, db):
+        assert db.execute("SELECT count(*) FROM t").scalar() == 3
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT id FROM t").scalar()
+
+    def test_script_returns_per_statement_results(self, db):
+        results = db.execute_script(
+            "INSERT INTO t VALUES (4, 'd', 0); SELECT count(*) FROM t"
+        )
+        assert results[0].metrics.rows_output == 1
+        assert results[1].scalar() == 4
+
+    def test_insert_arity_mismatch(self, db):
+        with pytest.raises(BindError):
+            db.execute_script("INSERT INTO t (id, v) VALUES (9)")
+
+    def test_insert_non_constant_rejected(self, db):
+        with pytest.raises(BindError):
+            db.execute_script("INSERT INTO t VALUES (9, v, 0)")
+
+    def test_view_lifecycle(self, db):
+        db.execute("CREATE VIEW va AS SELECT id FROM t WHERE v = 'a'")
+        assert db.execute("SELECT count(*) FROM va").scalar() == 2
+        # invalid view body fails eagerly
+        with pytest.raises(BindError):
+            db.execute("CREATE VIEW bad AS SELECT nosuch FROM t")
+
+    def test_duplicate_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE t (x INT)")
+
+    def test_explain_requires_query(self, db):
+        with pytest.raises(BindError):
+            db.explain("CREATE TABLE u (x INT)")
+
+    def test_explain_mentions_boxes(self, db):
+        text = db.explain("SELECT id FROM t WHERE n > 1")
+        assert "SELECT" in text and "BASE_TABLE" in text
+
+    def test_unknown_cse_mode(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT 1", cse_mode="bogus")
+
+    def test_strategy_on_uncorrelated_query(self, db):
+        # Magic on a query without correlation is a no-op but must work.
+        rows = db.execute("SELECT id FROM t", strategy=Strategy.MAGIC).rows
+        assert sorted(rows) == [(1,), (2,), (3,)]
+
+    def test_metrics_returned(self, db):
+        metrics = db.execute("SELECT * FROM t").metrics
+        assert metrics.rows_scanned == 3
+        assert metrics.rows_output == 3
+        assert metrics.as_dict()["total_work"] >= 3
+
+    def test_strategy_labels(self):
+        assert Strategy.NESTED_ITERATION.label == "NI"
+        assert Strategy.MAGIC_OPT.label == "OptMag"
+        assert len({s.label for s in Strategy}) == len(list(Strategy))

@@ -1,0 +1,67 @@
+"""Shared fixtures: the paper's EMP/DEPT example database."""
+
+import pytest
+
+from repro.storage import Catalog, Column, Schema
+from repro.types import SQLType
+
+
+@pytest.fixture
+def empdept_catalog() -> Catalog:
+    """EMP/DEPT from section 2, with data crafted so that:
+
+    * dept 'd_low' (budget 500, num_emps 1) is in building 'B9' which has
+      NO employees -> the COUNT-bug department: a correct engine returns it
+      (1 > 0), Kim's method loses it;
+    * buildings 'B1' and 'B2' have duplicate department rows -> duplicate
+      correlation values;
+    * some departments have budget >= 10000 and must be filtered out.
+    """
+    catalog = Catalog()
+    dept = catalog.create_table(
+        "dept",
+        Schema(
+            [
+                Column("name", SQLType.STR, nullable=False),
+                Column("budget", SQLType.FLOAT),
+                Column("num_emps", SQLType.INT),
+                Column("building", SQLType.STR),
+            ],
+            primary_key=["name"],
+        ),
+    )
+    emp = catalog.create_table(
+        "emp",
+        Schema(
+            [
+                Column("empno", SQLType.INT, nullable=False),
+                Column("name", SQLType.STR),
+                Column("building", SQLType.STR),
+                Column("salary", SQLType.FLOAT),
+            ],
+            primary_key=["empno"],
+        ),
+    )
+    dept.insert_many(
+        [
+            ("sales", 5000.0, 4, "B1"),
+            ("support", 8000.0, 1, "B1"),
+            ("research", 2000.0, 3, "B2"),
+            ("ops", 9000.0, 2, "B2"),
+            ("d_low", 500.0, 1, "B9"),      # building with no employees
+            ("rich", 50000.0, 9, "B1"),     # filtered out by budget
+            ("d_null", 700.0, None, "B2"),  # NULL num_emps
+        ]
+    )
+    emp.insert_many(
+        [
+            (1, "alice", "B1", 100.0),
+            (2, "bob", "B1", 120.0),
+            (3, "carol", "B1", 90.0),
+            (4, "dan", "B2", 80.0),
+            (5, "erin", "B2", 95.0),
+            (6, "frank", "B3", 70.0),
+        ]
+    )
+    emp.create_index("emp_building", ["building"])
+    return catalog

@@ -1,0 +1,76 @@
+"""Unit tests for the aggregate implementations."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec.aggregates import (
+    agg_avg,
+    agg_count,
+    agg_count_star,
+    agg_max,
+    agg_min,
+    agg_sum,
+    compute_aggregate,
+)
+
+
+class TestIndividualAggregates:
+    def test_count_star(self):
+        assert agg_count_star(0) == 0
+        assert agg_count_star(5) == 5
+
+    def test_count_skips_nulls(self):
+        assert agg_count([1, None, 2, None]) == 2
+        assert agg_count([]) == 0
+        assert agg_count([None, None]) == 0
+
+    def test_count_distinct(self):
+        assert agg_count([1, 1, 2, None, 2], distinct=True) == 2
+
+    def test_sum(self):
+        assert agg_sum([1, 2, 3]) == 6
+        assert agg_sum([1, None, 3]) == 4
+        assert agg_sum([]) is None
+        assert agg_sum([None]) is None
+
+    def test_sum_distinct(self):
+        assert agg_sum([1, 1, 2], distinct=True) == 3
+
+    def test_avg(self):
+        assert agg_avg([2, 4]) == 3
+        assert agg_avg([2, None, 4]) == 3
+        assert agg_avg([]) is None
+
+    def test_avg_distinct(self):
+        assert agg_avg([2, 2, 4], distinct=True) == 3
+
+    def test_min_max(self):
+        assert agg_min([3, 1, 2]) == 1
+        assert agg_max([3, 1, 2]) == 3
+        assert agg_min([None, 5]) == 5
+        assert agg_min([]) is None
+        assert agg_max([None]) is None
+
+    def test_min_max_strings(self):
+        assert agg_min(["b", "a"]) == "a"
+        assert agg_max(["b", "a"]) == "b"
+
+
+class TestDispatch:
+    def test_count_star_dispatch(self):
+        assert compute_aggregate("count", None, 7, False) == 7
+
+    def test_star_only_valid_for_count(self):
+        with pytest.raises(ExecutionError):
+            compute_aggregate("sum", None, 7, False)
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ExecutionError):
+            compute_aggregate("median", [1], 1, False)
+
+    @pytest.mark.parametrize(
+        "func,expected",
+        [("count", 2), ("sum", 5), ("avg", 2.5), ("min", 2), ("max", 3)],
+    )
+    def test_each_function(self, func, expected):
+        assert compute_aggregate(func, [2, 3, None], 3, False) == expected

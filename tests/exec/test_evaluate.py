@@ -1,0 +1,131 @@
+"""Unit tests for the row-context expression evaluator."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec.evaluate import Env, evaluate, predicate_holds
+from repro.exec.executor import ExecutionContext
+from repro.qgm.expr import ColumnRef
+from repro.qgm.model import BaseTableBox, Quantifier
+from repro.sql import ast
+from repro.sql.parser import parse_expression
+from repro.storage import Catalog, Column, Schema
+from repro.types import SQLType
+
+
+@pytest.fixture
+def ctx() -> ExecutionContext:
+    catalog = Catalog()
+    catalog.create_table(
+        "t", Schema([Column("a", SQLType.INT), Column("b", SQLType.STR)])
+    )
+    box = BaseTableBox("t", ["a", "b"])
+    context = ExecutionContext(catalog, box)
+    context._test_box = box
+    return context
+
+
+def bound_env(ctx, row):
+    q = Quantifier("q", ctx._test_box)
+    return Env({q: row}), q
+
+
+def const(ctx, text):
+    """Evaluate a constant SQL expression."""
+    return evaluate(parse_expression(text), Env(), ctx)
+
+
+class TestConstants:
+    def test_arithmetic(self, ctx):
+        assert const(ctx, "1 + 2 * 3") == 7
+        assert const(ctx, "10 / 4") == 2.5
+        assert const(ctx, "-(2 + 3)") == -5
+
+    def test_null_propagation(self, ctx):
+        assert const(ctx, "1 + NULL") is None
+        assert const(ctx, "-(NULL)") is None
+        assert const(ctx, "NULL = NULL") is None
+
+    def test_concat(self, ctx):
+        assert const(ctx, "'a' || 'b'") == "ab"
+        assert const(ctx, "'a' || NULL") is None
+
+    def test_boolean_short_circuit(self, ctx):
+        assert const(ctx, "1 = 1 OR 1 / 0 = 1") is True
+        # AND short-circuits on FALSE
+        assert const(ctx, "1 = 2 AND 1 = 1") is False
+
+    def test_between_3vl(self, ctx):
+        assert const(ctx, "2 BETWEEN 1 AND 3") is True
+        assert const(ctx, "NULL BETWEEN 1 AND 3") is None
+        assert const(ctx, "2 NOT BETWEEN 1 AND 3") is False
+
+    def test_in_list_3vl(self, ctx):
+        assert const(ctx, "1 IN (1, 2)") is True
+        assert const(ctx, "3 IN (1, NULL)") is None  # unknown, not false
+        assert const(ctx, "3 NOT IN (1, NULL)") is None
+        assert const(ctx, "3 IN (1, 2)") is False
+
+    def test_is_null(self, ctx):
+        assert const(ctx, "NULL IS NULL") is True
+        assert const(ctx, "1 IS NOT NULL") is True
+
+    def test_functions(self, ctx):
+        assert const(ctx, "coalesce(NULL, NULL, 5)") == 5
+        assert const(ctx, "coalesce(NULL, NULL)") is None
+        assert const(ctx, "abs(-3)") == 3
+        assert const(ctx, "nullif(1, 1)") is None
+        assert const(ctx, "nullif(1, 2)") == 1
+        assert const(ctx, "upper('ab')") == "AB"
+        assert const(ctx, "lower('AB')") == "ab"
+
+    def test_unknown_function(self, ctx):
+        with pytest.raises(ExecutionError):
+            const(ctx, "bogus(1)")
+
+    def test_like(self, ctx):
+        assert const(ctx, "'BRASS' LIKE '%RAS%'") is True
+        assert const(ctx, "'BRASS' NOT LIKE 'X%'") is True
+
+
+class TestColumnRefs:
+    def test_lookup(self, ctx):
+        env, q = bound_env(ctx, (42, "hi"))
+        assert evaluate(ColumnRef(q, "a"), env, ctx) == 42
+        assert evaluate(ColumnRef(q, "b"), env, ctx) == "hi"
+
+    def test_unbound_quantifier_raises(self, ctx):
+        _, q = bound_env(ctx, (1, "x"))
+        with pytest.raises(ExecutionError):
+            evaluate(ColumnRef(q, "a"), Env(), ctx)
+
+    def test_unknown_column_raises(self, ctx):
+        env, q = bound_env(ctx, (1, "x"))
+        with pytest.raises(ExecutionError):
+            evaluate(ColumnRef(q, "zz"), env, ctx)
+
+    def test_env_bind_is_persistent_copy(self, ctx):
+        env, q = bound_env(ctx, (1, "x"))
+        env2 = env.bind(Quantifier("other", ctx._test_box), (2, "y"))
+        assert q in env2.bindings and q in env.bindings
+        assert len(env2.bindings) == 2 and len(env.bindings) == 1
+
+    def test_env_with_value(self, ctx):
+        env = Env()
+        env2 = env.with_value(123, "cached")
+        assert env2.values[123] == "cached"
+        assert 123 not in env.values
+
+
+class TestPredicateSemantics:
+    def test_unknown_is_not_true(self, ctx):
+        expr = parse_expression("NULL = 1")
+        assert predicate_holds(expr, Env(), ctx) is False
+
+    def test_aggregate_outside_groupby_raises(self, ctx):
+        with pytest.raises(ExecutionError):
+            const(ctx, "count(*)")
+
+    def test_null_safe_comparison(self, ctx):
+        expr = ast.Comparison("<=>", ast.Literal(None), ast.Literal(None))
+        assert evaluate(expr, Env(), ctx) is True

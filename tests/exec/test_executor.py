@@ -1,0 +1,375 @@
+"""End-to-end execution tests (nested iteration strategy)."""
+
+import pytest
+
+from repro import Database, Strategy
+from repro.errors import ExecutionError
+from repro.storage import Catalog
+
+
+@pytest.fixture
+def db(empdept_catalog) -> Database:
+    return Database(empdept_catalog)
+
+
+def rows(db, sql, **kwargs):
+    return sorted(db.execute(sql, **kwargs).rows)
+
+
+class TestBasics:
+    def test_constant_select(self, db):
+        assert db.execute("SELECT 1 + 2 AS x").rows == [(3,)]
+
+    def test_projection_and_filter(self, db):
+        result = rows(db, "SELECT name FROM dept WHERE budget < 1000")
+        assert result == [("d_low",), ("d_null",)]
+
+    def test_arithmetic_and_null(self, db):
+        result = db.execute(
+            "SELECT name, num_emps * 2 FROM dept WHERE name = 'd_null'"
+        )
+        assert result.rows == [("d_null", None)]
+
+    def test_three_valued_where_drops_unknown(self, db):
+        # d_null has NULL num_emps: NULL > 0 is UNKNOWN -> filtered out.
+        result = rows(db, "SELECT name FROM dept WHERE num_emps > 0")
+        assert ("d_null",) not in result
+
+    def test_distinct(self, db):
+        result = rows(db, "SELECT DISTINCT building FROM dept")
+        assert result == [("B1",), ("B2",), ("B9",)]
+
+    def test_order_by_limit(self, db):
+        result = db.execute(
+            "SELECT name FROM dept ORDER BY budget DESC LIMIT 2"
+        )
+        assert result.rows == [("rich",), ("ops",)]
+
+    def test_order_by_nulls_first(self, db):
+        result = db.execute("SELECT num_emps FROM dept ORDER BY num_emps")
+        assert result.rows[0] == (None,)
+
+    def test_in_list_and_between(self, db):
+        result = rows(
+            db,
+            "SELECT name FROM dept WHERE building IN ('B1', 'B9') "
+            "AND budget BETWEEN 400 AND 6000",
+        )
+        assert result == [("d_low",), ("sales",)]
+
+    def test_like(self, db):
+        result = rows(db, "SELECT name FROM dept WHERE name LIKE 'd_%'")
+        assert result == [("d_low",), ("d_null",)]
+
+    def test_is_null(self, db):
+        assert rows(db, "SELECT name FROM dept WHERE num_emps IS NULL") == [
+            ("d_null",)
+        ]
+        assert len(rows(db, "SELECT name FROM dept WHERE num_emps IS NOT NULL")) == 6
+
+    def test_coalesce(self, db):
+        result = db.execute(
+            "SELECT coalesce(num_emps, 0) FROM dept WHERE name = 'd_null'"
+        )
+        assert result.rows == [(0,)]
+
+
+class TestJoins:
+    def test_implicit_equijoin(self, db):
+        result = rows(
+            db,
+            "SELECT d.name, e.name FROM dept d, emp e "
+            "WHERE d.building = e.building AND d.name = 'research'",
+        )
+        assert result == [("research", "dan"), ("research", "erin")]
+
+    def test_cross_join_cardinality(self, db):
+        result = db.execute("SELECT 1 FROM dept, emp")
+        assert len(result.rows) == 7 * 6
+
+    def test_explicit_join(self, db):
+        result = rows(
+            db,
+            "SELECT e.name FROM dept d JOIN emp e ON d.building = e.building "
+            "WHERE d.name = 'sales'",
+        )
+        assert result == [("alice",), ("bob",), ("carol",)]
+
+    def test_left_outer_join_preserves(self, db):
+        result = rows(
+            db,
+            "SELECT d.name, e.name FROM dept d LEFT OUTER JOIN emp e "
+            "ON d.building = e.building WHERE d.name = 'd_low'",
+        )
+        assert result == [("d_low", None)]
+
+    def test_left_outer_join_matches(self, db):
+        result = db.execute(
+            "SELECT d.name, e.name FROM dept d LEFT OUTER JOIN emp e "
+            "ON d.building = e.building"
+        )
+        # 5 depts in B1/B2 match 3 or 2 emps; d_low and d_null's B2... count:
+        # B1 depts (sales, support, rich) x 3 emps + B2 depts (research, ops,
+        # d_null) x 2 emps + d_low unmatched = 9 + 6 + 1
+        assert len(result.rows) == 16
+
+    def test_outer_join_non_equi_condition(self, db):
+        result = db.execute(
+            "SELECT d.name, e.name FROM dept d LEFT OUTER JOIN emp e "
+            "ON d.building = e.building AND e.salary > 100 "
+            "WHERE d.name = 'research'"
+        )
+        assert result.rows == [("research", None)]
+
+
+class TestAggregation:
+    def test_count_star(self, db):
+        assert db.execute("SELECT count(*) FROM emp").scalar() == 6
+
+    def test_count_column_skips_nulls(self, db):
+        assert db.execute("SELECT count(num_emps) FROM dept").scalar() == 6
+
+    def test_sum_avg_min_max(self, db):
+        result = db.execute(
+            "SELECT sum(salary), avg(salary), min(salary), max(salary) FROM emp"
+        )
+        assert result.rows == [(555.0, 92.5, 70.0, 120.0)]
+
+    def test_empty_aggregates(self, db):
+        result = db.execute(
+            "SELECT count(*), sum(salary), min(salary) FROM emp WHERE building = 'zz'"
+        )
+        assert result.rows == [(0, None, None)]
+
+    def test_group_by(self, db):
+        result = rows(db, "SELECT building, count(*) FROM emp GROUP BY building")
+        assert result == [("B1", 3), ("B2", 2), ("B3", 1)]
+
+    def test_group_by_having(self, db):
+        result = rows(
+            db,
+            "SELECT building, count(*) AS c FROM emp GROUP BY building "
+            "HAVING count(*) > 1",
+        )
+        assert result == [("B1", 3), ("B2", 2)]
+
+    def test_count_distinct(self, db):
+        assert db.execute("SELECT count(DISTINCT building) FROM dept").scalar() == 3
+
+    def test_aggregate_expression(self, db):
+        value = db.execute("SELECT 0.2 * avg(salary) FROM emp").scalar()
+        assert value == pytest.approx(0.2 * 92.5)
+
+    def test_group_by_null_key(self, db):
+        result = db.execute("SELECT num_emps, count(*) FROM dept GROUP BY num_emps")
+        null_groups = [r for r in result.rows if r[0] is None]
+        assert null_groups == [(None, 1)]
+
+
+class TestSetOps:
+    def test_union_all(self, db):
+        result = db.execute(
+            "SELECT building FROM dept UNION ALL SELECT building FROM emp"
+        )
+        assert len(result.rows) == 13
+
+    def test_union_distinct(self, db):
+        result = rows(
+            db, "SELECT building FROM dept UNION SELECT building FROM emp"
+        )
+        assert result == [("B1",), ("B2",), ("B3",), ("B9",)]
+
+    def test_intersect(self, db):
+        result = rows(
+            db, "SELECT building FROM dept INTERSECT SELECT building FROM emp"
+        )
+        assert result == [("B1",), ("B2",)]
+
+    def test_except(self, db):
+        result = rows(
+            db, "SELECT building FROM dept EXCEPT SELECT building FROM emp"
+        )
+        assert result == [("B9",)]
+
+
+class TestSubqueries:
+    PAPER_QUERY = """
+        Select D.name From Dept D
+        Where D.budget < 10000 and D.num_emps >
+          (Select Count(*) From Emp E Where D.building = E.building)
+    """
+
+    def test_uncorrelated_scalar(self, db):
+        result = rows(
+            db,
+            "SELECT name FROM emp WHERE salary > (SELECT avg(salary) FROM emp)",
+        )
+        assert result == [("alice",), ("bob",), ("erin",)]
+
+    def test_paper_example_count_bug_row_included(self, db):
+        result = rows(db, self.PAPER_QUERY)
+        # sales: 4 > 3 yes; support: 1 > 3 no; research: 3 > 2 yes;
+        # ops: 2 > 2 no; d_low: 1 > 0 yes (the COUNT-bug row!);
+        # rich filtered by budget; d_null: NULL > 0 unknown -> no.
+        assert result == [("d_low",), ("research",), ("sales",)]
+
+    def test_invocation_count(self, db):
+        result = db.execute(self.PAPER_QUERY)
+        # One invocation per low-budget department (6 of 7).
+        assert result.metrics.subquery_invocations == 6
+
+    def test_exists(self, db):
+        result = rows(
+            db,
+            "SELECT d.name FROM dept d WHERE EXISTS "
+            "(SELECT 1 FROM emp e WHERE e.building = d.building)",
+        )
+        assert ("d_low",) not in result
+        assert len(result) == 6
+
+    def test_not_exists(self, db):
+        result = rows(
+            db,
+            "SELECT d.name FROM dept d WHERE NOT EXISTS "
+            "(SELECT 1 FROM emp e WHERE e.building = d.building)",
+        )
+        assert result == [("d_low",)]
+
+    def test_in_subquery(self, db):
+        result = rows(
+            db,
+            "SELECT name FROM dept WHERE building IN "
+            "(SELECT building FROM emp WHERE salary > 90)",
+        )
+        # emps with salary > 90 are in B1 (alice,bob) and B2 (erin)
+        assert len(result) == 6
+
+    def test_not_in_subquery_with_nulls(self, db):
+        db.execute_script("INSERT INTO emp VALUES (7, 'gail', NULL, 10)")
+        result = rows(
+            db,
+            "SELECT name FROM dept WHERE building NOT IN "
+            "(SELECT building FROM emp)",
+        )
+        # NULL in the subquery result makes NOT IN UNKNOWN everywhere.
+        assert result == []
+
+    def test_any_all(self, db):
+        result = rows(
+            db,
+            "SELECT name FROM emp WHERE salary > ALL "
+            "(SELECT salary FROM emp WHERE building = 'B2')",
+        )
+        assert result == [("alice",), ("bob",)]
+        result = rows(
+            db,
+            "SELECT name FROM emp WHERE salary < ANY "
+            "(SELECT salary FROM emp WHERE building = 'B2')",
+        )
+        assert result == [("carol",), ("dan",), ("frank",)]
+
+    def test_all_over_empty_is_true(self, db):
+        result = db.execute(
+            "SELECT count(*) FROM emp WHERE salary > ALL "
+            "(SELECT salary FROM emp WHERE building = 'zz')"
+        )
+        assert result.scalar() == 6
+
+    def test_scalar_subquery_multiple_rows_errors(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT (SELECT building FROM emp) FROM dept")
+
+    def test_scalar_subquery_in_select_list(self, db):
+        result = rows(
+            db,
+            "SELECT d.name, (SELECT count(*) FROM emp e "
+            "WHERE e.building = d.building) FROM dept d WHERE d.budget < 1000",
+        )
+        assert result == [("d_low", 0), ("d_null", 2)]
+
+    def test_correlated_derived_table(self, db):
+        result = rows(
+            db,
+            "SELECT d.name, dt.cnt FROM dept d, DT(cnt) AS "
+            "(SELECT count(*) FROM emp e WHERE e.building = d.building) "
+            "WHERE d.budget < 1000",
+        )
+        assert result == [("d_low", 0), ("d_null", 2)]
+
+    def test_multi_level_correlation(self, db):
+        result = rows(
+            db,
+            """
+            SELECT d.name FROM dept d WHERE EXISTS (
+              SELECT 1 FROM emp e WHERE e.building = d.building AND e.salary >=
+                (SELECT max(e2.salary) FROM emp e2 WHERE e2.building = d.building)
+            ) AND d.budget < 10000
+            """,
+        )
+        # Every building with employees has a max earner; d_low has none.
+        assert ("d_low",) not in result
+        assert len(result) == 5
+
+    def test_union_inside_correlated_subquery(self, db):
+        result = rows(
+            db,
+            """
+            SELECT d.name, dt.s FROM dept d, DT(s) AS
+              (SELECT sum(bal) FROM DDT(bal) AS
+                ((SELECT e.salary FROM emp e WHERE e.building = d.building)
+                 UNION ALL
+                 (SELECT e2.salary FROM emp e2 WHERE e2.building = d.building)))
+            WHERE d.name = 'research'
+            """,
+        )
+        assert result == [("research", 350.0)]
+
+
+class TestDDLDML:
+    def test_create_insert_select(self):
+        db = Database()
+        db.execute_script(
+            """
+            CREATE TABLE t (id INT PRIMARY KEY, v TEXT);
+            INSERT INTO t VALUES (1, 'a'), (2, 'b');
+            INSERT INTO t (id) VALUES (3);
+            """
+        )
+        result = sorted(db.execute("SELECT id, v FROM t").rows)
+        assert result == [(1, "a"), (2, "b"), (3, None)]
+
+    def test_create_index_and_drop(self):
+        db = Database()
+        db.execute_script(
+            "CREATE TABLE t (id INT, v TEXT); "
+            "CREATE INDEX t_v ON t (v); DROP INDEX t_v ON t"
+        )
+        assert "t_v" not in db.catalog.table("t").indexes
+
+    def test_view_roundtrip(self, db):
+        db.execute_script(
+            "CREATE VIEW lowdept AS SELECT name, building FROM dept "
+            "WHERE budget < 10000"
+        )
+        result = db.execute("SELECT count(*) FROM lowdept")
+        assert result.scalar() == 6
+
+
+class TestMetrics:
+    def test_seq_scan_counts_rows(self, db):
+        metrics = db.execute("SELECT * FROM emp").metrics
+        assert metrics.rows_scanned == 6
+
+    def test_index_used_for_correlated_lookup(self, db):
+        metrics = db.execute(TestSubqueries.PAPER_QUERY).metrics
+        # The emp_building index serves each subquery invocation: no repeated
+        # full scans of EMP.
+        assert metrics.index_lookups == 6
+        assert metrics.rows_scanned <= 7  # one dept scan only
+
+    def test_index_lookup_without_index_falls_back(self, db):
+        db.catalog.table("emp").drop_index("emp_building")
+        result = db.execute(TestSubqueries.PAPER_QUERY)
+        assert sorted(result.rows) == [("d_low",), ("research",), ("sales",)]
+        # Now every invocation rescans EMP (hash build per invocation).
+        assert result.metrics.rows_scanned >= 6 * 6

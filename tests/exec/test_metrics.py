@@ -1,0 +1,37 @@
+"""Unit tests for the Metrics counters."""
+
+from repro.exec import Metrics
+
+
+def test_total_work_sums_row_operations():
+    metrics = Metrics(
+        rows_scanned=10, index_lookups=2, index_rows=5,
+        rows_joined=7, rows_grouped=3,
+    )
+    assert metrics.total_work() == 27
+
+
+def test_addition():
+    a = Metrics(rows_scanned=1, subquery_invocations=2)
+    b = Metrics(rows_scanned=3, boxes_recomputed=4)
+    c = a + b
+    assert c.rows_scanned == 4
+    assert c.subquery_invocations == 2
+    assert c.boxes_recomputed == 4
+    # operands untouched
+    assert a.rows_scanned == 1 and b.rows_scanned == 3
+
+
+def test_as_dict_contains_every_counter():
+    metrics = Metrics()
+    d = metrics.as_dict()
+    for key in (
+        "subquery_invocations", "rows_scanned", "index_lookups",
+        "index_rows", "rows_joined", "rows_grouped", "boxes_recomputed",
+        "rows_output", "total_work",
+    ):
+        assert key in d
+
+
+def test_fresh_metrics_are_zero():
+    assert Metrics().total_work() == 0

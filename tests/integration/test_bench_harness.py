@@ -1,0 +1,76 @@
+"""Integration tests for the benchmark harness and figure runners."""
+
+import pytest
+
+from repro import Database, Strategy
+from repro.bench import (
+    BenchResult,
+    print_results,
+    run_strategies,
+    table1,
+    warm,
+)
+from repro.bench.figures import figure9
+from repro.tpcd import QUERY_3, load_tpcd
+
+SCALE = 0.003
+
+
+@pytest.fixture(scope="module")
+def db() -> Database:
+    return Database(load_tpcd(scale_factor=SCALE))
+
+
+class TestHarness:
+    def test_sweep_reports_applicability(self, db):
+        results = run_strategies(db, QUERY_3)
+        by_strategy = {r.strategy: r for r in results}
+        assert by_strategy[Strategy.NESTED_ITERATION].applicable
+        assert not by_strategy[Strategy.KIM].applicable
+        assert "not linear" in by_strategy[Strategy.KIM].reason
+        assert by_strategy[Strategy.MAGIC].applicable
+
+    def test_all_applicable_row_counts_agree(self, db):
+        results = run_strategies(db, QUERY_3)
+        counts = {r.n_rows for r in results if r.applicable}
+        assert len(counts) == 1
+
+    def test_print_results_renders_table(self, db):
+        results = run_strategies(db, QUERY_3)
+        text = print_results("demo", results)
+        assert "NI" in text and "Mag" in text
+        assert "not applicable" in text
+
+    def test_repeat_takes_minimum(self, db):
+        results = run_strategies(
+            db, QUERY_3, strategies=[Strategy.MAGIC], repeat=3
+        )
+        assert results[0].seconds > 0
+
+    def test_warm_precomputes_stats(self, db):
+        warm(db)
+        # stats cached: a second call should return the same objects
+        s1 = db.catalog.stats("lineitem")
+        s2 = db.catalog.stats("lineitem")
+        assert s1 is s2
+
+    def test_bench_result_work(self):
+        result = BenchResult(strategy=Strategy.MAGIC, applicable=True)
+        assert result.work() == 0
+        assert result.label == "Mag"
+
+
+class TestFigureRunners:
+    def test_table1_report(self):
+        report = table1(SCALE)
+        for name, (expected, actual) in report.items():
+            assert expected == actual, name
+
+    def test_figure9_runs_at_small_scale(self):
+        report = figure9(scale_factor=SCALE)
+        assert report.result(Strategy.MAGIC).applicable
+        assert not report.result(Strategy.KIM).applicable
+        text = report.print()
+        assert "Figure 9" in text
+        # shape claims hold even at tiny scale for figure 9
+        assert report.shape_holds(), report.shape

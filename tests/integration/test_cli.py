@@ -1,0 +1,103 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_cli(*args, input_text=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, input=input_text, timeout=300,
+    )
+
+
+@pytest.fixture
+def script(tmp_path):
+    path = tmp_path / "demo.sql"
+    path.write_text(
+        """
+        CREATE TABLE t (id INT PRIMARY KEY, v TEXT);
+        INSERT INTO t VALUES (1, 'a'), (2, 'b');
+        SELECT v FROM t WHERE id = 2;
+        """
+    )
+    return path
+
+
+class TestRun:
+    def test_runs_script(self, script):
+        result = run_cli("run", str(script))
+        assert result.returncode == 0
+        assert "b" in result.stdout
+        assert "(1 rows" in result.stdout
+
+    def test_strategy_flag(self, script):
+        result = run_cli("run", str(script), "--strategy", "magic")
+        assert result.returncode == 0
+
+    def test_unknown_strategy(self, script):
+        result = run_cli("run", str(script), "--strategy", "nope")
+        assert result.returncode != 0
+        assert "unknown strategy" in result.stderr
+
+
+class TestExplain:
+    def test_explain_with_schema(self, script):
+        result = run_cli(
+            "explain",
+            "SELECT v FROM t WHERE id > (SELECT count(*) FROM t)",
+            "--db", str(script), "--strategy", "magic",
+        )
+        assert result.returncode == 0
+        assert "SELECT" in result.stdout
+
+
+class TestShell:
+    def test_shell_session(self):
+        session = (
+            "CREATE TABLE t (a INT);\n"
+            "INSERT INTO t VALUES (1), (2);\n"
+            "SELECT count(*) FROM t;\n"
+            "\\strategy magic\n"
+            "SELECT a FROM t WHERE a > 1;\n"
+            "\\q\n"
+        )
+        result = run_cli("shell", input_text=session)
+        assert result.returncode == 0
+        assert "strategy = Mag" in result.stdout
+        assert "(1 rows" in result.stdout
+
+    def test_shell_reports_errors(self):
+        result = run_cli("shell", input_text="SELECT nope FROM nada;\n\\q\n")
+        assert result.returncode == 0
+        assert "error:" in result.stdout
+
+
+class TestFigures:
+    def test_figures_subset_in_process(self, capsys):
+        # In-process to keep it fast; only the cheapest figure.
+        code = main(["figures", "--scale", "0.003", "--only", "figure9"])
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "Table 1" in out
+        assert code == 0
+
+
+class TestReport:
+    def test_report_markdown_in_process(self, tmp_path, capsys):
+        code = main([
+            "report", "--scale", "0.003", "--only", "figure9",
+            "--out", str(tmp_path / "report.md"),
+        ])
+        assert code == 0
+        text = (tmp_path / "report.md").read_text()
+        assert "# Complex Query Decorrelation" in text
+        assert "## Table 1" in text
+        assert "## Figure 9" in text
+        assert "## Section 6" in text
+        assert "## Ablation" in text
+        assert "| NI |" in text

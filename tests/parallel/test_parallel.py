@@ -1,0 +1,147 @@
+"""Tests for the shared-nothing parallel simulator (paper section 6)."""
+
+import pytest
+
+from repro import Database
+from repro.parallel import (
+    Cluster,
+    ParallelMetrics,
+    hash_partition,
+    simulate_decorrelated,
+    simulate_nested_iteration,
+    sweep_nodes,
+)
+from repro.tpcd import EMP_DEPT_QUERY, load_empdept
+
+
+@pytest.fixture(scope="module")
+def empdept_rows():
+    catalog = load_empdept(n_depts=60, n_emps=500, n_buildings=12, seed=7)
+    return (
+        list(catalog.table("dept").rows),
+        list(catalog.table("emp").rows),
+        catalog,
+    )
+
+
+class TestCluster:
+    def test_partitioning_covers_all_rows(self):
+        cluster = Cluster(4)
+        rows = [(i, f"v{i}") for i in range(100)]
+        cluster.load_partitioned("t", rows, key=lambda r: r[0])
+        total = sum(len(cluster.local_rows("t", i)) for i in range(4))
+        assert total == 100
+
+    def test_same_key_same_node(self):
+        cluster = Cluster(4)
+        rows = [(i % 5, i) for i in range(50)]
+        cluster.load_partitioned("t", rows, key=lambda r: r[0])
+        for node in range(4):
+            keys = {r[0] for r in cluster.local_rows("t", node)}
+            for other in range(node + 1, 4):
+                assert keys.isdisjoint(
+                    {r[0] for r in cluster.local_rows("t", other)}
+                )
+
+    def test_loopback_is_free(self):
+        cluster = Cluster(2)
+        cluster.send(0, 0, 10)
+        assert cluster.nodes[0].messages_sent == 0
+
+    def test_broadcast_counts(self):
+        cluster = Cluster(5)
+        cluster.broadcast(2)
+        assert cluster.nodes[2].messages_sent == 4
+        assert sum(n.messages_received for n in cluster.nodes) == 4
+
+    def test_null_key_routes_to_node_zero(self):
+        cluster = Cluster(3)
+        assert cluster.owner(None) == 0
+
+    def test_hash_partition_counts_row_shipping(self):
+        cluster = Cluster(2)
+        source = [[(1,), (2,)], [(3,), (4,)]]
+        result = hash_partition(cluster, source, key=lambda r: r[0])
+        assert sum(len(p) for p in result) == 4
+        shipped = sum(n.messages_sent for n in cluster.nodes)
+        locally_kept = 4 - shipped
+        assert 0 <= shipped <= 4 and locally_kept >= 0
+
+    def test_single_node_cluster(self):
+        cluster = Cluster(1)
+        cluster.broadcast(0)
+        assert cluster.nodes[0].messages_sent == 0
+
+
+class TestSimulations:
+    def test_both_strategies_agree_with_engine(self, empdept_rows):
+        dept, emp, catalog = empdept_rows
+        oracle = sorted(Database(catalog).execute(EMP_DEPT_QUERY).rows)
+        for n in (1, 2, 3, 8):
+            ni = simulate_nested_iteration(dept, emp, n)
+            magic = simulate_decorrelated(dept, emp, n)
+            assert ni.answer == oracle, f"NI wrong at n={n}"
+            assert magic.answer == oracle, f"decorrelated wrong at n={n}"
+
+    def test_ni_fragments_quadratic(self, empdept_rows):
+        dept, emp, _ = empdept_rows
+        for n in (2, 4, 8):
+            ni = simulate_nested_iteration(dept, emp, n)
+            assert ni.fragments == n * n  # every node serves every node
+            magic = simulate_decorrelated(dept, emp, n)
+            assert magic.fragments == n  # one local pipeline per node
+
+    def test_ni_messages_grow_with_nodes(self, empdept_rows):
+        dept, emp, _ = empdept_rows
+        ni2 = simulate_nested_iteration(dept, emp, 2)
+        ni8 = simulate_nested_iteration(dept, emp, 8)
+        assert ni8.messages > ni2.messages
+        # Two messages (request + reply) per qualifying dept per remote node.
+        qualifying = sum(1 for d in dept if d[1] is not None and d[1] < 10000)
+        assert ni8.messages == qualifying * 7 * 2
+
+    def test_decorrelated_messages_bounded_by_repartitioning(self, empdept_rows):
+        dept, emp, _ = empdept_rows
+        magic = simulate_decorrelated(dept, emp, 8)
+        qualifying = sum(1 for d in dept if d[1] is not None and d[1] < 10000)
+        # At most one shipment per supp row plus one per emp row.
+        assert magic.messages <= qualifying + len(emp)
+
+    def test_decorrelated_beats_ni_at_scale(self, empdept_rows):
+        dept, emp, _ = empdept_rows
+        for n in (2, 4, 8):
+            ni = simulate_nested_iteration(dept, emp, n)
+            magic = simulate_decorrelated(dept, emp, n)
+            assert magic.makespan < ni.makespan
+            assert magic.rows_processed < ni.rows_processed
+
+    def test_ni_work_does_not_scale_down(self, empdept_rows):
+        # NI's total row work *grows* with the cluster: every invocation
+        # scans every partition (the section 6.1 pathology).
+        dept, emp, _ = empdept_rows
+        ni1 = simulate_nested_iteration(dept, emp, 1)
+        ni8 = simulate_nested_iteration(dept, emp, 8)
+        assert ni8.rows_processed >= ni1.rows_processed
+
+    def test_decorrelated_work_is_constant_in_nodes(self, empdept_rows):
+        dept, emp, _ = empdept_rows
+        m1 = simulate_decorrelated(dept, emp, 1)
+        m8 = simulate_decorrelated(dept, emp, 8)
+        assert m8.rows_processed == m1.rows_processed
+
+    def test_sweep(self, empdept_rows):
+        dept, emp, _ = empdept_rows
+        results = sweep_nodes(dept, emp, node_counts=[1, 2, 4])
+        assert len(results) == 3
+        for ni, magic in results:
+            assert isinstance(ni, ParallelMetrics)
+            assert ni.answer == magic.answer
+
+    def test_null_building_department(self):
+        # A NULL correlation binding must not crash or change the answer.
+        dept = [("d1", 500.0, 1, None), ("d2", 500.0, 0, "B1")]
+        emp = [(1, "e1", "B1", 10.0)]
+        ni = simulate_nested_iteration(dept, emp, 3)
+        magic = simulate_decorrelated(dept, emp, 3)
+        # d1: count over NULL building = 0, 1 > 0 -> qualifies.
+        assert ni.answer == magic.answer == [("d1",)]

@@ -1,0 +1,96 @@
+"""Tests for physical-plan rendering and INSERT ... SELECT."""
+
+import pytest
+
+from repro import Database, Strategy
+
+
+@pytest.fixture
+def db(empdept_catalog) -> Database:
+    return Database(empdept_catalog)
+
+
+PAPER_QUERY = """
+    SELECT d.name FROM dept d
+    WHERE d.budget < 10000 AND d.num_emps >
+      (SELECT count(*) FROM emp e WHERE d.building = e.building)
+"""
+
+
+class TestExplainPlan:
+    def test_ni_plan_shows_per_row_subquery(self, db):
+        text = db.explain_plan(PAPER_QUERY)
+        assert "evaluate scalar subquery" in text
+        assert "per row" in text
+        assert "index lookup e via emp_building" in text
+
+    def test_magic_plan_has_no_subquery_step(self, db):
+        text = db.explain_plan(PAPER_QUERY, Strategy.MAGIC)
+        assert "evaluate scalar subquery" not in text
+        assert "HASH AGGREGATE" in text
+        assert "LEFT OUTER" in text
+
+    def test_correlated_derived_table_marked(self, db):
+        text = db.explain_plan(
+            "SELECT d.name, dt.c FROM dept d, DT(c) AS "
+            "(SELECT count(*) FROM emp e WHERE e.building = d.building)"
+        )
+        assert "re-executed per row: correlated" in text
+
+    def test_plain_query_plan(self, db):
+        text = db.explain_plan(
+            "SELECT d.name FROM dept d, emp e WHERE d.building = e.building"
+        )
+        assert "est." in text
+        assert "TABLE dept" in text and "TABLE emp" in text
+
+    def test_non_query_rejected(self, db):
+        from repro.errors import BindError
+
+        with pytest.raises(BindError):
+            db.explain_plan("CREATE TABLE zz (a INT)")
+
+
+class TestInsertSelect:
+    def test_insert_from_query(self, db):
+        db.execute_script(
+            "CREATE TABLE archive (name TEXT, building TEXT)"
+        )
+        result = db.execute(
+            "INSERT INTO archive SELECT name, building FROM dept "
+            "WHERE budget < 1000"
+        )
+        assert result.metrics.rows_output == 2
+        rows = sorted(db.execute("SELECT name FROM archive").rows)
+        assert rows == [("d_low",), ("d_null",)]
+
+    def test_insert_select_with_column_list(self, db):
+        db.execute_script("CREATE TABLE names (n TEXT, extra INT)")
+        db.execute("INSERT INTO names (n) SELECT name FROM emp")
+        assert db.execute("SELECT count(*) FROM names").scalar() == 6
+        assert db.execute(
+            "SELECT count(*) FROM names WHERE extra IS NULL"
+        ).scalar() == 6
+
+    def test_insert_select_arity_mismatch(self, db):
+        from repro.errors import BindError
+
+        db.execute_script("CREATE TABLE one_col (a TEXT)")
+        with pytest.raises(BindError):
+            db.execute("INSERT INTO one_col SELECT name, building FROM dept")
+
+    def test_insert_select_respects_constraints(self, db):
+        from repro.errors import SchemaError
+
+        db.execute_script("CREATE TABLE keyed (k TEXT PRIMARY KEY)")
+        with pytest.raises(SchemaError):
+            # duplicate buildings violate the primary key
+            db.execute("INSERT INTO keyed SELECT building FROM dept")
+
+    def test_insert_select_roundtrips_through_printer(self):
+        from repro.sql.parser import parse_statement
+        from repro.sql.printer import to_sql
+
+        sql = "INSERT INTO t (a) SELECT x FROM u WHERE x > 1"
+        parsed = parse_statement(sql)
+        assert parse_statement(to_sql(parsed)) == parsed

@@ -1,0 +1,228 @@
+"""Unit tests for the cost-based planner: access paths, join order,
+correlated-subquery placement (paper section 7)."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plan.planner import (
+    HashJoinStep,
+    IndexLookupStep,
+    PredicateStep,
+    ScanStep,
+    SubqueryEvalStep,
+    plan_select_box,
+)
+from repro.qgm import build_qgm
+from repro.qgm.expr import BoxScalarSubquery, walk_expr
+from repro.qgm.model import SelectBox
+from repro.sql.parser import parse_statement
+from repro.storage import Catalog, Column, Schema
+from repro.types import SQLType
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    cat = Catalog()
+    cat.create_table(
+        "big",
+        Schema(
+            [Column("id", SQLType.INT, nullable=False),
+             Column("k", SQLType.INT), Column("v", SQLType.INT)],
+            primary_key=["id"],
+        ),
+    )
+    cat.create_table(
+        "small",
+        Schema(
+            [Column("id", SQLType.INT, nullable=False),
+             Column("k", SQLType.INT)],
+            primary_key=["id"],
+        ),
+    )
+    big = cat.table("big")
+    for i in range(500):
+        big.insert((i, i % 50, i % 7))
+    big.create_index("big_k", ["k"])
+    small = cat.table("small")
+    for i in range(10):
+        small.insert((i, i))
+    return cat
+
+
+def plan_for(catalog, sql):
+    graph = build_qgm(parse_statement(sql), catalog)
+    box = graph.root
+    assert isinstance(box, SelectBox)
+    return plan_select_box(catalog, box)
+
+
+def access_steps(plan):
+    return [
+        s for s in plan.steps
+        if isinstance(s, (ScanStep, IndexLookupStep, HashJoinStep))
+    ]
+
+
+class TestAccessSelection:
+    def test_literal_equality_uses_index(self, catalog):
+        plan = plan_for(catalog, "SELECT v FROM big WHERE k = 3")
+        steps = access_steps(plan)
+        assert isinstance(steps[0], IndexLookupStep)
+        assert steps[0].key_columns == ("k",)
+
+    def test_no_index_never_uses_index_lookup(self, catalog):
+        plan = plan_for(catalog, "SELECT k FROM big WHERE v = 3")
+        steps = access_steps(plan)
+        # Without an index the access is a scan or a hash filter against the
+        # literal -- never an IndexLookupStep.
+        assert not isinstance(steps[0], IndexLookupStep)
+
+    def test_small_table_drives_join_into_index(self, catalog):
+        plan = plan_for(
+            catalog,
+            "SELECT b.v FROM small s, big b WHERE s.k = b.k",
+        )
+        steps = access_steps(plan)
+        # small scanned first, then an index lookup into big per small row.
+        assert isinstance(steps[0], ScanStep)
+        assert steps[0].quantifier.name == "s"
+        assert isinstance(steps[1], IndexLookupStep)
+        assert steps[1].quantifier.name == "b"
+
+    def test_hash_join_without_index(self, catalog):
+        plan = plan_for(
+            catalog,
+            "SELECT b.k FROM small s, big b WHERE s.id = b.v",
+        )
+        steps = access_steps(plan)
+        kinds = [type(s) for s in steps]
+        assert HashJoinStep in kinds
+
+    def test_predicates_placed_at_earliest_barrier(self, catalog):
+        plan = plan_for(
+            catalog,
+            "SELECT b.v FROM small s, big b WHERE s.k = b.k AND s.id > 2",
+        )
+        first_access = plan.steps.index(access_steps(plan)[0])
+        filter_steps = [
+            i for i, s in enumerate(plan.steps)
+            if isinstance(s, PredicateStep)
+            and "id" in repr(s.predicate)
+        ]
+        second_access = plan.steps.index(access_steps(plan)[1])
+        assert filter_steps and filter_steps[0] < second_access
+
+    def test_cross_join_plans(self, catalog):
+        plan = plan_for(catalog, "SELECT 1 FROM small a, small b")
+        assert len(access_steps(plan)) == 2
+
+    def test_join_order_recorded(self, catalog):
+        plan = plan_for(
+            catalog, "SELECT b.v FROM small s, big b WHERE s.k = b.k"
+        )
+        assert [q.name for q in plan.join_order] == ["s", "b"]
+
+
+class TestSubqueryPlacement:
+    def test_scalar_placed_before_expensive_join(self, catalog):
+        # The Query-2 situation: the subquery's bindings come from `small`,
+        # the comparison also needs `big`; the value is computed per small
+        # row *before* the join fans out.
+        sql = """
+            SELECT 1 FROM small s, big b
+            WHERE s.k = b.k AND b.v <
+              (SELECT count(*) FROM big i WHERE i.k = s.k)
+        """
+        plan = plan_for(catalog, sql)
+        eval_positions = [
+            i for i, s in enumerate(plan.steps)
+            if isinstance(s, SubqueryEvalStep)
+        ]
+        assert len(eval_positions) == 1
+        big_access = next(
+            i for i, s in enumerate(plan.steps)
+            if isinstance(s, (ScanStep, IndexLookupStep, HashJoinStep))
+            and s.quantifier.name == "b"
+        )
+        assert eval_positions[0] < big_access
+        # The comparison itself waits for b.
+        pred_position = max(
+            i for i, s in enumerate(plan.steps) if isinstance(s, PredicateStep)
+        )
+        assert pred_position > big_access
+
+    def test_scalar_placement_recorded_for_rewriter(self, catalog):
+        sql = """
+            SELECT 1 FROM small s
+            WHERE s.id > (SELECT avg(i.v) FROM big i WHERE i.k = s.k)
+        """
+        graph = build_qgm(parse_statement(sql), catalog)
+        plan = plan_select_box(catalog, graph.root)
+        nodes = [
+            n for p in graph.root.predicates for n in walk_expr(p)
+            if isinstance(n, BoxScalarSubquery)
+        ]
+        assert len(nodes) == 1
+        assert plan.scalar_placement[id(nodes[0])] == 1  # right after s
+
+    def test_uncorrelated_scalar_placed_at_barrier_zero(self, catalog):
+        sql = """
+            SELECT 1 FROM big b
+            WHERE b.v > (SELECT avg(s.id) FROM small s)
+        """
+        graph = build_qgm(parse_statement(sql), catalog)
+        plan = plan_select_box(catalog, graph.root)
+        # One env row exists before any quantifier: cheapest placement.
+        assert list(plan.scalar_placement.values()) == [0]
+
+
+class TestCorrelatedChildren:
+    def test_correlated_derived_table_ordered_after_source(self, catalog):
+        sql = """
+            SELECT s.id, dt.c FROM small s, DT(c) AS
+              (SELECT count(*) FROM big b WHERE b.k = s.k)
+        """
+        plan = plan_for(catalog, sql)
+        order = [q.name for q in plan.join_order]
+        assert order.index("s") < order.index("dt")
+        dt_step = access_steps(plan)[order.index("dt")]
+        assert isinstance(dt_step, ScanStep) and dt_step.correlated_to_self
+
+    def test_mutually_referencing_children_rejected(self, catalog):
+        # Two derived tables each correlated to the other cannot be ordered.
+        from repro.qgm.model import OutputColumn, Quantifier, SelectBox
+        from repro.sql import ast
+
+        inner1 = SelectBox(outputs=[OutputColumn("a", ast.Literal(1))])
+        inner2 = SelectBox(outputs=[OutputColumn("b", ast.Literal(2))])
+        outer = SelectBox()
+        q1 = outer.add_quantifier(inner1, "d1")
+        q2 = outer.add_quantifier(inner2, "d2")
+        inner1.predicates.append(
+            ast.Comparison("=", ast.Literal(1), q2.ref("b"))
+        )
+        inner2.predicates.append(
+            ast.Comparison("=", ast.Literal(2), q1.ref("a"))
+        )
+        outer.outputs = [OutputColumn("x", ast.Literal(0))]
+        with pytest.raises(PlanError):
+            plan_select_box(catalog, outer)
+
+
+class TestDPvsGreedy:
+    def test_dp_finds_selective_first_order(self, catalog):
+        # Three-way join where the greedy trap is starting from the tiny
+        # relation and losing the index path; DP must order small -> big.
+        sql = """
+            SELECT b.v FROM big b, small s, small t
+            WHERE s.k = b.k AND t.id = s.id
+        """
+        plan = plan_for(catalog, sql)
+        order = [q.name for q in plan.join_order]
+        assert order.index("b") == 2  # big joined last, via its index
+
+    def test_many_quantifiers_fall_back_to_greedy(self, catalog):
+        froms = ", ".join(f"small s{i}" for i in range(10))
+        sql = f"SELECT 1 FROM {froms}"
+        plan = plan_for(catalog, sql)
+        assert len(access_steps(plan)) == 10

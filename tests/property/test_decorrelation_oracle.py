@@ -1,0 +1,328 @@
+"""Property-based decorrelation oracle.
+
+Random small tables (tiny value domains force duplicates, empty groups and
+NULL bindings -- exactly the COUNT-bug / null-semantics corner cases) and a
+family of correlated query templates. For every instance, nested iteration
+is the reference semantics; magic decorrelation (both variants) must return
+a multiset-identical answer, and Dayal's method must agree whenever it is
+applicable.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, Strategy
+from repro.errors import NotApplicableError
+from repro.storage import Catalog, Column, Schema
+from repro.types import SQLType
+
+#: Small domains create collisions; None creates NULL-handling cases.
+small_value = st.one_of(st.none(), st.integers(0, 3))
+
+outer_rows = st.lists(
+    st.tuples(st.integers(0, 3), small_value, small_value),
+    min_size=0, max_size=8,
+)
+inner_rows = st.lists(
+    st.tuples(small_value, small_value),
+    min_size=0, max_size=10,
+)
+
+
+def build_db(t1_rows, t2_rows) -> Database:
+    catalog = Catalog()
+    catalog.create_table(
+        "t1",
+        Schema(
+            [
+                Column("pk", SQLType.INT, nullable=False),
+                Column("a", SQLType.INT),
+                Column("b", SQLType.INT),
+            ],
+            primary_key=["pk"],
+        ),
+    )
+    catalog.create_table(
+        "t2",
+        Schema([Column("x", SQLType.INT), Column("y", SQLType.INT)]),
+    )
+    t1 = catalog.table("t1")
+    for i, (_, a, b) in enumerate(t1_rows):
+        t1.insert((i, a, b))
+    catalog.table("t2").insert_many(t2_rows)
+    return Database(catalog)
+
+
+def compare(db: Database, sql: str, strategies, allow_not_applicable=()):
+    oracle = Counter(db.execute(sql, strategy=Strategy.NESTED_ITERATION).rows)
+    for strategy in strategies:
+        try:
+            answer = Counter(db.execute(sql, strategy=strategy).rows)
+        except NotApplicableError:
+            assert strategy in allow_not_applicable, strategy
+            continue
+        assert answer == oracle, (strategy, sql)
+
+
+MAGIC_BOTH = (Strategy.MAGIC, Strategy.MAGIC_OPT)
+
+
+class TestScalarAggregates:
+    @settings(max_examples=60, deadline=None)
+    @given(outer_rows, inner_rows,
+           st.sampled_from(["count", "sum", "min", "max", "avg"]),
+           st.sampled_from(["<", "<=", ">", ">=", "=", "<>"]))
+    def test_scalar_agg_predicate(self, t1, t2, agg, op):
+        db = build_db(t1, t2)
+        argument = "*" if agg == "count" else "i.y"
+        sql = f"""
+            SELECT o.pk, o.a FROM t1 o
+            WHERE o.b {op} (SELECT {agg}({argument}) FROM t2 i
+                            WHERE i.x = o.a)
+        """
+        compare(db, sql, MAGIC_BOTH + (Strategy.DAYAL,))
+
+    @settings(max_examples=40, deadline=None)
+    @given(outer_rows, inner_rows)
+    def test_scalar_agg_in_select_list(self, t1, t2):
+        db = build_db(t1, t2)
+        sql = """
+            SELECT o.pk, (SELECT sum(i.y) FROM t2 i WHERE i.x = o.a)
+            FROM t1 o
+        """
+        compare(db, sql, MAGIC_BOTH)
+
+    @settings(max_examples=40, deadline=None)
+    @given(outer_rows, inner_rows)
+    def test_count_bug_shape(self, t1, t2):
+        # The exact shape of the paper's section-2 example.
+        db = build_db(t1, t2)
+        sql = """
+            SELECT o.pk FROM t1 o
+            WHERE o.b > (SELECT count(*) FROM t2 i WHERE i.x = o.a)
+        """
+        compare(db, sql, MAGIC_BOTH + (Strategy.DAYAL,))
+
+    @settings(max_examples=40, deadline=None)
+    @given(outer_rows, inner_rows)
+    def test_wrapped_aggregate(self, t1, t2):
+        db = build_db(t1, t2)
+        sql = """
+            SELECT o.pk FROM t1 o
+            WHERE o.b < (SELECT 2 * avg(i.y) + 1 FROM t2 i WHERE i.x = o.a)
+        """
+        compare(db, sql, MAGIC_BOTH + (Strategy.DAYAL,))
+
+    @settings(max_examples=40, deadline=None)
+    @given(outer_rows, inner_rows)
+    def test_multi_column_correlation(self, t1, t2):
+        db = build_db(t1, t2)
+        sql = """
+            SELECT o.pk FROM t1 o
+            WHERE o.b >= (SELECT count(i.y) FROM t2 i
+                          WHERE i.x = o.a AND i.y = o.b)
+        """
+        compare(db, sql, MAGIC_BOTH + (Strategy.DAYAL,))
+
+    @settings(max_examples=40, deadline=None)
+    @given(outer_rows, inner_rows)
+    def test_non_equality_correlation(self, t1, t2):
+        db = build_db(t1, t2)
+        sql = """
+            SELECT o.pk FROM t1 o
+            WHERE o.b > (SELECT count(*) FROM t2 i WHERE i.x < o.a)
+        """
+        compare(
+            db, sql, MAGIC_BOTH + (Strategy.DAYAL, Strategy.KIM),
+            allow_not_applicable=(Strategy.KIM,),
+        )
+
+
+class TestMultiTableOuter:
+    @settings(max_examples=40, deadline=None)
+    @given(outer_rows, inner_rows)
+    def test_correlation_from_two_outer_tables(self, t1, t2):
+        # The subquery draws bindings from *two* outer quantifiers: the
+        # supplementary table must cover the prefix joining both.
+        db = build_db(t1, t2)
+        sql = """
+            SELECT o1.pk, o2.pk FROM t1 o1, t1 o2
+            WHERE o1.pk <= o2.pk
+              AND o2.b > (SELECT count(*) FROM t2 i
+                          WHERE i.x = o1.a AND i.y = o2.a)
+        """
+        compare(db, sql, MAGIC_BOTH)
+
+    @settings(max_examples=40, deadline=None)
+    @given(outer_rows, inner_rows)
+    def test_binding_from_first_of_three_quantifiers(self, t1, t2):
+        db = build_db(t1, t2)
+        sql = """
+            SELECT o1.pk FROM t1 o1, t2 j, t1 o3
+            WHERE o1.a = j.x AND o3.pk = o1.pk
+              AND o1.b >= (SELECT count(*) FROM t2 i WHERE i.x = o1.a)
+        """
+        compare(db, sql, MAGIC_BOTH)
+
+
+class TestExistentialUniversal:
+    @settings(max_examples=40, deadline=None)
+    @given(outer_rows, inner_rows, st.booleans())
+    def test_exists(self, t1, t2, negated):
+        db = build_db(t1, t2)
+        keyword = "NOT EXISTS" if negated else "EXISTS"
+        sql = f"""
+            SELECT o.pk FROM t1 o
+            WHERE {keyword} (SELECT 1 FROM t2 i WHERE i.x = o.a AND i.y >= 1)
+        """
+        compare(db, sql, MAGIC_BOTH)
+
+    @settings(max_examples=40, deadline=None)
+    @given(outer_rows, inner_rows, st.booleans())
+    def test_in_subquery(self, t1, t2, negated):
+        # NOT IN with NULLs in the subquery: the nastiest 3VL case.
+        db = build_db(t1, t2)
+        keyword = "NOT IN" if negated else "IN"
+        sql = f"""
+            SELECT o.pk FROM t1 o
+            WHERE o.b {keyword} (SELECT i.y FROM t2 i WHERE i.x = o.a)
+        """
+        compare(db, sql, MAGIC_BOTH)
+
+    @settings(max_examples=40, deadline=None)
+    @given(outer_rows, inner_rows,
+           st.sampled_from(["any", "all"]), st.sampled_from(["<", ">", "="]))
+    def test_quantified(self, t1, t2, quantifier, op):
+        db = build_db(t1, t2)
+        sql = f"""
+            SELECT o.pk FROM t1 o
+            WHERE o.b {op} {quantifier} (SELECT i.y FROM t2 i WHERE i.x = o.a)
+        """
+        compare(db, sql, MAGIC_BOTH)
+
+
+class TestTableExpressions:
+    @settings(max_examples=40, deadline=None)
+    @given(outer_rows, inner_rows)
+    def test_correlated_derived_table(self, t1, t2):
+        db = build_db(t1, t2)
+        sql = """
+            SELECT o.pk, dt.c FROM t1 o, DT(c) AS
+              (SELECT count(*) FROM t2 i WHERE i.x = o.a)
+        """
+        compare(db, sql, MAGIC_BOTH)
+
+    @settings(max_examples=30, deadline=None)
+    @given(outer_rows, inner_rows)
+    def test_union_all_subquery(self, t1, t2):
+        # The paper's Query 3 shape.
+        db = build_db(t1, t2)
+        sql = """
+            SELECT o.pk, dt.s FROM t1 o, DT(s) AS
+              (SELECT sum(v) FROM DV(v) AS
+                ((SELECT i.y FROM t2 i WHERE i.x = o.a)
+                 UNION ALL
+                 (SELECT i2.y + 1 FROM t2 i2 WHERE i2.x = o.b)))
+        """
+        compare(db, sql, MAGIC_BOTH)
+
+    @settings(max_examples=30, deadline=None)
+    @given(outer_rows, inner_rows)
+    def test_multi_level_correlation(self, t1, t2):
+        db = build_db(t1, t2)
+        sql = """
+            SELECT o.pk FROM t1 o
+            WHERE o.b > (SELECT count(*) FROM t2 i WHERE i.x = o.a AND i.y <=
+                           (SELECT max(i2.y) FROM t2 i2 WHERE i2.x = o.a))
+        """
+        compare(db, sql, MAGIC_BOTH)
+
+
+class TestNestedShapes:
+    @settings(max_examples=30, deadline=None)
+    @given(outer_rows, inner_rows)
+    def test_grouped_subquery_with_having(self, t1, t2):
+        # Subquery with its own GROUP BY + HAVING wrapped in an aggregate.
+        db = build_db(t1, t2)
+        sql = """
+            SELECT o.pk FROM t1 o
+            WHERE o.b >= (SELECT max(c) FROM
+                            (SELECT count(*) AS c FROM t2 i
+                             WHERE i.x = o.a GROUP BY i.y
+                             HAVING count(*) >= 1) AS g)
+        """
+        compare(db, sql, MAGIC_BOTH)
+
+    @settings(max_examples=30, deadline=None)
+    @given(outer_rows, inner_rows)
+    def test_intersect_subquery(self, t1, t2):
+        db = build_db(t1, t2)
+        sql = """
+            SELECT o.pk, dt.c FROM t1 o, DT(c) AS
+              (SELECT count(v) FROM DV(v) AS
+                ((SELECT i.y FROM t2 i WHERE i.x = o.a)
+                 INTERSECT
+                 (SELECT i2.y FROM t2 i2 WHERE i2.x = o.b)))
+        """
+        compare(db, sql, MAGIC_BOTH)
+
+    @settings(max_examples=30, deadline=None)
+    @given(outer_rows, inner_rows)
+    def test_except_subquery(self, t1, t2):
+        db = build_db(t1, t2)
+        sql = """
+            SELECT o.pk, dt.c FROM t1 o, DT(c) AS
+              (SELECT count(v) FROM DV(v) AS
+                ((SELECT i.y FROM t2 i WHERE i.x = o.a)
+                 EXCEPT
+                 (SELECT i2.y FROM t2 i2 WHERE i2.x = o.b)))
+        """
+        compare(db, sql, MAGIC_BOTH)
+
+    @settings(max_examples=30, deadline=None)
+    @given(outer_rows, inner_rows)
+    def test_count_distinct_subquery(self, t1, t2):
+        db = build_db(t1, t2)
+        sql = """
+            SELECT o.pk FROM t1 o
+            WHERE o.b >= (SELECT count(DISTINCT i.y) FROM t2 i
+                          WHERE i.x = o.a)
+        """
+        compare(db, sql, MAGIC_BOTH + (Strategy.DAYAL,))
+
+
+class TestKimDivergesOnlyOnCountBug:
+    @settings(max_examples=60, deadline=None)
+    @given(outer_rows, inner_rows,
+           st.sampled_from(["sum", "min", "max", "avg"]))
+    def test_kim_correct_for_null_aggregates(self, t1, t2, agg):
+        # For non-COUNT aggregates Kim's missing-group behaviour coincides
+        # with NULL-comparison semantics: results must match.
+        db = build_db(t1, t2)
+        sql = f"""
+            SELECT o.pk FROM t1 o
+            WHERE o.b > (SELECT {agg}(i.y) FROM t2 i WHERE i.x = o.a)
+        """
+        compare(db, sql, (Strategy.KIM,))
+
+    @settings(max_examples=60, deadline=None)
+    @given(outer_rows, inner_rows)
+    def test_kim_count_result_is_subset(self, t1, t2):
+        # With COUNT, Kim may LOSE rows (the COUNT bug) but never invent or
+        # duplicate them, and it only loses rows whose binding has no match.
+        db = build_db(t1, t2)
+        sql = """
+            SELECT o.pk FROM t1 o
+            WHERE o.b > (SELECT count(*) FROM t2 i WHERE i.x = o.a)
+        """
+        oracle = Counter(db.execute(sql).rows)
+        kim = Counter(db.execute(sql, strategy=Strategy.KIM).rows)
+        assert all(kim[row] <= oracle[row] for row in kim)
+        inner_values = {r[0] for r in db.catalog.table("t2").rows}
+        lost = oracle - kim
+        for (pk,) in lost:
+            a = db.catalog.table("t1").rows[pk][1]
+            assert a not in inner_values or a is None

@@ -1,0 +1,167 @@
+"""Independent engine oracle: hand-rolled Python evaluation vs the engine.
+
+The decorrelation oracle compares strategies against nested iteration; this
+suite validates the engine itself against straight-line Python for joins,
+filters, grouping and set operations, so the shared executor is not a
+single point of circular trust.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.storage import Catalog, Column, Schema
+from repro.types import SQLType
+
+value = st.one_of(st.none(), st.integers(0, 4))
+rows_t = st.lists(st.tuples(value, value), max_size=10)
+rows_u = st.lists(st.tuples(value, value), max_size=10)
+
+
+def build(t_rows, u_rows) -> Database:
+    catalog = Catalog()
+    catalog.create_table(
+        "t", Schema([Column("a", SQLType.INT), Column("b", SQLType.INT)])
+    )
+    catalog.create_table(
+        "u", Schema([Column("x", SQLType.INT), Column("y", SQLType.INT)])
+    )
+    catalog.table("t").insert_many(t_rows)
+    catalog.table("u").insert_many(u_rows)
+    return Database(catalog)
+
+
+class TestFilters:
+    @settings(max_examples=60, deadline=None)
+    @given(rows_t, st.integers(0, 4))
+    def test_comparison_filter(self, t_rows, threshold):
+        db = build(t_rows, [])
+        got = Counter(db.execute(f"SELECT a, b FROM t WHERE a > {threshold}").rows)
+        want = Counter(
+            (a, b) for a, b in t_rows if a is not None and a > threshold
+        )
+        assert got == want
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows_t)
+    def test_null_filter(self, t_rows):
+        db = build(t_rows, [])
+        got = Counter(db.execute("SELECT a FROM t WHERE b IS NULL").rows)
+        want = Counter((a,) for a, b in t_rows if b is None)
+        assert got == want
+
+
+class TestJoins:
+    @settings(max_examples=60, deadline=None)
+    @given(rows_t, rows_u)
+    def test_inner_equijoin(self, t_rows, u_rows):
+        db = build(t_rows, u_rows)
+        got = Counter(
+            db.execute(
+                "SELECT t.a, u.y FROM t, u WHERE t.a = u.x"
+            ).rows
+        )
+        want = Counter(
+            (a, y)
+            for a, _ in t_rows
+            for x, y in u_rows
+            if a is not None and x is not None and a == x
+        )
+        assert got == want
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows_t, rows_u)
+    def test_left_outer_join(self, t_rows, u_rows):
+        db = build(t_rows, u_rows)
+        got = Counter(
+            db.execute(
+                "SELECT t.a, u.y FROM t LEFT OUTER JOIN u ON t.a = u.x"
+            ).rows
+        )
+        want: Counter = Counter()
+        for a, _ in t_rows:
+            matches = [
+                (a, y)
+                for x, y in u_rows
+                if a is not None and x is not None and a == x
+            ]
+            if matches:
+                want.update(matches)
+            else:
+                want[(a, None)] += 1
+        assert got == want
+
+
+class TestGrouping:
+    @settings(max_examples=60, deadline=None)
+    @given(rows_t)
+    def test_group_count_and_sum(self, t_rows):
+        db = build(t_rows, [])
+        got = Counter(
+            db.execute(
+                "SELECT a, count(*), sum(b) FROM t GROUP BY a"
+            ).rows
+        )
+        want: Counter = Counter()
+        groups: dict = {}
+        for a, b in t_rows:
+            groups.setdefault(a, []).append(b)
+        for a, values in groups.items():
+            non_null = [v for v in values if v is not None]
+            want[(a, len(values), sum(non_null) if non_null else None)] += 1
+        assert got == want
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows_t)
+    def test_distinct(self, t_rows):
+        db = build(t_rows, [])
+        got = sorted(
+            db.execute("SELECT DISTINCT a FROM t").rows,
+            key=repr,
+        )
+        want = sorted({(a,) for a, _ in t_rows}, key=repr)
+        assert got == want
+
+
+class TestSetOps:
+    @settings(max_examples=40, deadline=None)
+    @given(rows_t, rows_u)
+    def test_union_all(self, t_rows, u_rows):
+        db = build(t_rows, u_rows)
+        got = Counter(
+            db.execute("SELECT a FROM t UNION ALL SELECT x FROM u").rows
+        )
+        want = Counter([(a,) for a, _ in t_rows] + [(x,) for x, _ in u_rows])
+        assert got == want
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows_t, rows_u)
+    def test_intersect(self, t_rows, u_rows):
+        db = build(t_rows, u_rows)
+        got = set(db.execute("SELECT a FROM t INTERSECT SELECT x FROM u").rows)
+        want = {(a,) for a, _ in t_rows} & {(x,) for x, _ in u_rows}
+        assert got == want
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows_t, rows_u)
+    def test_except(self, t_rows, u_rows):
+        db = build(t_rows, u_rows)
+        got = set(db.execute("SELECT a FROM t EXCEPT SELECT x FROM u").rows)
+        want = {(a,) for a, _ in t_rows} - {(x,) for x, _ in u_rows}
+        assert got == want
+
+
+class TestOrderLimit:
+    @settings(max_examples=40, deadline=None)
+    @given(rows_t, st.integers(0, 5))
+    def test_order_by_limit(self, t_rows, limit):
+        from repro.types import sort_key
+
+        db = build(t_rows, [])
+        got = db.execute(f"SELECT a FROM t ORDER BY a LIMIT {limit}").rows
+        want = sorted(
+            [(a,) for a, _ in t_rows], key=lambda r: sort_key(r[0])
+        )[:limit]
+        assert got == want

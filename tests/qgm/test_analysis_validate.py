@@ -1,0 +1,203 @@
+"""Unit tests for QGM analysis utilities and the consistency validator."""
+
+import pytest
+
+from repro.errors import QGMConsistencyError
+from repro.qgm import build_qgm, validate_graph
+from repro.qgm.analysis import (
+    box_children,
+    external_column_refs,
+    iter_boxes,
+    parent_edges,
+    quantifier_owner_map,
+    rewrite_subtree_refs,
+)
+from repro.qgm.expr import ColumnRef
+from repro.qgm.model import (
+    BaseTableBox,
+    GroupByBox,
+    OutputColumn,
+    Quantifier,
+    SelectBox,
+)
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+
+def build(sql, catalog):
+    return build_qgm(parse_statement(sql), catalog)
+
+
+class TestTraversal:
+    def test_iter_boxes_visits_subquery_bodies(self, empdept_catalog):
+        g = build(
+            "SELECT name FROM dept WHERE num_emps > "
+            "(SELECT count(*) FROM emp)",
+            empdept_catalog,
+        )
+        kinds = [b.kind for b in iter_boxes(g.root)]
+        assert "groupby" in kinds
+        assert kinds.count("base_table") == 2
+
+    def test_iter_boxes_dag_safe(self, empdept_catalog):
+        g = build("SELECT name FROM dept", empdept_catalog)
+        shared = g.root.quantifiers[0].box
+        # Create a second reference to the same base box (a CSE).
+        g.root.add_quantifier(shared, "again")
+        boxes = list(iter_boxes(g.root))
+        assert len(boxes) == len({b.id for b in boxes})
+
+    def test_parent_edges(self, empdept_catalog):
+        g = build(
+            "SELECT name FROM dept WHERE num_emps > "
+            "(SELECT count(*) FROM emp WHERE building = 'B1')",
+            empdept_catalog,
+        )
+        parents = parent_edges(g.root)
+        assert parents[g.root.id] == []
+        for box in iter_boxes(g.root):
+            if box is not g.root:
+                assert len(parents[box.id]) == 1  # fresh queries are trees
+
+    def test_box_children_includes_expression_boxes(self, empdept_catalog):
+        g = build(
+            "SELECT name FROM dept WHERE EXISTS (SELECT 1 FROM emp)",
+            empdept_catalog,
+        )
+        children = box_children(g.root)
+        assert len(children) == 2  # dept base + exists body
+
+    def test_quantifier_owner_map(self, empdept_catalog):
+        g = build("SELECT d.name FROM dept d, emp e", empdept_catalog)
+        owners = quantifier_owner_map(g.root)
+        for q in g.root.quantifiers:
+            assert owners[id(q)] is g.root
+
+
+class TestExternalRefs:
+    def test_uncorrelated_subtree_has_none(self, empdept_catalog):
+        g = build("SELECT name FROM dept WHERE budget < 1", empdept_catalog)
+        assert external_column_refs(g.root) == []
+
+    def test_correlated_subtree_reports_destination(self, empdept_catalog):
+        g = build(
+            "SELECT d.name FROM dept d WHERE EXISTS "
+            "(SELECT 1 FROM emp e WHERE e.building = d.building)",
+            empdept_catalog,
+        )
+        exists_box = box_children(g.root)[1]
+        refs = external_column_refs(exists_box)
+        assert len(refs) == 1
+        destination, ref = refs[0]
+        assert destination is exists_box
+        assert ref.column == "building"
+
+    def test_rewrite_subtree_refs(self, empdept_catalog):
+        g = build(
+            "SELECT d.name FROM dept d WHERE EXISTS "
+            "(SELECT 1 FROM emp e WHERE e.building = d.building)",
+            empdept_catalog,
+        )
+        exists_box = box_children(g.root)[1]
+        replacement = ast.Literal("B1")
+
+        def substitute(ref: ColumnRef):
+            if ref.quantifier is g.root.quantifiers[0]:
+                return replacement
+            return None
+
+        rewrite_subtree_refs(exists_box, substitute)
+        assert external_column_refs(exists_box) == []
+
+
+class TestValidator:
+    def test_valid_graph_passes(self, empdept_catalog):
+        g = build(
+            "SELECT building, count(*) FROM emp GROUP BY building "
+            "HAVING count(*) > 1",
+            empdept_catalog,
+        )
+        validate_graph(g, empdept_catalog)
+
+    def test_detects_unknown_output_column(self, empdept_catalog):
+        g = build("SELECT name FROM dept", empdept_catalog)
+        q = g.root.quantifiers[0]
+        g.root.outputs.append(OutputColumn("bad", q.ref("nope")))
+        with pytest.raises(QGMConsistencyError):
+            validate_graph(g, empdept_catalog)
+
+    def test_detects_invisible_quantifier(self, empdept_catalog):
+        g1 = build("SELECT name FROM dept", empdept_catalog)
+        g2 = build("SELECT name FROM emp", empdept_catalog)
+        foreign = g2.root.quantifiers[0]
+        g1.root.outputs.append(OutputColumn("bad", foreign.ref("name")))
+        with pytest.raises(QGMConsistencyError):
+            validate_graph(g1, empdept_catalog)
+
+    def test_detects_duplicate_output_names(self, empdept_catalog):
+        g = build("SELECT name FROM dept", empdept_catalog)
+        g.root.outputs.append(
+            OutputColumn("name", g.root.quantifiers[0].ref("budget"))
+        )
+        with pytest.raises(QGMConsistencyError):
+            validate_graph(g, empdept_catalog)
+
+    def test_detects_aggregate_in_spj_predicate(self, empdept_catalog):
+        g = build("SELECT name FROM dept", empdept_catalog)
+        g.root.predicates.append(
+            ast.Comparison(
+                ">", ast.AggregateCall("count", None), ast.Literal(1)
+            )
+        )
+        with pytest.raises(QGMConsistencyError):
+            validate_graph(g, empdept_catalog)
+
+    def test_detects_non_grouped_output(self, empdept_catalog):
+        g = build("SELECT count(*) FROM emp", empdept_catalog)
+        group_box = g.root
+        assert isinstance(group_box, GroupByBox)
+        gq = group_box.quantifier
+        group_box.outputs.append(OutputColumn("leak", gq.ref("one_1")))
+        with pytest.raises(QGMConsistencyError):
+            validate_graph(g, empdept_catalog)
+
+    def test_detects_unknown_base_table(self, empdept_catalog):
+        box = BaseTableBox("ghost", ["a"])
+        outer = SelectBox()
+        q = outer.add_quantifier(box, "g")
+        outer.outputs = [OutputColumn("a", q.ref("a"))]
+        from repro.qgm.model import QueryGraph
+
+        with pytest.raises(QGMConsistencyError):
+            validate_graph(QueryGraph(root=outer), empdept_catalog)
+
+    def test_detects_schema_drift(self, empdept_catalog):
+        box = BaseTableBox("dept", ["wrong", "columns"])
+        outer = SelectBox()
+        q = outer.add_quantifier(box, "d")
+        outer.outputs = [OutputColumn("wrong", q.ref("wrong"))]
+        from repro.qgm.model import QueryGraph
+
+        with pytest.raises(QGMConsistencyError):
+            validate_graph(QueryGraph(root=outer), empdept_catalog)
+
+    def test_detects_setop_arity_drift(self, empdept_catalog):
+        g = build(
+            "SELECT building FROM dept UNION ALL SELECT building FROM emp",
+            empdept_catalog,
+        )
+        arm = g.root.quantifiers[0].box
+        arm.outputs.append(
+            OutputColumn("extra", ast.Literal(1))
+        )
+        with pytest.raises(QGMConsistencyError):
+            validate_graph(g, empdept_catalog)
+
+    def test_detects_quantifier_owned_twice(self, empdept_catalog):
+        g = build("SELECT d.name FROM dept d", empdept_catalog)
+        inner = SelectBox(outputs=[OutputColumn("x", ast.Literal(1))])
+        stolen = g.root.quantifiers[0]
+        inner.quantifiers.append(stolen)
+        g.root.add_quantifier(inner, "i")
+        with pytest.raises(QGMConsistencyError):
+            validate_graph(g, empdept_catalog)

@@ -1,0 +1,154 @@
+"""Unit tests for the cleanup rewrite rules (SPJ merge, trivial removal)."""
+
+from collections import Counter
+
+import pytest
+
+from repro import Database, Strategy
+from repro.exec import execute_graph
+from repro.qgm import build_qgm, iter_boxes, validate_graph
+from repro.qgm.model import GroupByBox, SelectBox
+from repro.rewrite.cleanup import (
+    merge_spj_boxes,
+    remove_trivial_selects,
+    run_cleanup,
+)
+from repro.sql.parser import parse_statement
+
+
+def build(sql, catalog):
+    graph = build_qgm(parse_statement(sql), catalog)
+    validate_graph(graph, catalog)
+    return graph
+
+
+def results(graph, catalog):
+    return Counter(execute_graph(graph, catalog)[0])
+
+
+class TestMergeSPJ:
+    def test_derived_table_merged(self, empdept_catalog):
+        sql = """
+            SELECT t.n FROM (SELECT name AS n FROM dept
+                             WHERE budget < 10000) AS t
+            WHERE t.n <> 'ops'
+        """
+        graph = build(sql, empdept_catalog)
+        before = results(graph, empdept_catalog)
+        n_before = len(list(iter_boxes(graph.root)))
+        assert merge_spj_boxes(graph)
+        validate_graph(graph, empdept_catalog)
+        assert len(list(iter_boxes(graph.root))) < n_before
+        assert results(graph, empdept_catalog) == before
+
+    def test_merge_combines_predicates(self, empdept_catalog):
+        sql = """
+            SELECT t.name FROM (SELECT name, budget FROM dept
+                                WHERE building = 'B1') AS t
+            WHERE t.budget < 6000
+        """
+        graph = build(sql, empdept_catalog)
+        run_cleanup(graph)
+        validate_graph(graph, empdept_catalog)
+        root = graph.root
+        assert isinstance(root, SelectBox)
+        assert len(root.predicates) == 2  # both filters in one box
+
+    def test_distinct_child_not_merged(self, empdept_catalog):
+        sql = """
+            SELECT t.building FROM
+              (SELECT DISTINCT building FROM dept) AS t
+        """
+        graph = build(sql, empdept_catalog)
+        before = results(graph, empdept_catalog)
+        run_cleanup(graph)
+        validate_graph(graph, empdept_catalog)
+        assert results(graph, empdept_catalog) == before
+        # The DISTINCT box must survive (merging would change multiplicity).
+        assert any(
+            isinstance(b, SelectBox) and b.distinct
+            for b in iter_boxes(graph.root)
+        )
+
+    def test_expression_inlining(self, empdept_catalog):
+        sql = """
+            SELECT t.double_budget FROM
+              (SELECT budget * 2 AS double_budget FROM dept) AS t
+            WHERE t.double_budget > 10000
+        """
+        graph = build(sql, empdept_catalog)
+        before = results(graph, empdept_catalog)
+        run_cleanup(graph)
+        validate_graph(graph, empdept_catalog)
+        assert results(graph, empdept_catalog) == before
+
+    def test_nested_merges_to_single_box(self, empdept_catalog):
+        sql = """
+            SELECT a.n FROM
+              (SELECT n FROM (SELECT name AS n FROM dept) AS inner1) AS a
+        """
+        graph = build(sql, empdept_catalog)
+        run_cleanup(graph)
+        select_boxes = [
+            b for b in iter_boxes(graph.root) if isinstance(b, SelectBox)
+        ]
+        assert len(select_boxes) == 1
+
+    def test_constant_child_merged(self, empdept_catalog):
+        sql = "SELECT t.x FROM (SELECT 1 AS x) AS t, dept d"
+        graph = build(sql, empdept_catalog)
+        before = results(graph, empdept_catalog)
+        run_cleanup(graph)
+        validate_graph(graph, empdept_catalog)
+        assert results(graph, empdept_catalog) == before
+
+
+class TestTrivialRemoval:
+    def test_projection_under_groupby_bypassed(self, empdept_catalog):
+        sql = """
+            SELECT count(*) FROM (SELECT building AS b FROM dept) AS t
+        """
+        graph = build(sql, empdept_catalog)
+        before = results(graph, empdept_catalog)
+        changed = run_cleanup(graph)
+        validate_graph(graph, empdept_catalog)
+        assert results(graph, empdept_catalog) == before
+
+    def test_renaming_respected(self, empdept_catalog):
+        sql = """
+            SELECT s.bb FROM (SELECT building AS bb FROM dept) AS s
+        """
+        graph = build(sql, empdept_catalog)
+        before = results(graph, empdept_catalog)
+        run_cleanup(graph)
+        validate_graph(graph, empdept_catalog)
+        assert results(graph, empdept_catalog) == before
+
+
+class TestCleanupOnDecorrelatedGraphs:
+    def test_magic_graph_is_compact(self, empdept_catalog):
+        # After decorrelation + cleanup the paper's example should boil down
+        # to: root join box, SUPP, MAGIC (distinct), subquery SPJ, GroupBy,
+        # BugRemoval LOJ, plus base tables -- no trivial wrappers left.
+        db = Database(empdept_catalog)
+        sql = """
+            SELECT d.name FROM dept d
+            WHERE d.budget < 10000 AND d.num_emps >
+              (SELECT count(*) FROM emp e WHERE e.building = d.building)
+        """
+        graph = db.rewrite(parse_statement(sql), Strategy.MAGIC)
+        boxes = list(iter_boxes(graph.root))
+        select_boxes = [b for b in boxes if isinstance(b, SelectBox)]
+        # root, SUPP, magic (distinct), subquery SPJ
+        assert len(select_boxes) <= 4
+        group_boxes = [b for b in boxes if isinstance(b, GroupByBox)]
+        assert len(group_boxes) == 1
+
+    def test_cleanup_idempotent(self, empdept_catalog):
+        sql = "SELECT t.n FROM (SELECT name AS n FROM dept) AS t"
+        graph = build(sql, empdept_catalog)
+        run_cleanup(graph)
+        snapshot = len(list(iter_boxes(graph.root)))
+        assert not merge_spj_boxes(graph)
+        assert not remove_trivial_selects(graph)
+        assert len(list(iter_boxes(graph.root))) == snapshot

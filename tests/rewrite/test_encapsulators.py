@@ -1,0 +1,95 @@
+"""Tests for the box-encapsulator registry (paper section 4.4)."""
+
+from collections import Counter
+
+import pytest
+
+from repro import Database, Strategy
+from repro.qgm.model import GroupByBox, OuterJoinBox, SelectBox, SetOpBox
+from repro.rewrite.decorrelate.encapsulators import (
+    BoxEncapsulator,
+    _REGISTRY,
+    encapsulator_for,
+    register_encapsulator,
+    subtree_can_absorb,
+)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for kind in (SelectBox, GroupByBox, SetOpBox):
+            assert kind in _REGISTRY
+
+    def test_outer_join_is_nm(self, empdept_catalog):
+        box = OuterJoinBox.__new__(OuterJoinBox)  # structural check only
+        assert encapsulator_for(box) is None
+
+    def test_subclass_inherits_encapsulator(self):
+        class MySelect(SelectBox):
+            kind = "my_select"
+
+        box = MySelect()
+        assert encapsulator_for(box) is _REGISTRY[SelectBox]
+        assert subtree_can_absorb(box)
+
+    def test_custom_registration_and_restore(self):
+        class WeirdBox(SelectBox):
+            kind = "weird"
+
+        calls = []
+        custom = BoxEncapsulator(
+            can_absorb=lambda box: False,
+            absorb=lambda d, box, magic, mapping: calls.append(box) or [],
+        )
+        register_encapsulator(WeirdBox, custom)
+        try:
+            box = WeirdBox()
+            assert encapsulator_for(box) is custom
+            assert not subtree_can_absorb(box)  # declared NM
+        finally:
+            del _REGISTRY[WeirdBox]
+
+    def test_groupby_capability_recurses(self, empdept_catalog):
+        from repro.qgm import build_qgm
+        from repro.sql.parser import parse_statement
+
+        graph = build_qgm(
+            parse_statement("SELECT count(*) FROM emp"), empdept_catalog
+        )
+        assert isinstance(graph.root, GroupByBox)
+        assert subtree_can_absorb(graph.root)
+
+
+class TestOuterJoinSubqueries:
+    def test_subquery_containing_loj_fully_decorrelated(self, empdept_catalog):
+        # The subquery's top box is an SPJ whose FROM contains an outer
+        # join; the SPJ encapsulator absorbs the magic table there, so the
+        # LOJ's NM status never blocks decorrelation.
+        db = Database(empdept_catalog)
+        sql = """
+            SELECT d.name FROM dept d
+            WHERE d.num_emps >= (
+              SELECT count(e2.empno) FROM emp e
+              LEFT OUTER JOIN emp e2 ON e.salary < e2.salary
+              WHERE e.building = d.building)
+        """
+        oracle = Counter(db.execute(sql).rows)
+        magic = db.execute(sql, strategy=Strategy.MAGIC)
+        assert Counter(magic.rows) == oracle
+        assert magic.metrics.subquery_invocations == 0
+
+    def test_correlation_inside_on_condition(self, empdept_catalog):
+        # Correlation *inside* the LOJ's ON condition: the absorb redirects
+        # it to the magic quantifier one level up, leaving the outer join
+        # locally correlated -- still executable, still correct.
+        db = Database(empdept_catalog)
+        sql = """
+            SELECT d.name FROM dept d
+            WHERE d.num_emps >= (
+              SELECT count(e2.empno) FROM emp e
+              LEFT OUTER JOIN emp e2 ON e2.salary > d.budget / 100
+              WHERE e.building = d.building)
+        """
+        oracle = Counter(db.execute(sql).rows)
+        magic = db.execute(sql, strategy=Strategy.MAGIC)
+        assert Counter(magic.rows) == oracle

@@ -1,0 +1,151 @@
+"""Structural tests: the magic-rewritten graph has the paper's shape.
+
+Section 2.1 spells out the rewritten example as five views: Supp_Dept,
+Magic, Decorr_SubQuery, BugRemoval, and the final join. These tests check
+the rewritten QGM piece by piece against that blueprint.
+"""
+
+import pytest
+
+from repro import Database, Strategy
+from repro.qgm import iter_boxes
+from repro.qgm.expr import ColumnRef, walk_expr
+from repro.qgm.model import GroupByBox, OuterJoinBox, SelectBox, SetOpBox
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+PAPER_QUERY = """
+    Select D.name From Dept D
+    Where D.budget < 10000 and D.num_emps >
+      (Select Count(*) From Emp E Where D.building = E.building)
+"""
+
+
+@pytest.fixture
+def graph(empdept_catalog):
+    db = Database(empdept_catalog)
+    return db.rewrite(parse_statement(PAPER_QUERY), Strategy.MAGIC)
+
+
+def boxes_of(graph, kind):
+    return [b for b in iter_boxes(graph.root) if isinstance(b, kind)]
+
+
+class TestPaperBlueprint:
+    def test_supplementary_box(self, graph):
+        # Supp_Dept: the dept scan with the budget predicate, shared by the
+        # root and the magic chain (the common subexpression).
+        from repro.qgm.analysis import parent_edges
+
+        parents = parent_edges(graph.root)
+        shared = [
+            b for b in iter_boxes(graph.root)
+            if len(parents[b.id]) == 2 and isinstance(b, SelectBox)
+            and not b.distinct  # the magic box is also shared (DS + LOJ)
+        ]
+        assert len(shared) == 1
+        supp = shared[0]
+        assert any("budget" in repr(p) for p in supp.predicates)
+
+    def test_magic_box_is_distinct_projection(self, graph):
+        distinct_boxes = [
+            b for b in boxes_of(graph, SelectBox) if b.distinct
+        ]
+        assert len(distinct_boxes) == 1
+        magic = distinct_boxes[0]
+        assert len(magic.outputs) == 1  # the single binding column
+        assert not magic.predicates
+
+    def test_decorrelated_subquery_groups_by_binding(self, graph):
+        group_boxes = boxes_of(graph, GroupByBox)
+        assert len(group_boxes) == 1
+        group = group_boxes[0]
+        assert len(group.group_by) == 1  # grouped by the binding column
+        aggs = [
+            o for o in group.outputs
+            if isinstance(o.expr, ast.AggregateCall)
+        ]
+        assert len(aggs) == 1 and aggs[0].expr.is_count
+
+    def test_bug_removal_outer_join_with_coalesce(self, graph):
+        loj_boxes = boxes_of(graph, OuterJoinBox)
+        assert len(loj_boxes) == 1
+        bug_removal = loj_boxes[0]
+        coalesces = [
+            n
+            for o in bug_removal.outputs
+            for n in walk_expr(o.expr)
+            if isinstance(n, ast.FunctionCall) and n.name == "coalesce"
+        ]
+        assert len(coalesces) == 1
+        assert coalesces[0].args[1] == ast.Literal(0)
+
+    def test_final_join_enforces_correlation(self, graph):
+        root = graph.root
+        assert isinstance(root, SelectBox)
+        null_safe = [
+            p for p in root.predicates
+            if isinstance(p, ast.Comparison) and p.op == "<=>"
+        ]
+        assert len(null_safe) == 1  # the CI equi-join on the binding
+
+    def test_no_correlation_left(self, graph):
+        from repro.qgm.analysis import external_column_refs
+
+        assert external_column_refs(graph.root) == []
+        for box in iter_boxes(graph.root):
+            for expr in box.own_exprs():
+                for node in walk_expr(expr):
+                    assert not isinstance(node, ast.ScalarSubquery)
+
+
+class TestQuery3Shape:
+    def test_union_absorbs_binding_into_both_arms(self, empdept_catalog):
+        db = Database(empdept_catalog)
+        sql = """
+            SELECT d.name, dt.s FROM dept d, DT(s) AS
+              (SELECT sum(bal) FROM DDT(bal) AS
+                ((SELECT e.salary FROM emp e WHERE e.building = d.building)
+                 UNION ALL
+                 (SELECT e2.salary FROM emp e2
+                  WHERE e2.building = d.building)))
+        """
+        graph = db.rewrite(parse_statement(sql), Strategy.MAGIC)
+        setops = [b for b in iter_boxes(graph.root) if isinstance(b, SetOpBox)]
+        assert len(setops) == 1
+        union = setops[0]
+        # Each arm gained the binding column: arity 2 (value, binding).
+        assert len(union.output_names()) == 2
+        for q in union.quantifiers:
+            assert len(q.box.output_names()) == 2
+        # GroupBy above the union groups by the binding.
+        groups = [b for b in iter_boxes(graph.root) if isinstance(b, GroupByBox)]
+        assert any(len(g.group_by) == 1 for g in groups)
+
+
+class TestExistentialShape:
+    def test_ci_box_probes_materialised_ds(self, empdept_catalog):
+        db = Database(empdept_catalog)
+        sql = """
+            SELECT d.name FROM dept d WHERE EXISTS
+              (SELECT 1 FROM emp e WHERE e.building = d.building)
+        """
+        graph = db.rewrite(parse_statement(sql), Strategy.MAGIC)
+        from repro.qgm.expr import BoxExists
+        from repro.qgm.analysis import external_column_refs
+
+        exists_nodes = [
+            n
+            for b in iter_boxes(graph.root)
+            for e in b.own_exprs()
+            for n in walk_expr(e)
+            if isinstance(n, BoxExists)
+        ]
+        assert len(exists_nodes) == 1
+        ci = exists_nodes[0].box
+        assert isinstance(ci, SelectBox)
+        # The CI box is correlated (the per-row selection)...
+        assert external_column_refs(ci)
+        # ...but its input (the decorrelated DS) is not.
+        ds = ci.quantifiers[0].box
+        assert not external_column_refs(ds)

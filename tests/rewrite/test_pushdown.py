@@ -1,0 +1,167 @@
+"""Unit tests for predicate pushdown."""
+
+from collections import Counter
+
+import pytest
+
+from repro.exec import execute_graph
+from repro.qgm import build_qgm, iter_boxes, validate_graph
+from repro.qgm.model import GroupByBox, SelectBox, SetOpBox
+from repro.rewrite.pushdown import push_down_predicates
+from repro.sql.parser import parse_statement
+
+
+def build(sql, catalog):
+    graph = build_qgm(parse_statement(sql), catalog)
+    validate_graph(graph, catalog)
+    return graph
+
+
+def check_preserves(graph, catalog):
+    before = Counter(execute_graph(graph, catalog)[0])
+    changed = push_down_predicates(graph)
+    validate_graph(graph, catalog)
+    after = Counter(execute_graph(graph, catalog)[0])
+    assert after == before
+    return changed
+
+
+class TestDistinctPushdown:
+    def test_filter_sinks_below_distinct(self, empdept_catalog):
+        graph = build(
+            """
+            SELECT t.building FROM
+              (SELECT DISTINCT building FROM dept) AS t
+            WHERE t.building <> 'B1'
+            """,
+            empdept_catalog,
+        )
+        assert check_preserves(graph, empdept_catalog)
+        distinct_box = next(
+            b for b in iter_boxes(graph.root)
+            if isinstance(b, SelectBox) and b.distinct
+        )
+        assert distinct_box.predicates  # the filter moved inside
+
+    def test_predicate_over_two_quantifiers_stays(self, empdept_catalog):
+        graph = build(
+            """
+            SELECT 1 FROM
+              (SELECT DISTINCT building FROM dept) AS a,
+              (SELECT DISTINCT building FROM emp) AS b
+            WHERE a.building = b.building
+            """,
+            empdept_catalog,
+        )
+        assert not check_preserves(graph, empdept_catalog)
+
+
+class TestGroupByPushdown:
+    def test_group_column_filter_sinks(self, empdept_catalog):
+        graph = build(
+            """
+            SELECT t.building, t.c FROM
+              (SELECT building, count(*) AS c FROM emp
+               GROUP BY building) AS t
+            WHERE t.building <> 'B1'
+            """,
+            empdept_catalog,
+        )
+        assert check_preserves(graph, empdept_catalog)
+        # The filter now sits below the GroupBy, in its input SPJ.
+        group_box = next(
+            b for b in iter_boxes(graph.root) if isinstance(b, GroupByBox)
+        )
+        input_box = group_box.quantifier.box
+        assert isinstance(input_box, SelectBox)
+        assert input_box.predicates
+
+    def test_aggregate_filter_stays(self, empdept_catalog):
+        graph = build(
+            """
+            SELECT t.building FROM
+              (SELECT building, count(*) AS c FROM emp
+               GROUP BY building) AS t
+            WHERE t.c > 1
+            """,
+            empdept_catalog,
+        )
+        changed = check_preserves(graph, empdept_catalog)
+        assert not changed  # HAVING-like predicates must not sink
+
+
+class TestSetOpPushdown:
+    def test_filter_sinks_into_both_union_arms(self, empdept_catalog):
+        graph = build(
+            """
+            SELECT t.b FROM
+              ((SELECT building AS b FROM dept)
+               UNION ALL
+               (SELECT building AS b FROM emp)) AS t
+            WHERE t.b = 'B1'
+            """,
+            empdept_catalog,
+        )
+        assert check_preserves(graph, empdept_catalog)
+        union = next(
+            b for b in iter_boxes(graph.root) if isinstance(b, SetOpBox)
+        )
+        for q in union.quantifiers:
+            assert q.box.predicates
+
+    def test_intersect_pushdown(self, empdept_catalog):
+        graph = build(
+            """
+            SELECT t.b FROM
+              ((SELECT building AS b FROM dept)
+               INTERSECT
+               (SELECT building AS b FROM emp)) AS t
+            WHERE t.b <> 'B9'
+            """,
+            empdept_catalog,
+        )
+        assert check_preserves(graph, empdept_catalog)
+
+    def test_except_pushdown(self, empdept_catalog):
+        graph = build(
+            """
+            SELECT t.b FROM
+              ((SELECT building AS b FROM dept)
+               EXCEPT
+               (SELECT building AS b FROM emp)) AS t
+            WHERE t.b LIKE 'B%'
+            """,
+            empdept_catalog,
+        )
+        assert check_preserves(graph, empdept_catalog)
+
+
+class TestSafety:
+    def test_shared_boxes_untouched(self, empdept_catalog):
+        from repro import Database, Strategy
+
+        # A decorrelated graph shares the supplementary box; pushdown into
+        # it would filter one consumer's rows for both.
+        db = Database(empdept_catalog)
+        sql = """
+            SELECT d.name FROM dept d
+            WHERE d.budget < 10000 AND d.num_emps >
+              (SELECT count(*) FROM emp e WHERE e.building = d.building)
+        """
+        graph = db.rewrite(parse_statement(sql), Strategy.MAGIC)
+        before = Counter(execute_graph(graph, db.catalog)[0])
+        push_down_predicates(graph)
+        validate_graph(graph, db.catalog)
+        after = Counter(execute_graph(graph, db.catalog)[0])
+        assert after == before
+
+    def test_subquery_predicates_never_move(self, empdept_catalog):
+        graph = build(
+            """
+            SELECT t.building FROM
+              (SELECT DISTINCT building FROM dept) AS t
+            WHERE t.building IN (SELECT building FROM emp)
+            """,
+            empdept_catalog,
+        )
+        assert not check_preserves(graph, empdept_catalog)

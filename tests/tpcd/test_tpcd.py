@@ -1,0 +1,170 @@
+"""Unit tests for the TPC-D substrate: schema, generator, queries."""
+
+import pytest
+
+from repro import Database, Strategy
+from repro.storage import Catalog
+from repro.tpcd import (
+    EMP_DEPT_QUERY,
+    QUERY_1,
+    QUERY_1_VARIANT,
+    QUERY_2,
+    QUERY_3,
+    TPCDGenerator,
+    create_tpcd_schema,
+    load_empdept,
+    load_tpcd,
+    paper_row_counts,
+)
+from repro.tpcd.schema import NATIONS, REGIONS
+from repro.sql.parser import parse_statement
+
+
+class TestSchema:
+    def test_paper_counts_at_paper_scale(self):
+        assert paper_row_counts(0.1) == {
+            "customers": 15_000,
+            "parts": 20_000,
+            "suppliers": 1_000,
+            "partsupp": 80_000,
+            "lineitem": 600_000,
+        }
+
+    def test_twenty_five_nations_five_regions(self):
+        assert len(NATIONS) == 25
+        assert len(REGIONS) == 5
+        assert len(REGIONS["EUROPE"]) == 5
+        assert ("FRANCE", "EUROPE") in NATIONS
+
+    def test_schema_creates_all_tables(self):
+        catalog = Catalog()
+        create_tpcd_schema(catalog)
+        for name in ("customers", "parts", "suppliers", "partsupp", "lineitem"):
+            assert catalog.has_table(name)
+
+    def test_paper_index_set(self):
+        catalog = Catalog()
+        create_tpcd_schema(catalog)
+        partsupp = catalog.table("partsupp")
+        # ps_suppkey indexed (Figure 7 drops it); no single-column ps_partkey
+        # index (the 1993 key is the composite primary key).
+        assert "ps_suppkey_idx" in partsupp.indexes
+        assert partsupp.find_index(["ps_partkey"]) is None
+        assert catalog.table("lineitem").find_index(["l_partkey"]) is not None
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return load_tpcd(scale_factor=0.005)
+
+    def test_counts(self, catalog):
+        expected = paper_row_counts(0.005)
+        for name, count in expected.items():
+            assert len(catalog.table(name)) == count
+
+    def test_partsupp_four_distinct_suppliers_per_part(self, catalog):
+        seen: dict[int, set[int]] = {}
+        for part, supp, _, _ in catalog.table("partsupp").rows:
+            seen.setdefault(part, set()).add(supp)
+        assert all(len(s) == 4 for s in seen.values())
+
+    def test_suppliers_have_consistent_nation_region(self, catalog):
+        nation_to_region = dict(NATIONS)
+        for row in catalog.table("suppliers").rows:
+            assert nation_to_region[row[3]] == row[4]
+
+    def test_foreign_keys_valid(self, catalog):
+        n_parts = len(catalog.table("parts"))
+        n_suppliers = len(catalog.table("suppliers"))
+        for row in catalog.table("lineitem").rows:
+            assert 1 <= row[2] <= n_parts
+            assert 1 <= row[3] <= n_suppliers
+
+    def test_quantity_range_matches_query2(self, catalog):
+        # Query 2 relies on quantities in [1, 50].
+        quantities = [r[4] for r in catalog.table("lineitem").rows]
+        assert min(quantities) >= 1 and max(quantities) <= 50
+
+
+class TestPaperQueriesParse:
+    @pytest.mark.parametrize(
+        "sql", [EMP_DEPT_QUERY, QUERY_1, QUERY_1_VARIANT, QUERY_2, QUERY_3],
+        ids=["empdept", "q1", "q1b", "q2", "q3"],
+    )
+    def test_parses(self, sql):
+        parse_statement(sql)
+
+
+class TestPaperQueriesRun:
+    """Tiny-scale end-to-end runs of all paper queries under all strategies."""
+
+    @pytest.fixture(scope="class")
+    def db(self):
+        return Database(load_tpcd(scale_factor=0.003))
+
+    @pytest.mark.parametrize(
+        "sql", [QUERY_1, QUERY_1_VARIANT, QUERY_2],
+        ids=["q1", "q1b", "q2"],
+    )
+    def test_all_strategies_agree(self, db, sql):
+        from collections import Counter
+
+        oracle = Counter(db.execute(sql).rows)
+        for strategy in (Strategy.KIM, Strategy.DAYAL, Strategy.MAGIC,
+                         Strategy.MAGIC_OPT):
+            assert Counter(db.execute(sql, strategy=strategy).rows) == oracle, (
+                strategy
+            )
+
+    def test_query3_magic_agrees(self, db):
+        from collections import Counter
+
+        oracle = Counter(db.execute(QUERY_3).rows)
+        assert Counter(db.execute(QUERY_3, strategy=Strategy.MAGIC).rows) == oracle
+        assert (
+            Counter(db.execute(QUERY_3, strategy=Strategy.MAGIC_OPT).rows)
+            == oracle
+        )
+
+    def test_query2_invocations_keyed(self, db):
+        result = db.execute(QUERY_2)
+        # One invocation per qualifying part (binding is the part key).
+        parts = db.execute(
+            "SELECT count(*) FROM parts WHERE p_brand = 'Brand#23' "
+            "AND p_container = '6 PACK'"
+        ).scalar()
+        assert result.metrics.subquery_invocations == parts
+
+    def test_query3_invocations_match_european_suppliers(self, db):
+        result = db.execute(QUERY_3)
+        europeans = db.execute(
+            "SELECT count(*) FROM suppliers WHERE s_region = 'EUROPE'"
+        ).scalar()
+        assert result.metrics.subquery_invocations == europeans
+        assert len(result.rows) == europeans  # LOJ keeps every supplier
+
+
+class TestEmpDept:
+    def test_load_empdept(self):
+        catalog = load_empdept(n_depts=20, n_emps=100, n_buildings=5)
+        assert len(catalog.table("dept")) == 20
+        assert len(catalog.table("emp")) == 100
+
+    def test_empty_buildings_exist(self):
+        catalog = load_empdept(
+            n_depts=50, n_emps=200, n_buildings=10,
+            empty_building_fraction=0.3,
+        )
+        dept_buildings = {r[3] for r in catalog.table("dept").rows}
+        emp_buildings = {r[2] for r in catalog.table("emp").rows}
+        assert dept_buildings - emp_buildings  # some dept building is empty
+
+    def test_example_query_runs_and_matches_magic(self):
+        from collections import Counter
+
+        db = Database(load_empdept(n_depts=40, n_emps=300, n_buildings=8))
+        oracle = Counter(db.execute(EMP_DEPT_QUERY).rows)
+        for strategy in (Strategy.DAYAL, Strategy.MAGIC, Strategy.MAGIC_OPT,
+                         Strategy.GANSKI_WONG):
+            assert Counter(db.execute(EMP_DEPT_QUERY, strategy=strategy).rows) == oracle
