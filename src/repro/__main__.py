@@ -135,6 +135,42 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: static analysis of a query (or a whole script).
+
+    Prints coded diagnostics with caret underlining, the correlation
+    patterns found, and per-strategy applicability verdicts. Exit code 1
+    when any error-level diagnostic was reported."""
+    db = Database()
+    try:
+        if args.db:
+            with open(args.db) as handle:
+                db.execute_script(handle.read())
+        if args.query is not None:
+            sources = [args.query]
+        else:
+            from .sql.splitter import split_statements
+
+            with open(args.script) as handle:
+                sources = split_statements(handle.read())
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error in --db script: {exc}", file=sys.stderr)
+        return 2
+    failed = False
+    for i, sql in enumerate(sources):
+        if len(sources) > 1:
+            print(f"-- statement {i + 1} " + "-" * 40)
+        report = db.analyze(sql)
+        print(report.render(show_analysis=not args.quiet))
+        if len(sources) > 1:
+            print()
+        failed = failed or not report.ok
+    return 1 if failed else 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """``repro report``: regenerate the evaluation as a Markdown document."""
     from .bench.report import generate_report
@@ -175,6 +211,17 @@ def main(argv: list[str] | None = None) -> int:
     p_fig.add_argument("--only", nargs="*", default=None,
                        help="e.g. --only figure8 figure9")
     p_fig.set_defaults(fn=cmd_figures)
+
+    p_lint = sub.add_parser(
+        "lint", help="static analysis: diagnostics, patterns, applicability"
+    )
+    group = p_lint.add_mutually_exclusive_group(required=True)
+    group.add_argument("query", nargs="?", help="SQL text to analyze")
+    group.add_argument("--script", help="lint every statement of a script")
+    p_lint.add_argument("--db", help="SQL script creating the schema")
+    p_lint.add_argument("--quiet", action="store_true",
+                        help="diagnostics only (no pattern/strategy report)")
+    p_lint.set_defaults(fn=cmd_lint)
 
     p_explain = sub.add_parser("explain", help="print the rewritten QGM")
     p_explain.add_argument("query")

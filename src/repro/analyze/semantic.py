@@ -1,0 +1,544 @@
+"""Pre-execution semantic analysis over the SQL AST.
+
+Mirrors the QGM builder's binding rules (``repro.qgm.builder``) but is
+*error-tolerant*: instead of raising on the first :class:`BindError`, it
+collects every problem it can find as coded diagnostics. Unknown tables
+become wildcard relations (any column resolves against them) so one typo in
+FROM does not cascade into a spurious unknown-column error per reference.
+
+The analyzer also performs correlation-depth analysis: a name that resolves
+in an *enclosing* query block is exactly what the paper calls a correlation,
+and is reported as an informational ``SEM101`` diagnostic carrying the
+number of block levels the reference crosses.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import LexError, ParseError
+from ..sql import ast
+from ..sql.parser import parse_statement
+from ..storage.catalog import Catalog
+from .diagnostics import Diagnostic, Severity
+
+#: Clauses in which aggregate calls are illegal (they would end up inside
+#: SPJ predicates, which ``validate_graph`` rejects).
+_NO_AGGREGATE_CLAUSES = frozenset({"WHERE", "GROUP BY", "join condition"})
+
+
+@dataclass
+class _Relation:
+    """One FROM binding. ``columns is None`` marks a wildcard relation (its
+    definition was unknown or invalid); every column resolves against it so
+    follow-on errors are suppressed."""
+
+    alias: str
+    columns: Optional[list[str]]
+
+
+@dataclass
+class _Scope:
+    parent: Optional["_Scope"] = None
+    relations: list[_Relation] = field(default_factory=list)
+
+    def find(self, alias: str) -> Optional[_Relation]:
+        for relation in self.relations:
+            if relation.alias == alias:
+                return relation
+        return None
+
+
+class SemanticAnalyzer:
+    """Collects semantic diagnostics for one statement."""
+
+    def __init__(self, catalog: Catalog, _view_stack: Optional[list[str]] = None):
+        self.catalog = catalog
+        self.diagnostics: list[Diagnostic] = []
+        self._view_stack: list[str] = _view_stack if _view_stack is not None else []
+
+    # -- entry points --------------------------------------------------------
+
+    def analyze(self, statement: ast.Statement) -> list[Diagnostic]:
+        if isinstance(statement, (ast.Select, ast.SetOp)):
+            self._visit_query(statement, None, top=True)
+        elif isinstance(statement, ast.CreateView):
+            self._visit_query(statement.query, None)
+        elif isinstance(statement, ast.Insert):
+            if not self.catalog.has_table(statement.table):
+                self._emit("SEM001", Severity.ERROR,
+                           f"unknown table {statement.table!r}", None,
+                           hint=self._table_hint(statement.table))
+            if statement.query is not None:
+                self._visit_query(statement.query, None)
+        return self.diagnostics
+
+    # -- helpers -------------------------------------------------------------
+
+    def _emit(
+        self,
+        code: str,
+        severity: Severity,
+        message: str,
+        span: Optional[ast.Span],
+        hint: Optional[str] = None,
+    ) -> None:
+        self.diagnostics.append(Diagnostic(code, severity, message, span, hint))
+
+    def _table_hint(self, name: str) -> Optional[str]:
+        known = sorted(
+            [t.name for t in self.catalog.tables()]
+            + [v for v in getattr(self.catalog, "_views", {})]
+        )
+        close = difflib.get_close_matches(name.lower(), known, n=1)
+        return f"did you mean {close[0]!r}?" if close else None
+
+    @staticmethod
+    def _column_hint(name: str, candidates: list[str]) -> Optional[str]:
+        close = difflib.get_close_matches(name.lower(), candidates, n=1)
+        return f"did you mean {close[0]!r}?" if close else None
+
+    @staticmethod
+    def _contains_aggregate(expr: ast.Expr) -> bool:
+        return any(isinstance(n, ast.AggregateCall) for n in expr.walk())
+
+    # -- query bodies --------------------------------------------------------
+
+    def _visit_query(
+        self, body: ast.QueryBody, scope: Optional[_Scope], top: bool = False
+    ) -> Optional[list[str]]:
+        """Analyze a query body; returns its output column names when they
+        can be determined, ``None`` otherwise."""
+        if isinstance(body, ast.Select):
+            return self._visit_select(body, scope, top=top)
+        left = self._visit_query(body.left, scope)
+        right = self._visit_query(body.right, scope)
+        if left is not None and right is not None and len(left) != len(right):
+            self._emit(
+                "SEM012", Severity.ERROR,
+                f"{body.op.upper()} arms have different arities "
+                f"({len(left)} vs {len(right)})",
+                ast.span_of(body),
+            )
+        names = left if left is not None else right
+        if top and names is not None:
+            self._check_order_positions(body.order_by, len(names))
+        return names
+
+    def _visit_select(
+        self, select: ast.Select, outer: Optional[_Scope], top: bool = False
+    ) -> Optional[list[str]]:
+        scope = _Scope(parent=outer)
+        for item in select.from_items:
+            self._add_from_item(item, scope)
+
+        if select.where is not None:
+            self._check_expr(select.where, scope, "WHERE")
+        for group in select.group_by:
+            self._check_expr(group, scope, "GROUP BY")
+        if select.having is not None:
+            self._check_expr(select.having, scope, "HAVING")
+        for item in select.items:
+            if isinstance(item.expr, ast.Star):
+                self._check_star(item.expr, scope)
+            else:
+                self._check_expr(item.expr, scope, "select list")
+        for order in select.order_by:
+            if not isinstance(order.expr, (ast.Literal, ast.Name)):
+                self._check_expr(order.expr, scope, "ORDER BY")
+
+        has_aggregates = any(
+            not isinstance(i.expr, ast.Star) and self._contains_aggregate(i.expr)
+            for i in select.items
+        )
+        having_aggregates = (
+            select.having is not None and self._contains_aggregate(select.having)
+        )
+        if (
+            select.having is not None
+            and not select.group_by
+            and not having_aggregates
+            and not has_aggregates
+        ):
+            self._emit(
+                "SEM008", Severity.ERROR,
+                "HAVING requires GROUP BY or aggregates",
+                ast.span_of(select.having),
+            )
+        if select.group_by or has_aggregates or having_aggregates:
+            self._check_grouping(select, scope)
+
+        names = self._output_names(select, scope)
+        if top and names is not None:
+            self._check_order_positions(select.order_by, len(names))
+        return names
+
+    def _check_order_positions(
+        self, order_by: tuple[ast.OrderItem, ...], n_outputs: int
+    ) -> None:
+        for item in order_by:
+            expr = item.expr
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                if not 1 <= expr.value <= n_outputs:
+                    self._emit(
+                        "SEM013", Severity.ERROR,
+                        f"ORDER BY position {expr.value} out of range "
+                        f"(query produces {n_outputs} column(s))",
+                        ast.span_of(expr),
+                    )
+
+    # -- FROM ----------------------------------------------------------------
+
+    def _add_from_item(self, item: ast.FromItem, scope: _Scope) -> None:
+        if isinstance(item, ast.TableRef):
+            columns = self._relation_columns(item.name, ast.span_of(item))
+            self._add_relation(scope, item.binding_name, columns, ast.span_of(item))
+            return
+        if isinstance(item, ast.DerivedTable):
+            # Derived tables bind against the *current* scope (the paper's
+            # Query 3 correlates a table expression to a sibling quantifier),
+            # so earlier FROM items are already visible here.
+            names = self._visit_query(item.query, scope)
+            if item.column_aliases:
+                if names is not None and len(names) != len(item.column_aliases):
+                    self._emit(
+                        "SEM012", Severity.ERROR,
+                        f"derived table {item.alias!r} alias list names "
+                        f"{len(item.column_aliases)} column(s) but the query "
+                        f"produces {len(names)}",
+                        ast.span_of(item),
+                    )
+                names = [a.lower() for a in item.column_aliases]
+            self._add_relation(scope, item.binding_name, names, ast.span_of(item))
+            return
+        if isinstance(item, ast.Join):
+            self._add_from_item(item.left, scope)
+            self._add_from_item(item.right, scope)
+            if item.condition is not None:
+                self._check_expr(item.condition, scope, "join condition")
+            return
+
+    def _add_relation(
+        self,
+        scope: _Scope,
+        alias: str,
+        columns: Optional[list[str]],
+        span: Optional[ast.Span],
+    ) -> None:
+        if scope.find(alias) is not None:
+            self._emit(
+                "SEM005", Severity.ERROR,
+                f"duplicate alias {alias!r} in FROM", span,
+            )
+            return
+        scope.relations.append(_Relation(alias, columns))
+
+    def _relation_columns(
+        self, name: str, span: Optional[ast.Span]
+    ) -> Optional[list[str]]:
+        key = name.lower()
+        if self.catalog.has_view(name):
+            if key in self._view_stack:
+                self._emit(
+                    "SEM001", Severity.ERROR,
+                    "cyclic view definition: "
+                    + " -> ".join(self._view_stack + [key]),
+                    span,
+                )
+                return None
+            try:
+                statement = parse_statement(self.catalog.view_sql(name))
+            except (LexError, ParseError):
+                return None
+            if not isinstance(statement, (ast.Select, ast.SetOp)):
+                return None
+            # Analyze the view body in its own analyzer so its diagnostics
+            # (reported when the view was created) do not repeat here; we
+            # only need the output column names.
+            sub = SemanticAnalyzer(
+                self.catalog, _view_stack=self._view_stack + [key]
+            )
+            return sub._visit_query(statement, None)
+        if self.catalog.has_table(name):
+            return list(self.catalog.table(name).schema.names())
+        self._emit(
+            "SEM001", Severity.ERROR,
+            f"unknown table or view {name!r}", span,
+            hint=self._table_hint(name),
+        )
+        return None
+
+    # -- expressions ---------------------------------------------------------
+
+    def _check_expr(
+        self,
+        expr: ast.Expr,
+        scope: _Scope,
+        clause: str,
+        in_aggregate: bool = False,
+    ) -> None:
+        if isinstance(expr, ast.Name):
+            self._resolve_name(expr, scope)
+            return
+        if isinstance(expr, ast.Star):
+            self._emit(
+                "SEM010", Severity.ERROR,
+                f"* is not allowed in {clause}", ast.span_of(expr),
+            )
+            return
+        if isinstance(expr, ast.AggregateCall):
+            if clause in _NO_AGGREGATE_CLAUSES:
+                self._emit(
+                    "SEM006", Severity.ERROR,
+                    f"aggregate {expr.func.upper()} is not allowed in {clause}",
+                    ast.span_of(expr),
+                )
+            if in_aggregate:
+                self._emit(
+                    "SEM007", Severity.ERROR,
+                    "aggregate calls cannot be nested", ast.span_of(expr),
+                )
+            if expr.argument is not None:
+                self._check_expr(expr.argument, scope, clause, in_aggregate=True)
+            return
+        if isinstance(expr, ast.ScalarSubquery):
+            names = self._visit_query(expr.query, scope)
+            if names is not None and len(names) != 1:
+                self._emit(
+                    "SEM009", Severity.ERROR,
+                    f"scalar subquery must produce exactly one column, "
+                    f"got {len(names)}",
+                    ast.span_of(expr),
+                )
+            return
+        if isinstance(expr, ast.Exists):
+            self._visit_query(expr.query, scope)
+            return
+        if isinstance(expr, (ast.InSubquery, ast.QuantifiedComparison)):
+            self._check_expr(expr.operand, scope, clause, in_aggregate)
+            construct = (
+                "IN" if isinstance(expr, ast.InSubquery)
+                else expr.quantifier.upper()
+            )
+            names = self._visit_query(expr.query, scope)
+            if names is not None and len(names) != 1:
+                self._emit(
+                    "SEM009", Severity.ERROR,
+                    f"{construct} subquery must produce exactly one column, "
+                    f"got {len(names)}",
+                    ast.span_of(expr),
+                )
+            return
+        for child in expr.children():
+            self._check_expr(child, scope, clause, in_aggregate)
+
+    def _check_star(self, star: ast.Star, scope: _Scope) -> None:
+        if star.qualifier is None:
+            if not scope.relations:
+                self._emit(
+                    "SEM010", Severity.ERROR,
+                    "* with no FROM clause", ast.span_of(star),
+                )
+            return
+        alias = star.qualifier.lower()
+        if scope.find(alias) is None:
+            self._emit(
+                "SEM004", Severity.ERROR,
+                f"unknown alias {alias!r} in {alias}.*", ast.span_of(star),
+            )
+
+    def _resolve_name(self, name: ast.Name, scope: _Scope) -> None:
+        parts = tuple(p.lower() for p in name.parts)
+        span = ast.span_of(name)
+        if len(parts) > 2:
+            self._emit(
+                "SEM004", Severity.ERROR,
+                f"over-qualified name {'.'.join(parts)!r}", span,
+            )
+            return
+        if len(parts) == 2:
+            alias, column = parts
+            depth = 0
+            current: Optional[_Scope] = scope
+            while current is not None:
+                relation = current.find(alias)
+                if relation is not None:
+                    if (
+                        relation.columns is not None
+                        and column not in relation.columns
+                    ):
+                        self._emit(
+                            "SEM002", Severity.ERROR,
+                            f"column {column!r} not found in {alias!r}", span,
+                            hint=self._column_hint(column, relation.columns),
+                        )
+                    elif depth > 0:
+                        self._report_correlation(str(name), depth, span)
+                    return
+                current = current.parent
+                depth += 1
+            self._emit(
+                "SEM004", Severity.ERROR, f"unknown alias {alias!r}", span,
+            )
+            return
+        column = parts[0]
+        depth = 0
+        wildcard = False
+        candidates: list[str] = []
+        current = scope
+        while current is not None:
+            matches = [
+                r for r in current.relations
+                if r.columns is not None and column in r.columns
+            ]
+            wildcard = wildcard or any(
+                r.columns is None for r in current.relations
+            )
+            if len(matches) > 1:
+                self._emit(
+                    "SEM003", Severity.ERROR,
+                    f"ambiguous column {column!r} (in "
+                    + " and ".join(repr(m.alias) for m in matches)
+                    + ")",
+                    span,
+                )
+                return
+            if matches:
+                if depth > 0:
+                    self._report_correlation(column, depth, span)
+                return
+            for relation in current.relations:
+                candidates.extend(relation.columns or [])
+            current = current.parent
+            depth += 1
+        if not wildcard:
+            self._emit(
+                "SEM002", Severity.ERROR,
+                f"unknown column {column!r}", span,
+                hint=self._column_hint(column, candidates),
+            )
+
+    def _report_correlation(
+        self, name: str, depth: int, span: Optional[ast.Span]
+    ) -> None:
+        self._emit(
+            "SEM101", Severity.INFO,
+            f"{name!r} is a correlated reference crossing {depth} query "
+            f"block level(s)",
+            span,
+        )
+
+    # -- grouping ------------------------------------------------------------
+
+    def _check_grouping(self, select: ast.Select, scope: _Scope) -> None:
+        """SEM011: in a grouped block, bare columns of *this* block must be
+        grouping expressions. Conservative: bails out when a grouping
+        expression is not a plain column name."""
+        group_keys: list[tuple[int, str]] = []
+        for group in select.group_by:
+            if not isinstance(group, ast.Name):
+                return
+            key = self._resolution_key(group, scope)
+            if key is None:
+                return
+            group_keys.append(key)
+
+        checked: list[tuple[ast.Expr, str]] = []
+        for item in select.items:
+            if isinstance(item.expr, ast.Star):
+                return
+            checked.append((item.expr, "select list"))
+        if select.having is not None:
+            checked.append((select.having, "HAVING"))
+
+        for expr, clause in checked:
+            for name in self._names_outside_aggregates(expr):
+                key = self._resolution_key(name, scope)
+                if key is not None and key not in group_keys:
+                    self._emit(
+                        "SEM011", Severity.ERROR,
+                        f"column {str(name)!r} in {clause} must appear in "
+                        "GROUP BY or inside an aggregate",
+                        ast.span_of(name),
+                    )
+
+    def _names_outside_aggregates(self, expr: ast.Expr) -> list[ast.Name]:
+        if isinstance(expr, ast.AggregateCall):
+            return []
+        if isinstance(expr, ast.Name):
+            return [expr]
+        names: list[ast.Name] = []
+        for child in expr.children():
+            names.extend(self._names_outside_aggregates(child))
+        return names
+
+    def _resolution_key(
+        self, name: ast.Name, scope: _Scope
+    ) -> Optional[tuple[int, str]]:
+        """Silently resolve ``name`` in the current block only; returns
+        ``(relation identity, column)`` or ``None`` when the name is
+        unresolved, ambiguous, correlated, or hits a wildcard relation."""
+        parts = tuple(p.lower() for p in name.parts)
+        if len(parts) == 2:
+            relation = scope.find(parts[0])
+            if relation is None or relation.columns is None:
+                return None
+            if parts[1] not in relation.columns:
+                return None
+            return (id(relation), parts[1])
+        if len(parts) != 1:
+            return None
+        if any(r.columns is None for r in scope.relations):
+            return None
+        matches = [r for r in scope.relations if parts[0] in (r.columns or [])]
+        if len(matches) != 1:
+            return None
+        return (id(matches[0]), parts[0])
+
+    # -- output names (mirrors builder naming) --------------------------------
+
+    def _output_names(
+        self, select: ast.Select, scope: _Scope
+    ) -> Optional[list[str]]:
+        raw: list[str] = []
+        for item in select.items:
+            if isinstance(item.expr, ast.Star):
+                if item.expr.qualifier is None:
+                    relations = scope.relations
+                else:
+                    relation = scope.find(item.expr.qualifier.lower())
+                    relations = [relation] if relation is not None else []
+                for relation in relations:
+                    if relation.columns is None:
+                        return None
+                    raw.extend(relation.columns)
+                continue
+            name = item.alias
+            if name is None:
+                if isinstance(item.expr, ast.Name):
+                    name = item.expr.parts[-1]
+                elif isinstance(item.expr, ast.AggregateCall):
+                    name = item.expr.func
+                else:
+                    name = f"c{len(raw)}"
+            raw.append(name.lower())
+        # Builder-style de-duplication with _N suffixes.
+        used: set[str] = set()
+        names: list[str] = []
+        for name in raw:
+            base, counter = name, 1
+            while name in used:
+                name = f"{base}_{counter}"
+                counter += 1
+            used.add(name)
+            names.append(name)
+        return names
+
+
+def analyze_statement(
+    statement: ast.Statement, catalog: Catalog
+) -> list[Diagnostic]:
+    """Semantic diagnostics for a parsed statement."""
+    return SemanticAnalyzer(catalog).analyze(statement)

@@ -17,7 +17,7 @@ from typing import Any, Optional
 
 from ..errors import BindError, ExecutionError
 from ..exec import Metrics, execute_graph
-from ..qgm import build_qgm, graph_to_text, validate_graph
+from ..qgm import build_qgm, graph_to_text
 from ..qgm.model import QueryGraph
 from ..sql import ast
 from ..sql.parser import parse_statement, parse_statements
@@ -67,10 +67,22 @@ def _const_value(expr: ast.Expr) -> Any:
 
 
 class Database:
-    """An in-memory database with pluggable correlated-query strategies."""
+    """An in-memory database with pluggable correlated-query strategies.
 
-    def __init__(self, catalog: Optional[Catalog] = None):
+    ``validate`` turns on per-step rewrite invariant checking (the paper's
+    section-3 consistency contract plus all lint rules, after every rewrite
+    step); ``None`` defers to the ``REPRO_VALIDATE`` environment variable.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        validate: Optional[bool] = None,
+    ):
+        from ..rewrite import RewriteEngine
+
         self.catalog = catalog if catalog is not None else Catalog()
+        self.engine = RewriteEngine(self.catalog, validate=validate)
 
     # -- DDL / DML -----------------------------------------------------------
 
@@ -184,40 +196,22 @@ class Database:
         strategy: Strategy,
         decorrelate_existential: bool = True,
     ) -> QueryGraph:
-        """Build the QGM and apply the strategy's rewrite (validated)."""
+        """Build the QGM and apply the strategy's rewrite (validated).
+
+        With validation enabled on the engine, the validator and lint rules
+        also run after every individual rewrite step."""
         graph = build_qgm(statement, self.catalog)
-        validate_graph(graph, self.catalog)
-        graph = self._apply_strategy(graph, strategy, decorrelate_existential)
-        validate_graph(graph, self.catalog)
-        return graph
+        return self.engine.rewrite(
+            graph, strategy, decorrelate_existential=decorrelate_existential
+        )
 
-    def _apply_strategy(
-        self,
-        graph: QueryGraph,
-        strategy: Strategy,
-        decorrelate_existential: bool = True,
-    ) -> QueryGraph:
-        from ..rewrite import decorrelate
+    def analyze(self, sql: str):
+        """Static analysis of one statement: coded diagnostics, correlation
+        patterns, and per-strategy applicability verdicts. Never raises on
+        bad SQL -- problems come back as diagnostics in the report."""
+        from ..analyze import analyze_sql
 
-        if strategy is Strategy.NESTED_ITERATION:
-            return graph
-        if strategy is Strategy.KIM:
-            return decorrelate.apply_kim(graph, self.catalog)
-        if strategy is Strategy.DAYAL:
-            return decorrelate.apply_dayal(graph, self.catalog)
-        if strategy is Strategy.GANSKI_WONG:
-            return decorrelate.apply_ganski_wong(graph, self.catalog)
-        if strategy is Strategy.MAGIC:
-            return decorrelate.apply_magic(
-                graph, self.catalog, optimize_keys=False,
-                decorrelate_existential=decorrelate_existential,
-            )
-        if strategy is Strategy.MAGIC_OPT:
-            return decorrelate.apply_magic(
-                graph, self.catalog, optimize_keys=True,
-                decorrelate_existential=decorrelate_existential,
-            )
-        raise ExecutionError(f"unknown strategy {strategy!r}")
+        return analyze_sql(sql, self.catalog)
 
     def explain(
         self, sql: str, strategy: Strategy = Strategy.NESTED_ITERATION

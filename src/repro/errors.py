@@ -7,6 +7,11 @@ semantic analysis (QGM construction), rewriting, planning and execution.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from .sql.ast import Span
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro engine."""
@@ -27,7 +32,17 @@ class LexError(SQLError):
 
 
 class ParseError(SQLError):
-    """Raised when the parser cannot derive a statement from the token stream."""
+    """Raised when the parser cannot derive a statement from the token stream.
+
+    ``span`` carries the offending token's source range when the parser
+    constructed the error (it always does); errors raised from other places
+    may leave it ``None``. The formatted message already contains the
+    location either way.
+    """
+
+    def __init__(self, message: str, span: Optional["Span"] = None):
+        super().__init__(message)
+        self.span = span
 
 
 class CatalogError(ReproError):
@@ -40,7 +55,18 @@ class SchemaError(ReproError):
 
 class BindError(ReproError):
     """Raised during AST -> QGM building when a name cannot be resolved or is
-    ambiguous, or when a construct is used in an invalid context."""
+    ambiguous, or when a construct is used in an invalid context.
+
+    When the offending AST node carries a source span (stamped by the
+    parser), the binder threads it through so binder errors point at the
+    same location the diagnostics framework reports.
+    """
+
+    def __init__(self, message: str, span: Optional["Span"] = None):
+        if span is not None:
+            message = f"{message} ({span.location()})"
+        super().__init__(message)
+        self.span = span
 
 
 class QGMConsistencyError(ReproError):

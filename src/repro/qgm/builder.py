@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..errors import BindError
+from ..errors import BindError, CatalogError
 from ..sql import ast
 from ..sql.parser import parse_statement
 from ..storage.catalog import Catalog
@@ -70,34 +70,38 @@ class Scope:
     parent: Optional["Scope"] = None
     bindings: list[Binding] = field(default_factory=list)
 
-    def add(self, binding: Binding) -> None:
+    def add(self, binding: Binding, span: Optional[ast.Span] = None) -> None:
         if any(b.alias == binding.alias for b in self.bindings):
-            raise BindError(f"duplicate alias {binding.alias!r} in FROM")
+            raise BindError(f"duplicate alias {binding.alias!r} in FROM", span=span)
         self.bindings.append(binding)
 
-    def resolve_qualified(self, alias: str, column: str) -> ColumnRef:
+    def resolve_qualified(
+        self, alias: str, column: str, span: Optional[ast.Span] = None
+    ) -> ColumnRef:
         scope: Optional[Scope] = self
         while scope is not None:
             for binding in scope.bindings:
                 if binding.alias == alias:
                     if column not in binding.columns:
                         raise BindError(
-                            f"column {column!r} not found in {alias!r}"
+                            f"column {column!r} not found in {alias!r}", span=span
                         )
                     return binding.ref(column)
             scope = scope.parent
-        raise BindError(f"unknown alias {alias!r}")
+        raise BindError(f"unknown alias {alias!r}", span=span)
 
-    def resolve_unqualified(self, column: str) -> ColumnRef:
+    def resolve_unqualified(
+        self, column: str, span: Optional[ast.Span] = None
+    ) -> ColumnRef:
         scope: Optional[Scope] = self
         while scope is not None:
             matches = [b for b in scope.bindings if column in b.columns]
             if len(matches) > 1:
-                raise BindError(f"ambiguous column {column!r}")
+                raise BindError(f"ambiguous column {column!r}", span=span)
             if matches:
                 return matches[0].ref(column)
             scope = scope.parent
-        raise BindError(f"unknown column {column!r}")
+        raise BindError(f"unknown column {column!r}", span=span)
 
 
 def expr_equal(a: ast.Expr, b: ast.Expr) -> bool:
@@ -422,17 +426,6 @@ class _Builder:
         only for grouped columns)."""
         from .analysis import rewrite_subtree_refs
 
-        plain_groups = {
-            g.column: name
-            for g, name in zip(group_exprs, group_col_names)
-            if isinstance(g, ColumnRef)
-        }
-        group_quantifiers = {
-            g.quantifier: name
-            for g, name in zip(group_exprs, group_col_names)
-            if isinstance(g, ColumnRef)
-        }
-
         def substitute(ref: ColumnRef) -> Optional[ast.Expr]:
             if ref.quantifier not in spj.quantifiers:
                 return None
@@ -448,24 +441,28 @@ class _Builder:
             if isinstance(node, (BoxScalarSubquery, BoxExists, BoxInSubquery,
                                  BoxQuantifiedComparison)):
                 rewrite_subtree_refs(node.box, substitute)
-        # silence linters for unused precomputations kept for clarity
-        del plain_groups, group_quantifiers
 
     # -- FROM items ------------------------------------------------------------
 
     def _add_from_item(self, spj: SelectBox, item: ast.FromItem, scope: Scope) -> None:
         if isinstance(item, ast.TableRef):
-            box, columns = self._relation_box(item.name)
+            box, columns = self._relation_box(item.name, span=ast.span_of(item))
             q = spj.add_quantifier(box, item.binding_name)
             q.name = item.binding_name
-            scope.add(Binding(item.binding_name, q, {c: c for c in columns}))
+            scope.add(
+                Binding(item.binding_name, q, {c: c for c in columns}),
+                span=ast.span_of(item),
+            )
             return
         if isinstance(item, ast.DerivedTable):
             box = self.build_query(item.query, scope)
             columns = self._apply_column_aliases(box, item.column_aliases)
             q = spj.add_quantifier(box, item.binding_name)
             q.name = item.binding_name
-            scope.add(Binding(item.binding_name, q, {c: c for c in columns}))
+            scope.add(
+                Binding(item.binding_name, q, {c: c for c in columns}),
+                span=ast.span_of(item),
+            )
             return
         if isinstance(item, ast.Join):
             if item.kind == "inner":
@@ -541,7 +538,9 @@ class _Builder:
             return inner, bindings
         raise BindError(f"unsupported FROM item {type(item).__name__}")
 
-    def _relation_box(self, name: str) -> tuple[Box, list[str]]:
+    def _relation_box(
+        self, name: str, span: Optional[ast.Span] = None
+    ) -> tuple[Box, list[str]]:
         """A fresh box for a base table or (expanded) view."""
         if self.catalog.has_view(name):
             key = name.lower()
@@ -557,7 +556,14 @@ class _Builder:
             finally:
                 self._view_stack.pop()
             return box, box.output_names()
-        table = self.catalog.table(name)
+        try:
+            table = self.catalog.table(name)
+        except CatalogError as exc:
+            if span is None:
+                raise
+            located = CatalogError(f"{exc} ({span.location()})")
+            located.span = span  # type: ignore[attr-defined]
+            raise located from None
         box = BaseTableBox(table.name, table.schema.names())
         return box, box.column_names
 
@@ -593,31 +599,42 @@ class _Builder:
                 return BoxExists(self.build_query(node.query, scope), node.negated)
             if isinstance(node, ast.InSubquery):
                 box = self.build_query(node.query, scope)
-                self._require_single_column(box, "IN")
+                self._require_single_column(box, "IN", span=ast.span_of(node))
                 return BoxInSubquery(node.operand, box, node.negated)
             if isinstance(node, ast.QuantifiedComparison):
                 box = self.build_query(node.query, scope)
-                self._require_single_column(box, node.quantifier.upper())
+                self._require_single_column(
+                    box, node.quantifier.upper(), span=ast.span_of(node)
+                )
                 return BoxQuantifiedComparison(
                     node.op, node.operand, node.quantifier, box
                 )
             if isinstance(node, ast.Star):
-                raise BindError("* is only allowed in the select list")
+                raise BindError(
+                    "* is only allowed in the select list", span=ast.span_of(node)
+                )
             return None
 
         return transform_expr(expr, substitute)
 
     @staticmethod
-    def _require_single_column(box: Box, construct: str) -> None:
+    def _require_single_column(
+        box: Box, construct: str, span: Optional[ast.Span] = None
+    ) -> None:
         if len(box.output_names()) != 1:
-            raise BindError(f"{construct} subquery must produce exactly one column")
+            raise BindError(
+                f"{construct} subquery must produce exactly one column", span=span
+            )
 
     def _resolve_name(self, name: ast.Name, scope: Scope) -> ColumnRef:
+        span = ast.span_of(name)
         if len(name.parts) == 1:
-            return scope.resolve_unqualified(name.parts[0].lower())
+            return scope.resolve_unqualified(name.parts[0].lower(), span=span)
         if len(name.parts) == 2:
-            return scope.resolve_qualified(name.parts[0].lower(), name.parts[1].lower())
-        raise BindError(f"over-qualified name {'.'.join(name.parts)!r}")
+            return scope.resolve_qualified(
+                name.parts[0].lower(), name.parts[1].lower(), span=span
+            )
+        raise BindError(f"over-qualified name {'.'.join(name.parts)!r}", span=span)
 
     def _expand_stars(
         self, items: tuple[ast.SelectItem, ...], scope: Scope
@@ -628,12 +645,17 @@ class _Builder:
                 if item.expr.qualifier is None:
                     bindings = scope.bindings
                     if not bindings:
-                        raise BindError("* with no FROM clause")
+                        raise BindError(
+                            "* with no FROM clause", span=ast.span_of(item.expr)
+                        )
                 else:
                     alias = item.expr.qualifier.lower()
                     bindings = [b for b in scope.bindings if b.alias == alias]
                     if not bindings:
-                        raise BindError(f"unknown alias {alias!r} in {alias}.*")
+                        raise BindError(
+                            f"unknown alias {alias!r} in {alias}.*",
+                            span=ast.span_of(item.expr),
+                        )
                 for binding in bindings:
                     for visible in binding.columns:
                         expanded.append(

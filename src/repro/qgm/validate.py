@@ -47,6 +47,13 @@ def validate_graph(graph: QueryGraph | Box, catalog: Optional[Catalog] = None) -
     root = graph.root if isinstance(graph, QueryGraph) else graph
     boxes = list(iter_boxes(root))
     owners = quantifier_owner_map(root)
+    # Reverse edges, computed once for the whole graph: validation runs after
+    # every rewrite step under REPRO_VALIDATE, so rebuilding the parent map
+    # per box (O(boxes^2)) would dominate the validator's cost.
+    parents: dict[int, list[Box]] = {}
+    for box in boxes:
+        for child in box_children(box):
+            parents.setdefault(child.id, []).append(box)
 
     # Quantifier ownership is unique by construction of quantifier_owner_map
     # only if no quantifier appears in two boxes' FROM lists; check that.
@@ -58,7 +65,7 @@ def validate_graph(graph: QueryGraph | Box, catalog: Optional[Catalog] = None) -
             seen_quantifiers[id(q)] = box
 
     for box in boxes:
-        _validate_box(box, boxes, owners, catalog)
+        _validate_box(box, parents, owners, catalog)
 
     if isinstance(graph, QueryGraph):
         n_outputs = len(root.output_names())
@@ -71,7 +78,7 @@ def validate_graph(graph: QueryGraph | Box, catalog: Optional[Catalog] = None) -
 
 def _validate_box(
     box: Box,
-    boxes: list[Box],
+    parents: dict[int, list[Box]],
     owners: dict[int, Box],
     catalog: Optional[Catalog],
 ) -> None:
@@ -98,7 +105,7 @@ def _validate_box(
         return
 
     # Expression-bearing boxes: check refs.
-    visible = _visible_quantifiers(box, boxes)
+    visible = _visible_quantifiers(box, parents)
     for expr in box.own_exprs():
         for node in walk_expr(expr):
             if isinstance(node, ColumnRef):
@@ -143,19 +150,15 @@ def _validate_box(
                 _fail(box, "aggregate call in SPJ output")
 
 
-def _visible_quantifiers(box: Box, boxes: list[Box]) -> set[int]:
+def _visible_quantifiers(box: Box, parents: dict[int, list[Box]]) -> set[int]:
     """Quantifier ids visible inside ``box``: its own plus all ancestors'.
 
     With shared boxes (post-rewrite DAGs) a box can have several parents; a
     quantifier is visible if *some* ancestor chain provides it, so visibility
-    is the union over all parents.
+    is the union over all parents. ``parents`` is the reverse-edge map
+    computed once by :func:`validate_graph`.
     """
     visible: set[int] = {id(q) for q in box.child_quantifiers()}
-    # Build reverse edges once per call; graphs are small.
-    parents: dict[int, list[Box]] = {}
-    for candidate in boxes:
-        for child in box_children(candidate):
-            parents.setdefault(child.id, []).append(candidate)
     frontier = [box]
     seen = {box.id}
     while frontier:

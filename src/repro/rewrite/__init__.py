@@ -3,6 +3,7 @@ strategies compared in the paper (Kim, Dayal, Ganski/Wong, magic)."""
 
 from . import decorrelate
 from .cleanup import merge_spj_boxes, remove_trivial_selects, run_cleanup
+from .engine import RewriteEngine, env_validate_default
 from .pushdown import push_down_predicates
 
 __all__ = [
@@ -11,4 +12,6 @@ __all__ = [
     "remove_trivial_selects",
     "push_down_predicates",
     "run_cleanup",
+    "RewriteEngine",
+    "env_validate_default",
 ]

@@ -13,7 +13,46 @@ per-node-type knowledge.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator, Optional, Union
+from typing import Any, Iterator, Optional, TypeVar, Union
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open ``[start, end)`` character range in the source SQL text.
+
+    ``line``/``column`` are 1-based and point at the first character (they
+    come straight from the lexer's tokens). Spans are attached to AST nodes
+    out-of-band (see :func:`set_span`) so the frozen dataclass nodes keep
+    their value semantics: two structurally equal nodes parsed from
+    different places still compare equal.
+    """
+
+    start: int
+    end: int
+    line: int
+    column: int
+
+    def location(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+
+_NodeT = TypeVar("_NodeT")
+
+
+def set_span(node: _NodeT, span: Span) -> _NodeT:
+    """Attach a source span to an AST node (bypassing dataclass freezing).
+
+    The span is deliberately not a dataclass field: it does not participate
+    in equality or hashing, and nodes synthesised by rewrites simply have no
+    span (:func:`span_of` then returns ``None``).
+    """
+    object.__setattr__(node, "_source_span", span)
+    return node
+
+
+def span_of(node: object) -> Optional[Span]:
+    """The source span attached to ``node``, or ``None`` for synthetic nodes."""
+    return getattr(node, "_source_span", None)
 
 
 class Expr:

@@ -35,6 +35,16 @@ class Token:
         """Case-insensitive identifier/keyword match."""
         return self.kind is TokenKind.IDENT and self.text.upper() == word.upper()
 
+    @property
+    def end(self) -> int:
+        """One past the token's last source character.
+
+        Quoted strings/identifiers re-derive their width from the raw text,
+        which for them equals the unquoted form -- fall back to at least one
+        character so zero-width spans never occur.
+        """
+        return self.position + max(len(self.text), 1)
+
 
 #: Multi-character operators, longest first so the scanner is greedy.
 _SYMBOLS = ("<>", "<=", ">=", "!=", "||", "(", ")", ",", ".", "+", "-", "*", "/", "<", ">", "=", ";")

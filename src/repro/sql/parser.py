@@ -61,7 +61,18 @@ class _Parser:
         token = self.peek()
         where = f"line {token.line}, column {token.column}"
         got = token.text or "<end of input>"
-        return ParseError(f"{message} at {where} (got {got!r})")
+        span = ast.Span(token.position, token.end, token.line, token.column)
+        return ParseError(f"{message} at {where} (got {got!r})", span=span)
+
+    def _spanned(self, node, start_token: Token):
+        """Stamp ``node`` with the source range from ``start_token`` to the
+        most recently consumed token (see :func:`repro.sql.ast.set_span`)."""
+        last = self.tokens[max(self.pos - 1, 0)]
+        end = max(last.end, start_token.position + 1)
+        return ast.set_span(
+            node,
+            ast.Span(start_token.position, end, start_token.line, start_token.column),
+        )
 
     def at_keyword(self, *words: str) -> bool:
         return any(self.peek().matches_keyword(w) for w in words)
@@ -309,8 +320,8 @@ class _Parser:
 
     def _select_item(self) -> ast.SelectItem:
         if self.at_symbol("*"):
-            self.advance()
-            return ast.SelectItem(ast.Star())
+            star_token = self.advance()
+            return ast.SelectItem(self._spanned(ast.Star(), star_token))
         expr = self.parse_expr()
         alias = None
         if self.accept_keyword("AS"):
@@ -355,6 +366,10 @@ class _Parser:
                 return item
 
     def _from_primary(self) -> ast.FromItem:
+        start = self.peek()
+        return self._spanned(self._from_primary_inner(), start)
+
+    def _from_primary_inner(self) -> ast.FromItem:
         if self.at_symbol("("):
             # Either a parenthesised join/table or a derived table body.
             if self._paren_starts_query():
@@ -455,6 +470,10 @@ class _Parser:
         return self._predicate()
 
     def _predicate(self) -> ast.Expr:
+        start = self.peek()
+        return self._spanned(self._predicate_inner(), start)
+
+    def _predicate_inner(self) -> ast.Expr:
         left = self._additive()
         token = self.peek()
         if token.kind is TokenKind.SYMBOL and token.text in _COMPARISON_OPS:
@@ -539,6 +558,10 @@ class _Parser:
         return self._primary()
 
     def _primary(self) -> ast.Expr:
+        start = self.peek()
+        return self._spanned(self._primary_inner(), start)
+
+    def _primary_inner(self) -> ast.Expr:
         token = self.peek()
         if token.kind is TokenKind.NUMBER or token.kind is TokenKind.STRING:
             self.advance()

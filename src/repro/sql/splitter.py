@@ -1,0 +1,34 @@
+"""Splitting SQL scripts into statement texts without parsing them.
+
+The lint CLI must be able to report diagnostics for *every* statement of a
+script even when some of them do not parse, so it cannot use
+``parse_statements`` (which raises on the first error). This splitter uses
+the lexer to find top-level ``;`` separators -- respecting string literals
+and comments -- and falls back to a naive textual split when the script
+does not even tokenize.
+"""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .lexer import tokenize
+
+
+def split_statements(text: str) -> list[str]:
+    """Split a script into statement source texts (separators dropped)."""
+    try:
+        tokens = tokenize(text)
+    except LexError:
+        return [part.strip() for part in text.split(";") if part.strip()]
+    pieces: list[str] = []
+    start = 0
+    for token in tokens:
+        if token.kind.name == "SYMBOL" and token.text == ";":
+            piece = text[start:token.position].strip()
+            if piece:
+                pieces.append(piece)
+            start = token.position + 1
+    tail = text[start:].strip()
+    if tail:
+        pieces.append(tail)
+    return pieces

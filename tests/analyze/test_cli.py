@@ -1,0 +1,82 @@
+"""The ``python -m repro lint`` subcommand: output and exit codes."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.sql.splitter import split_statements
+
+SCHEMA = (
+    "CREATE TABLE dept (name VARCHAR(30) PRIMARY KEY, budget FLOAT, "
+    "num_emps INT, building VARCHAR(30));\n"
+    "CREATE TABLE emp (empno INT PRIMARY KEY, name VARCHAR(30), "
+    "building VARCHAR(30), salary FLOAT);\n"
+)
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    path = tmp_path / "schema.sql"
+    path.write_text(SCHEMA)
+    return str(path)
+
+
+def test_lint_clean_query_exits_zero(schema_file, capsys):
+    code = main(["lint", "SELECT d.name FROM dept d", "--db", schema_file])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 error(s)" in out
+    assert "strategy applicability:" in out
+
+
+def test_lint_error_exits_nonzero(schema_file, capsys):
+    code = main(["lint", "SELECT d.nme FROM dept d", "--db", schema_file])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "error[SEM002]" in out
+    assert "did you mean 'name'?" in out
+
+
+def test_lint_quiet_suppresses_analysis(schema_file, capsys):
+    code = main([
+        "lint", "--quiet",
+        "SELECT d.name FROM dept d WHERE d.num_emps > "
+        "(SELECT count(*) FROM emp e WHERE e.building = d.building)",
+        "--db", schema_file,
+    ])
+    out = capsys.readouterr().out
+    assert code == 0  # warnings do not fail the lint
+    assert "warning[QGM002]" in out
+    assert "strategy applicability:" not in out
+
+
+def test_lint_script_reports_every_statement(schema_file, tmp_path, capsys):
+    script = tmp_path / "queries.sql"
+    script.write_text(
+        "SELECT d.name FROM dept d;\n"
+        "SELECT FROM WHERE;\n"
+        "SELECT d.nosuch FROM dept d;\n"
+    )
+    code = main(["lint", "--script", str(script), "--db", schema_file])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "statement 1" in out and "statement 3" in out
+    # The parse error in statement 2 does not stop statement 3's analysis.
+    assert "error[SYN002]" in out and "error[SEM002]" in out
+
+
+def test_split_statements_respects_literals_and_comments():
+    script = (
+        "SELECT ';' FROM dept; -- trailing ; comment\n"
+        "SELECT 1"
+    )
+    assert split_statements(script) == [
+        "SELECT ';' FROM dept",
+        "-- trailing ; comment\nSELECT 1",
+    ]
+
+
+def test_split_statements_survives_lex_errors():
+    assert split_statements("SELECT @ FROM t; SELECT 1") == [
+        "SELECT @ FROM t",
+        "SELECT 1",
+    ]

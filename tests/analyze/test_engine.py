@@ -1,0 +1,129 @@
+"""RewriteEngine: per-step invariant checking and strategy dispatch."""
+
+import re
+
+import pytest
+
+from repro import Database, Strategy
+from repro.errors import QGMConsistencyError, RewriteError
+from repro.qgm import build_qgm
+from repro.rewrite import RewriteEngine, env_validate_default
+from repro.sql.parser import parse_statement
+
+SQL = (
+    "SELECT d.name FROM dept d WHERE d.budget > "
+    "(SELECT avg(e.salary) FROM emp e WHERE e.building = d.building)"
+)
+
+
+def _graph(catalog, sql=SQL):
+    return build_qgm(parse_statement(sql), catalog)
+
+
+@pytest.mark.parametrize(
+    "strategy", ["ni", "kim", "dayal", "ganski_wong", "magic", "magic_opt"]
+)
+def test_all_strategies_pass_per_step_validation(empdept_catalog, strategy):
+    engine = RewriteEngine(empdept_catalog, validate=True)
+    engine.rewrite(_graph(empdept_catalog), strategy)
+
+
+def test_steps_are_recorded(empdept_catalog):
+    engine = RewriteEngine(empdept_catalog, validate=True)
+    engine.rewrite(_graph(empdept_catalog), "magic")
+    assert engine.steps  # at least one rewrite step ran
+    magic_steps = list(engine.steps)
+    engine.rewrite(_graph(empdept_catalog), "ni")
+    assert engine.steps == []  # reset per rewrite; ni has no steps
+    assert magic_steps  # the earlier list object is untouched
+
+
+def test_enum_and_string_dispatch_agree(empdept_catalog):
+    # Box ids are process-global, so normalize them out of the step texts.
+    def normalize(steps):
+        return [re.sub(r"box \d+", "box #", s) for s in steps]
+
+    engine = RewriteEngine(empdept_catalog, validate=True)
+    engine.rewrite(_graph(empdept_catalog), Strategy.MAGIC)
+    by_enum = normalize(engine.steps)
+    engine.rewrite(_graph(empdept_catalog), "magic")
+    assert normalize(engine.steps) == by_enum
+
+
+def test_unknown_strategy_rejected(empdept_catalog):
+    engine = RewriteEngine(empdept_catalog)
+    with pytest.raises(RewriteError, match="unknown strategy"):
+        engine.rewrite(_graph(empdept_catalog), "bogus")
+
+
+def test_check_raises_with_step_context(empdept_catalog):
+    engine = RewriteEngine(empdept_catalog, validate=True)
+    graph = _graph(empdept_catalog)
+    graph.root.outputs.append(graph.root.outputs[0])
+    with pytest.raises(QGMConsistencyError) as exc:
+        engine.check(graph, "step 'unit test'")
+    assert "rewrite invariant violated after step 'unit test'" in str(exc.value)
+    assert "duplicate output names" in str(exc.value)
+
+
+def test_corrupted_bind_is_caught_before_rewriting(empdept_catalog):
+    engine = RewriteEngine(empdept_catalog, validate=True)
+    graph = _graph(empdept_catalog)
+    graph.root.outputs.append(graph.root.outputs[0])
+    with pytest.raises(QGMConsistencyError, match="after bind"):
+        engine.rewrite(graph, "magic")
+
+
+def test_user_hook_corruption_is_detected(empdept_catalog):
+    """A hook that breaks the graph mid-rewrite trips the next check --
+    the section-3 contract is enforced after *every* step."""
+
+    def corrupt(description, graph):
+        graph.root.outputs.append(graph.root.outputs[0])
+
+    engine = RewriteEngine(empdept_catalog, validate=True, on_step=corrupt)
+    with pytest.raises(QGMConsistencyError, match="rewrite invariant violated"):
+        engine.rewrite(_graph(empdept_catalog), "magic")
+
+
+def test_user_hook_receives_steps(empdept_catalog):
+    seen = []
+    engine = RewriteEngine(
+        empdept_catalog, validate=False,
+        on_step=lambda desc, graph: seen.append(desc),
+    )
+    engine.rewrite(_graph(empdept_catalog), "kim")
+    assert seen == engine.steps
+
+
+def test_env_validate_default(monkeypatch):
+    monkeypatch.delenv("REPRO_VALIDATE", raising=False)
+    assert env_validate_default() is False
+    monkeypatch.setenv("REPRO_VALIDATE", "0")
+    assert env_validate_default() is False
+    monkeypatch.setenv("REPRO_VALIDATE", "1")
+    assert env_validate_default() is True
+
+
+def test_env_variable_reaches_engine(monkeypatch, empdept_catalog):
+    monkeypatch.setenv("REPRO_VALIDATE", "1")
+    assert RewriteEngine(empdept_catalog).validate is True
+    monkeypatch.delenv("REPRO_VALIDATE")
+    assert RewriteEngine(empdept_catalog).validate is False
+    # An explicit argument wins over the environment.
+    monkeypatch.setenv("REPRO_VALIDATE", "1")
+    assert RewriteEngine(empdept_catalog, validate=False).validate is False
+
+
+def test_database_plumbs_validate_flag(empdept_catalog):
+    assert Database(empdept_catalog, validate=True).engine.validate is True
+    assert Database(empdept_catalog, validate=False).engine.validate is False
+
+
+def test_validated_execution_results_match(empdept_catalog):
+    checked = Database(empdept_catalog, validate=True)
+    unchecked = Database(empdept_catalog, validate=False)
+    for strategy in (Strategy.NESTED_ITERATION, Strategy.MAGIC):
+        a = checked.execute(SQL, strategy=strategy)
+        b = unchecked.execute(SQL, strategy=strategy)
+        assert sorted(a.rows) == sorted(b.rows)

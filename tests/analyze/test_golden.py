@@ -1,0 +1,55 @@
+"""Golden-file tests for rendered analysis reports.
+
+Each case renders ``Database.analyze(sql).render()`` and compares it with
+the checked-in file under ``tests/analyze/golden/``. QGM box ids come from
+a process-global counter, so ``box <n>`` is normalized to ``box #`` before
+comparing. Regenerate after an intentional output change with::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/analyze/test_golden.py
+"""
+
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import analyze_sql
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+CASES = {
+    "syntax_error": "SELECT FROM WHERE",
+    "unknown_column_with_hint": "SELECT d.nme FROM dept d",
+    "multiple_errors": "SELECT d.nme, q.x FROM dept d WHERE d.budgt > 1",
+    "ambiguous_column": "SELECT name, building FROM dept d, emp e",
+    "count_bug_report": (
+        "SELECT d.name FROM dept d WHERE d.num_emps > "
+        "(SELECT count(*) FROM emp e WHERE e.building = d.building)"
+    ),
+    "table_expression_report": (
+        "SELECT d.name, t.avg_sal FROM dept d, T(avg_sal) AS "
+        "(SELECT avg(e.salary) FROM emp e WHERE e.building = d.building)"
+    ),
+    "clean_query": "SELECT d.name, d.budget FROM dept d ORDER BY 2",
+}
+
+
+def _normalize(text: str) -> str:
+    return re.sub(r"box \d+", "box #", text).rstrip() + "\n"
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_rendered_report_matches_golden(empdept_catalog, name):
+    rendered = _normalize(analyze_sql(CASES[name], empdept_catalog).render())
+    path = GOLDEN_DIR / f"{name}.txt"
+    if os.environ.get("REGEN_GOLDEN"):
+        path.write_text(rendered)
+    assert path.exists(), f"golden file missing; run with REGEN_GOLDEN=1: {path}"
+    assert rendered == path.read_text()
+
+
+def test_no_stale_golden_files():
+    expected = {f"{name}.txt" for name in CASES}
+    actual = {p.name for p in GOLDEN_DIR.glob("*.txt")}
+    assert actual == expected

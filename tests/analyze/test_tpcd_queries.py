@@ -1,0 +1,92 @@
+"""The paper's own queries must lint clean with the expected analysis.
+
+Satellite requirement: TPC-D Query 1/2/3 (``tpcd/queries.py``) produce no
+error or warning diagnostics, classify to the correlation patterns the
+paper names for them in section 2, and get the strategy-applicability
+verdicts sections 2 and 4 predict.
+"""
+
+import pytest
+
+from repro.analyze import analyze_sql
+from repro.sql.parser import parse_statement
+from repro.storage import Catalog
+from repro.tpcd.queries import (
+    EMP_DEPT_QUERY,
+    QUERY_1,
+    QUERY_1_VARIANT,
+    QUERY_2,
+    QUERY_3,
+)
+from repro.tpcd.schema import create_tpcd_schema
+
+
+@pytest.fixture(scope="module")
+def tpcd_catalog():
+    catalog = Catalog()
+    create_tpcd_schema(catalog)  # schema only; analysis needs no rows
+    return catalog
+
+
+def _report(catalog, sql):
+    parse_statement(sql)  # the paper queries must parse on their own
+    return analyze_sql(sql, catalog)
+
+
+def _verdicts(report):
+    return {v.strategy: v for v in report.verdicts}
+
+
+@pytest.mark.parametrize(
+    "sql", [QUERY_1, QUERY_1_VARIANT, QUERY_2, QUERY_3, EMP_DEPT_QUERY]
+)
+def test_paper_queries_have_no_errors_or_unexpected_warnings(
+    tpcd_catalog, empdept_catalog, sql
+):
+    catalog = empdept_catalog if sql is EMP_DEPT_QUERY else tpcd_catalog
+    report = _report(catalog, sql)
+    assert report.ok, [d.message for d in report.errors]
+    # EMP_DEPT is the paper's COUNT-bug example; the warning is the point.
+    if sql is EMP_DEPT_QUERY:
+        assert [d.code for d in report.warnings] == ["QGM002"]
+    else:
+        assert report.warnings == []
+
+
+@pytest.mark.parametrize("sql", [QUERY_1, QUERY_1_VARIANT, QUERY_2])
+def test_query_1_and_2_are_correlated_scalar_aggregates(tpcd_catalog, sql):
+    report = _report(tpcd_catalog, sql)
+    assert [(p.kind, p.correlated) for p in report.patterns] == [
+        ("scalar-agg", True)
+    ]
+    verdicts = _verdicts(report)
+    assert verdicts["kim"].applicable
+    assert verdicts["dayal"].applicable
+    # Both queries join two outer tables, which Ganski/Wong cannot handle.
+    assert not verdicts["ganski_wong"].applicable
+    assert (verdicts["ganski_wong"].reason
+            == "outer block references more than one table")
+    assert "fully decorrelated" in verdicts["magic"].reason
+
+
+def test_query_3_is_a_correlated_table_expression(tpcd_catalog):
+    report = _report(tpcd_catalog, QUERY_3)
+    assert [(p.kind, p.correlated) for p in report.patterns] == [
+        ("table-expression", True)
+    ]
+    verdicts = _verdicts(report)
+    for strategy in ("kim", "dayal", "ganski_wong"):
+        assert not verdicts[strategy].applicable
+    assert verdicts["magic"].applicable
+    assert "partially decorrelated" in verdicts["magic"].reason
+
+
+def test_emp_dept_exposes_the_count_bug(empdept_catalog):
+    report = _report(empdept_catalog, EMP_DEPT_QUERY)
+    (pattern,) = report.patterns
+    assert pattern.kind == "scalar-agg" and pattern.count_bug
+    verdicts = _verdicts(report)
+    assert all(
+        verdicts[s].applicable
+        for s in ("ni", "kim", "dayal", "ganski_wong", "magic", "magic_opt")
+    )

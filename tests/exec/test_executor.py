@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro import Database, Strategy
+from repro import Database
 from repro.errors import ExecutionError
-from repro.storage import Catalog
 
 
 @pytest.fixture

@@ -9,7 +9,7 @@ from repro.plan.cost import (
     predicate_selectivity,
 )
 from repro.qgm import build_qgm
-from repro.qgm.model import GroupByBox, SelectBox
+from repro.qgm.model import GroupByBox
 from repro.sql.parser import parse_statement
 from repro.storage import Catalog, Column, Schema
 from repro.types import SQLType

@@ -190,7 +190,7 @@ class TestCorrelatedChildren:
 
     def test_mutually_referencing_children_rejected(self, catalog):
         # Two derived tables each correlated to the other cannot be ordered.
-        from repro.qgm.model import OutputColumn, Quantifier, SelectBox
+        from repro.qgm.model import OutputColumn, SelectBox
         from repro.sql import ast
 
         inner1 = SelectBox(outputs=[OutputColumn("a", ast.Literal(1))])

@@ -3,7 +3,6 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sql import ast
 from repro.sql.parser import parse_expression, parse_statement
 from repro.sql.printer import expr_to_sql, to_sql
 from repro.storage import HashIndex, SortedIndex

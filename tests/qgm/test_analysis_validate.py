@@ -17,7 +17,6 @@ from repro.qgm.model import (
     BaseTableBox,
     GroupByBox,
     OutputColumn,
-    Quantifier,
     SelectBox,
 )
 from repro.sql import ast

@@ -16,7 +16,6 @@ from repro.qgm import (
     validate_graph,
 )
 from repro.qgm.analysis import analyze_correlations, external_column_refs, is_correlated
-from repro.sql import ast
 from repro.sql.parser import parse_statement
 
 

@@ -1,6 +1,5 @@
 """Tests for the QGM pretty-printer."""
 
-import pytest
 
 from repro.qgm import build_qgm, graph_to_text
 from repro.qgm.pretty import box_to_text, expr_to_text

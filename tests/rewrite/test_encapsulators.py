@@ -2,7 +2,6 @@
 
 from collections import Counter
 
-import pytest
 
 from repro import Database, Strategy
 from repro.qgm.model import GroupByBox, OuterJoinBox, SelectBox, SetOpBox

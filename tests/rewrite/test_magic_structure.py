@@ -9,7 +9,7 @@ import pytest
 
 from repro import Database, Strategy
 from repro.qgm import iter_boxes
-from repro.qgm.expr import ColumnRef, walk_expr
+from repro.qgm.expr import walk_expr
 from repro.qgm.model import GroupByBox, OuterJoinBox, SelectBox, SetOpBox
 from repro.sql import ast
 from repro.sql.parser import parse_statement

@@ -2,7 +2,6 @@
 
 from collections import Counter
 
-import pytest
 
 from repro.exec import execute_graph
 from repro.qgm import build_qgm, iter_boxes, validate_graph

@@ -10,7 +10,6 @@ from repro.tpcd import (
     QUERY_1_VARIANT,
     QUERY_2,
     QUERY_3,
-    TPCDGenerator,
     create_tpcd_schema,
     load_empdept,
     load_tpcd,
