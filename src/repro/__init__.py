@@ -1,9 +1,21 @@
 """Reproduction of Complex Query Decorrelation (Seshadri, Pirahesh, Leung - ICDE 1996).
 
-Public entry points: Database, Strategy, Result.
+Public entry points: Database, Strategy, Result, plus the execution
+guardrails (Limits, ExecutionGuard) and the deterministic fault-injection
+registry (FaultRegistry).
 """
 
 from .api import Database, Result, Strategy
+from .faults import FaultRegistry
+from .guard import ExecutionGuard, Limits
 
 __version__ = "1.0.0"
-__all__ = ["Database", "Result", "Strategy", "__version__"]
+__all__ = [
+    "Database",
+    "Result",
+    "Strategy",
+    "Limits",
+    "ExecutionGuard",
+    "FaultRegistry",
+    "__version__",
+]

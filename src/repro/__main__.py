@@ -18,7 +18,14 @@ import argparse
 import sys
 
 from . import Database, Strategy
-from .errors import ReproError
+from .errors import BudgetExceeded, QueryCancelled, ReproError
+
+#: Guardrail exit codes for ``repro run`` (distinct and nonzero so scripts
+#: and CI can tell a timeout from a row-budget trip from an ordinary error).
+EXIT_ERROR = 1
+EXIT_TIMEOUT = 124
+EXIT_BUDGET = 125
+EXIT_CANCELLED = 130
 
 _STRATEGY_NAMES = {s.value: s for s in Strategy}
 _STRATEGY_NAMES.update({s.label.lower(): s for s in Strategy})
@@ -45,20 +52,53 @@ def _print_result(result) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    """``repro run``: execute a SQL script file statement by statement."""
-    db = Database()
+    """``repro run``: execute a SQL script file statement by statement.
+
+    Guardrail trips exit with distinct nonzero codes: ``124`` for a
+    wall-clock timeout, ``125`` for any row budget, ``130`` for
+    cancellation; other engine errors exit ``1``.
+    """
+    from .faults import FaultRegistry
+    from .guard import Limits
+
+    try:
+        faults = FaultRegistry.parse(args.faults) if args.faults else None
+    except ValueError as exc:
+        raise SystemExit(f"--faults: {exc}")
+    db = Database(faults=faults)
     with open(args.script) as handle:
         sql = handle.read()
     strategy = _parse_strategy(args.strategy)
+    limits = None
+    if args.timeout is not None or args.max_rows is not None:
+        limits = Limits(timeout=args.timeout, max_rows_scanned=args.max_rows)
     from .sql.parser import parse_statements
     from .sql import ast as sql_ast
 
-    for statement in parse_statements(sql):
-        if isinstance(statement, (sql_ast.Select, sql_ast.SetOp)):
-            result = db._run_query(statement, strategy, args.cse_mode)
-            _print_result(result)
-        else:
-            db._execute_statement(statement)
+    try:
+        for statement in parse_statements(sql):
+            if isinstance(statement, (sql_ast.Select, sql_ast.SetOp)):
+                result = db._run_query(
+                    statement, strategy, args.cse_mode,
+                    limits=limits, fallback=args.fallback,
+                )
+                for event in result.degradations:
+                    print(f"-- {event}")
+                _print_result(result)
+            else:
+                db._execute_statement(statement)
+    except BudgetExceeded as exc:
+        print(f"guardrail: {exc}", file=sys.stderr)
+        if exc.metrics is not None:
+            print(f"guardrail: work at trip time: {exc.metrics.as_dict()}",
+                  file=sys.stderr)
+        return EXIT_TIMEOUT if exc.budget == "timeout" else EXIT_BUDGET
+    except QueryCancelled as exc:
+        print(f"guardrail: {exc}", file=sys.stderr)
+        return EXIT_CANCELLED
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_ERROR
     return 0
 
 
@@ -199,6 +239,24 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("script")
     p_run.add_argument("--strategy", default="ni")
     p_run.add_argument("--cse-mode", default="recompute", dest="cse_mode")
+    p_run.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per query; exit 124 when tripped",
+    )
+    p_run.add_argument(
+        "--max-rows", type=int, default=None, dest="max_rows", metavar="N",
+        help="budget on base-table rows scanned per query; exit 125 when tripped",
+    )
+    p_run.add_argument(
+        "--faults", default=None, metavar="SEED:SPEC",
+        help="deterministic fault injection, e.g. '42:exec.join=0.01' "
+             "(overrides REPRO_FAULTS)",
+    )
+    p_run.add_argument(
+        "--fallback", action="store_true",
+        help="degrade requested strategy -> magic -> nested iteration on "
+             "rewrite failure",
+    )
     p_run.set_defaults(fn=cmd_run)
 
     p_shell = sub.add_parser("shell", help="interactive SQL shell")

@@ -12,11 +12,13 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..errors import BindError, ExecutionError
 from ..exec import Metrics, execute_graph
+from ..faults import FaultRegistry
+from ..guard import ExecutionGuard, Limits
 from ..qgm import build_qgm, graph_to_text
 from ..qgm.model import QueryGraph
 from ..sql import ast
@@ -29,11 +31,18 @@ from .strategies import Strategy
 
 @dataclass
 class Result:
-    """Rows plus schema and work counters for one executed statement."""
+    """Rows plus schema and work counters for one executed statement.
+
+    ``sql`` is the originating statement's text (used in error messages);
+    ``degradations`` records the strategy fallback chain taken when
+    ``execute(..., fallback=True)`` had to degrade (empty otherwise).
+    """
 
     columns: list[str]
     rows: list[tuple]
     metrics: Metrics
+    sql: str = ""
+    degradations: list = field(default_factory=list)
 
     def __iter__(self):
         return iter(self.rows)
@@ -42,10 +51,19 @@ class Result:
         return len(self.rows)
 
     def scalar(self) -> Any:
-        """The single value of a 1x1 result."""
+        """The single value of a 1x1 result.
+
+        Raises a typed :class:`~repro.errors.ExecutionError` -- naming the
+        originating query -- on an empty result instead of the ambiguous
+        ``IndexError``/``None`` a bare row access would give.
+        """
+        origin = f" for query: {self.sql.strip()}" if self.sql else ""
+        if not self.rows:
+            raise ExecutionError(f"scalar() on an empty result{origin}")
         if len(self.rows) != 1 or len(self.columns) != 1:
             raise ExecutionError(
-                f"scalar() on a {len(self.rows)}x{len(self.columns)} result"
+                f"scalar() on a {len(self.rows)}x{len(self.columns)} "
+                f"result{origin}"
             )
         return self.rows[0][0]
 
@@ -72,17 +90,25 @@ class Database:
     ``validate`` turns on per-step rewrite invariant checking (the paper's
     section-3 consistency contract plus all lint rules, after every rewrite
     step); ``None`` defers to the ``REPRO_VALIDATE`` environment variable.
+
+    ``faults`` is a deterministic fault-injection registry
+    (:class:`repro.faults.FaultRegistry`); ``None`` defers to the
+    ``REPRO_FAULTS`` environment variable (unset = no injection).
     """
 
     def __init__(
         self,
         catalog: Optional[Catalog] = None,
         validate: Optional[bool] = None,
+        faults: Optional[FaultRegistry] = None,
     ):
         from ..rewrite import RewriteEngine
 
         self.catalog = catalog if catalog is not None else Catalog()
-        self.engine = RewriteEngine(self.catalog, validate=validate)
+        self.faults = faults if faults is not None else FaultRegistry.from_env()
+        self.engine = RewriteEngine(
+            self.catalog, validate=validate, faults=self.faults
+        )
 
     # -- DDL / DML -----------------------------------------------------------
 
@@ -158,6 +184,9 @@ class Database:
         strategy: Strategy = Strategy.NESTED_ITERATION,
         cse_mode: str = "recompute",
         decorrelate_existential: bool = True,
+        limits: Optional[Limits] = None,
+        guard: Optional[ExecutionGuard] = None,
+        fallback: bool = False,
     ) -> Result:
         """Parse, bind, rewrite per ``strategy``, and execute one statement.
 
@@ -167,6 +196,20 @@ class Database:
         ``decorrelate_existential`` is the paper's section 4.4 knob: when
         False, magic decorrelation leaves EXISTS/IN/ANY/ALL subqueries
         correlated instead of building CI boxes over materialised results.
+
+        ``limits`` (a :class:`repro.guard.Limits`) bounds the execution:
+        exceeding any budget raises a typed
+        :class:`~repro.errors.BudgetExceeded` within one executor step,
+        carrying the metrics snapshot at trip time. ``guard`` passes a
+        pre-built :class:`repro.guard.ExecutionGuard` instead -- useful for
+        cooperative cancellation from another thread. ``limits=None`` (the
+        default) adds no overhead.
+
+        ``fallback=True`` enables graceful degradation: if the requested
+        strategy's rewrite fails, the engine retries along
+        ``requested -> magic -> nested iteration`` and records the taken
+        chain as :class:`~repro.rewrite.engine.DegradationEvent`s on
+        ``Result.degradations``.
         """
         statement = parse_statement(sql)
         if not isinstance(statement, (ast.Select, ast.SetOp)):
@@ -174,6 +217,7 @@ class Database:
         return self._run_query(
             statement, strategy, cse_mode,
             decorrelate_existential=decorrelate_existential,
+            limits=limits, guard=guard, fallback=fallback, sql=sql,
         )
 
     def _run_query(
@@ -182,13 +226,32 @@ class Database:
         strategy: Strategy,
         cse_mode: str,
         decorrelate_existential: bool = True,
+        limits: Optional[Limits] = None,
+        guard: Optional[ExecutionGuard] = None,
+        fallback: bool = False,
+        sql: Optional[str] = None,
     ) -> Result:
-        graph = self.rewrite(
-            statement, strategy,
-            decorrelate_existential=decorrelate_existential,
+        if sql is None:
+            sql = to_sql(statement)
+        degradations: list = []
+        if fallback:
+            graph, degradations = self.engine.rewrite_with_fallback(
+                lambda: build_qgm(statement, self.catalog), strategy,
+                decorrelate_existential=decorrelate_existential,
+            )
+        else:
+            graph = self.rewrite(
+                statement, strategy,
+                decorrelate_existential=decorrelate_existential,
+            )
+        rows, metrics = execute_graph(
+            graph, self.catalog, cse_mode=cse_mode,
+            limits=limits, guard=guard, faults=self.faults,
         )
-        rows, metrics = execute_graph(graph, self.catalog, cse_mode=cse_mode)
-        return Result(graph.output_names(), rows, metrics)
+        return Result(
+            graph.output_names(), rows, metrics,
+            sql=sql, degradations=degradations,
+        )
 
     def rewrite(
         self,

@@ -123,7 +123,7 @@ def print_results(title: str, results: Sequence[BenchResult]) -> str:
     lines = [title, "-" * len(title)]
     header = (
         f"{'strategy':<10} {'time[s]':>9} {'rel':>7} {'invocs':>8} "
-        f"{'work':>10} {'scanned':>9} {'joined':>9} {'rows':>6}"
+        f"{'work':>10} {'scanned':>9} {'joined':>9} {'matzd':>7} {'rows':>6}"
     )
     lines.append(header)
     baseline = next(
@@ -147,7 +147,7 @@ def print_results(title: str, results: Sequence[BenchResult]) -> str:
             f"{result.label:<10} {result.seconds:9.4f} {rel} "
             f"{result.metrics.subquery_invocations:>8} {result.work():>10} "
             f"{result.metrics.rows_scanned:>9} {result.metrics.rows_joined:>9} "
-            f"{result.n_rows:>6}"
+            f"{result.metrics.rows_materialized:>7} {result.n_rows:>6}"
         )
     text = "\n".join(lines)
     print(text)

@@ -20,19 +20,20 @@ from .harness import BenchResult
 
 def _markdown_table(results: Sequence[BenchResult]) -> list[str]:
     lines = [
-        "| strategy | time [s] | invocations | work | rows |",
-        "|---|---:|---:|---:|---:|",
+        "| strategy | time [s] | invocations | work | materialized | rows |",
+        "|---|---:|---:|---:|---:|---:|",
     ]
     for result in results:
         if not result.applicable:
             lines.append(
-                f"| {result.label} | n/a — {result.reason} | | | |"
+                f"| {result.label} | n/a — {result.reason} | | | | |"
             )
             continue
         lines.append(
             f"| {result.label} | {result.seconds:.4f} "
             f"| {result.metrics.subquery_invocations} "
-            f"| {result.work()} | {result.n_rows} |"
+            f"| {result.work()} | {result.metrics.rows_materialized} "
+            f"| {result.n_rows} |"
         )
     return lines
 

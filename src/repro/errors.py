@@ -100,3 +100,61 @@ class PlanError(ReproError):
 
 class ExecutionError(ReproError):
     """Raised at runtime, e.g. a scalar subquery returning more than one row."""
+
+
+class GuardrailError(ExecutionError):
+    """Base class for execution-governance trips (budgets, cancellation).
+
+    ``metrics`` carries a snapshot of the work counters at trip time so
+    callers can see exactly how much work the query had done when the
+    guardrail fired.
+    """
+
+    def __init__(self, message: str, metrics=None):
+        super().__init__(message)
+        self.metrics = metrics
+
+
+class BudgetExceeded(GuardrailError):
+    """Raised when a query exceeds a configured resource budget.
+
+    ``budget`` names the limit that tripped (``"timeout"``,
+    ``"max_rows_scanned"``, ``"max_rows_materialized"``,
+    ``"max_subquery_invocations"``); ``limit`` and ``observed`` are the
+    configured bound and the value that exceeded it.
+    """
+
+    def __init__(self, budget: str, limit, observed, metrics=None):
+        super().__init__(
+            f"budget {budget!r} exceeded: observed {observed} > limit {limit}",
+            metrics,
+        )
+        self.budget = budget
+        self.limit = limit
+        self.observed = observed
+
+
+class QueryCancelled(GuardrailError):
+    """Raised when a query observes a cooperative cancellation request."""
+
+    def __init__(self, reason: str = "query cancelled", metrics=None):
+        super().__init__(reason, metrics)
+        self.reason = reason
+
+
+class FaultInjectedError(ReproError):
+    """Raised by a deterministic fault-injection point (``REPRO_FAULTS``).
+
+    ``site`` is the injection-point name, ``sequence`` the per-site trigger
+    ordinal at which the fault fired -- together with the registry seed they
+    identify the fault exactly, making every injected failure reproducible.
+    """
+
+    def __init__(self, site: str, sequence: int, detail: str = ""):
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"injected fault at {site!r} (trigger #{sequence}){suffix}"
+        )
+        self.site = site
+        self.sequence = sequence
+        self.detail = detail

@@ -64,9 +64,16 @@ def agg_max(values: Iterable[Any], distinct: bool = False) -> Any:
 
 
 def compute_aggregate(
-    func: str, values: Optional[list[Any]], n_rows: int, distinct: bool
+    func: str, values: Optional[list[Any]], n_rows: int, distinct: bool,
+    guard=None,
 ) -> Any:
-    """Dispatch one aggregate; ``values`` is None for COUNT(*)."""
+    """Dispatch one aggregate; ``values`` is None for COUNT(*).
+
+    ``guard`` (a :class:`repro.guard.ExecutionGuard`) makes aggregation over
+    large groups a cooperative cancellation point too.
+    """
+    if guard is not None:
+        guard.check()
     if values is None:
         if func != "count":
             raise ExecutionError(f"{func}(*) is not a valid aggregate")

@@ -23,7 +23,7 @@ Common-subexpression handling follows the paper:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from ..errors import ExecutionError
 from ..qgm.analysis import external_column_refs, parent_edges
@@ -52,16 +52,38 @@ from .aggregates import compute_aggregate
 from .evaluate import Env, evaluate, predicate_holds, scalar_subquery_value
 from .metrics import Metrics
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..faults import FaultRegistry
+    from ..guard import ExecutionGuard
+
 
 class ExecutionContext:
-    """Per-query state: catalog, metrics, plan cache, CSE materialisation."""
+    """Per-query state: catalog, metrics, plan cache, CSE materialisation.
 
-    def __init__(self, catalog: Catalog, root: Box, cse_mode: str = "recompute"):
+    ``guard`` (optional) is the cooperative budget checker of
+    :mod:`repro.guard`; it is consulted at step granularity so budget trips
+    and cancellation are observed within one executor step. ``faults``
+    (optional) is the deterministic fault-injection registry of
+    :mod:`repro.faults`. Both default to ``None`` -- the zero-overhead path.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        root: Box,
+        cse_mode: str = "recompute",
+        guard: Optional["ExecutionGuard"] = None,
+        faults: Optional["FaultRegistry"] = None,
+    ):
         if cse_mode not in ("recompute", "materialize"):
             raise ExecutionError(f"unknown cse_mode {cse_mode!r}")
         self.catalog = catalog
         self.cse_mode = cse_mode
         self.metrics = Metrics()
+        self.guard = guard
+        self.faults = faults
+        if guard is not None:
+            guard.attach(self.metrics)
         self._root = root
         self._parents = parent_edges(root)
         self._plans: dict[int, SelectPlan] = {}
@@ -71,6 +93,11 @@ class ExecutionContext:
         self._colpos: dict[int, dict[str, int]] = {}
 
     # -- helpers -----------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """One cooperative guardrail check (no-op without a guard)."""
+        if self.guard is not None:
+            self.guard.check()
 
     def column_position(self, box: Box, column: str) -> int:
         """Ordinal of ``column`` in ``box``'s output row (cached)."""
@@ -89,7 +116,9 @@ class ExecutionContext:
         """The (cached) physical plan for one SPJ box."""
         plan = self._plans.get(box.id)
         if plan is None:
-            plan = plan_select_box(self.catalog, box)
+            if self.faults is not None:
+                self.faults.trigger("plan.select", detail=f"box {box.id}")
+            plan = plan_select_box(self.catalog, box, guard=self.guard)
             self._plans[box.id] = plan
         return plan
 
@@ -106,6 +135,9 @@ class ExecutionContext:
     ) -> list[tuple]:
         """Execute a subquery box from an expression context (one invocation)."""
         self.metrics.subquery_invocations += 1
+        self.checkpoint()
+        if self.faults is not None:
+            self.faults.trigger("exec.subquery", detail=f"box {box.id}")
         return self.box_rows(box, env)
 
     # -- box dispatch ------------------------------------------------------
@@ -129,6 +161,8 @@ class ExecutionContext:
             or self._forces_materialisation(box)
         ):
             self._cache[box.id] = rows
+            self.metrics.materialize(len(rows))
+            self.checkpoint()
         return rows
 
     @staticmethod
@@ -161,8 +195,11 @@ class ExecutionContext:
     # -- base table --------------------------------------------------------
 
     def _rows_base(self, box: BaseTableBox) -> list[tuple]:
+        if self.faults is not None:
+            self.faults.trigger("storage.scan", detail=box.table_name)
         table = self.catalog.table(box.table_name)
         self.metrics.rows_scanned += len(table)
+        self.checkpoint()
         return table.rows
 
     # -- SPJ ------------------------------------------------------------------
@@ -185,8 +222,11 @@ class ExecutionContext:
     def _apply_step(
         self, box: SelectBox, step, envs: list[Env], outer_env: Env
     ) -> list[Env]:
+        self.checkpoint()
         if isinstance(step, ScanStep):
             q = step.quantifier
+            if self.faults is not None:
+                self.faults.trigger("exec.join", detail=f"scan {q.name}")
             if step.correlated_to_self:
                 result: list[Env] = []
                 for env in envs:
@@ -201,6 +241,10 @@ class ExecutionContext:
 
         if isinstance(step, IndexLookupStep):
             q = step.quantifier
+            if self.faults is not None:
+                self.faults.trigger(
+                    "storage.index_lookup", detail=step.index_name
+                )
             table = self.catalog.table(q.box.table_name)
             index = table.indexes.get(step.index_name)
             if index is None:
@@ -219,6 +263,8 @@ class ExecutionContext:
 
         if isinstance(step, HashJoinStep):
             q = step.quantifier
+            if self.faults is not None:
+                self.faults.trigger("exec.join", detail=f"hash join {q.name}")
             null_safe = step.null_safe or (False,) * len(step.build_exprs)
             child_rows = self.box_rows(q.box, outer_env)
             buckets: dict[tuple, list[tuple]] = {}
@@ -261,8 +307,11 @@ class ExecutionContext:
 
     def _rows_groupby(self, box: GroupByBox, env: Env) -> list[tuple]:
         q = box.quantifier
+        if self.faults is not None:
+            self.faults.trigger("exec.group", detail=f"box {box.id}")
         input_rows = self.box_rows(q.box, env)
         self.metrics.rows_grouped += len(input_rows)
+        self.checkpoint()
 
         groups: dict[tuple, list[Env]] = {}
         order: list[tuple] = []
@@ -288,14 +337,16 @@ class ExecutionContext:
                 if isinstance(expr, ast.AggregateCall):
                     if expr.argument is None:
                         value = compute_aggregate(
-                            expr.func, None, len(member_envs), expr.distinct
+                            expr.func, None, len(member_envs), expr.distinct,
+                            guard=self.guard,
                         )
                     else:
                         arg_values = [
                             evaluate(expr.argument, e, self) for e in member_envs
                         ]
                         value = compute_aggregate(
-                            expr.func, arg_values, len(member_envs), expr.distinct
+                            expr.func, arg_values, len(member_envs), expr.distinct,
+                            guard=self.guard,
                         )
                 else:
                     value = evaluate(expr, representative, self)
@@ -486,10 +537,26 @@ def execute_graph(
     catalog: Catalog,
     cse_mode: str = "recompute",
     ctx: Optional[ExecutionContext] = None,
+    limits=None,
+    guard: Optional["ExecutionGuard"] = None,
+    faults: Optional["FaultRegistry"] = None,
 ) -> tuple[list[tuple], Metrics]:
-    """Execute a QGM query graph; returns (rows, metrics)."""
+    """Execute a QGM query graph; returns (rows, metrics).
+
+    ``limits`` (a :class:`repro.guard.Limits`) builds a fresh guard for this
+    execution; alternatively pass a pre-built ``guard`` (e.g. to cancel the
+    query from another thread). ``faults`` enables deterministic fault
+    injection. All three default to ``None`` -- no overhead.
+    """
     if ctx is None:
-        ctx = ExecutionContext(catalog, graph.root, cse_mode)
+        if guard is None and limits is not None:
+            from ..guard import guard_for
+
+            guard = guard_for(limits)
+        ctx = ExecutionContext(
+            catalog, graph.root, cse_mode, guard=guard, faults=faults
+        )
+    ctx.checkpoint()
     rows = list(ctx.box_rows(graph.root, Env()))
     if graph.order_by:
         rows.sort(

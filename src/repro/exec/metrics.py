@@ -12,7 +12,11 @@ this repository therefore reports these counters next to wall time:
 * ``rows_joined`` -- env combinations produced by join steps;
 * ``rows_grouped`` -- input rows consumed by aggregation;
 * ``boxes_recomputed`` -- how many times shared (common-subexpression)
-  boxes were re-executed, separating Mag from OptMag behaviour.
+  boxes were re-executed, separating Mag from OptMag behaviour;
+* ``rows_materialized`` / ``peak_rows_materialized`` -- rows written into
+  temp-table materialisations (CSE caches), cumulative and high-water;
+  these drive the ``max_rows_materialized`` memory budget of
+  :mod:`repro.guard`.
 """
 
 from __future__ import annotations
@@ -32,6 +36,15 @@ class Metrics:
     rows_grouped: int = 0
     boxes_recomputed: int = 0
     rows_output: int = 0
+    rows_materialized: int = 0
+    peak_rows_materialized: int = 0
+
+    def materialize(self, n_rows: int) -> None:
+        """Account ``n_rows`` written into a materialisation, maintaining
+        the high-water mark."""
+        self.rows_materialized += n_rows
+        if self.rows_materialized > self.peak_rows_materialized:
+            self.peak_rows_materialized = self.rows_materialized
 
     def total_work(self) -> int:
         """A single hardware-independent work figure used by benchmarks."""
@@ -54,6 +67,8 @@ class Metrics:
             "rows_grouped": self.rows_grouped,
             "boxes_recomputed": self.boxes_recomputed,
             "rows_output": self.rows_output,
+            "rows_materialized": self.rows_materialized,
+            "peak_rows_materialized": self.peak_rows_materialized,
             "total_work": self.total_work(),
         }
 
@@ -61,4 +76,8 @@ class Metrics:
         result = Metrics()
         for name in vars(result):
             setattr(result, name, getattr(self, name) + getattr(other, name))
+        # The high-water mark does not accumulate across executions.
+        result.peak_rows_materialized = max(
+            self.peak_rows_materialized, other.peak_rows_materialized
+        )
         return result

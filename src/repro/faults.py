@@ -1,0 +1,190 @@
+"""Deterministic, seed-driven fault injection.
+
+The engine carries named injection points (``FAULT_SITES``) in storage
+scans, index lookups, executor join/group/subquery steps, planning, rewrite
+strategy application, and the parallel cluster's message delivery and node
+processing. A :class:`FaultRegistry` -- usually configured through the
+``REPRO_FAULTS`` environment variable -- decides, fully deterministically,
+which triggers fire.
+
+Spec syntax (``REPRO_FAULTS="seed:site=rate,site=rate,..."``)::
+
+    REPRO_FAULTS="42:exec.join=0.01,rewrite.strategy=1"
+    REPRO_FAULTS="7:storage.*=0.002"
+
+``seed`` is a non-negative integer; each ``site`` is an exact injection
+point name or a prefix glob ending in ``*``; each ``rate`` is a firing
+probability in ``[0, 1]`` (``site`` alone means ``site=1``).
+
+Determinism: whether the *n*-th trigger of a site fires depends only on
+``(seed, site, n)`` -- the draw is ``crc32(f"{seed}:{site}:{n}")`` scaled
+to ``[0, 1)``, compared against the rate. No wall-clock, no ``random``
+module, no ``PYTHONHASHSEED`` sensitivity: the same seed and the same
+execution path produce the same fault sites, the same errors and the same
+degradation log on every run. Every fired fault is recorded on
+``registry.injected`` for exactly that comparison.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+from .errors import FaultInjectedError
+
+#: Every named injection point in the engine. Naming scheme:
+#: ``<subsystem>.<operation>``; rules may match a prefix with ``*``.
+FAULT_SITES: tuple[str, ...] = (
+    "storage.scan",          # base-table sequential scan
+    "storage.index_lookup",  # index probe
+    "plan.select",           # physical planning of an SPJ box
+    "exec.join",             # scan/hash-join executor steps
+    "exec.group",            # GROUP BY evaluation
+    "exec.subquery",         # correlated subquery invocation
+    "rewrite.strategy",      # decorrelation strategy application
+    "cluster.deliver",       # parallel-simulator message delivery
+    "cluster.node",          # parallel-simulator node processing step
+)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One ``site=rate`` entry of a fault spec."""
+
+    site: str
+    rate: float
+
+    def matches(self, site: str) -> bool:
+        """Does this rule cover ``site`` (exact or prefix-glob match)?"""
+        if self.site.endswith("*"):
+            return site.startswith(self.site[:-1])
+        return site == self.site
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fired fault: where, at which per-site trigger ordinal, and on
+    what (the optional human-readable detail, e.g. a table name)."""
+
+    site: str
+    sequence: int
+    detail: str = ""
+
+
+class FaultRegistry:
+    """Seed-driven decisions for every fault trigger in one engine run.
+
+    The registry is stateful (it counts triggers per site), so one
+    registry should cover exactly one unit of comparison -- typically one
+    ``Database`` or one simulated cluster. Two registries built from the
+    same spec replay identically over the same execution path.
+    """
+
+    def __init__(self, seed: int, rules: Iterable[FaultRule]):
+        if seed < 0:
+            raise ValueError("fault seed must be non-negative")
+        self.seed = seed
+        self.rules = tuple(rules)
+        for rule in self.rules:
+            if not 0.0 <= rule.rate <= 1.0:
+                raise ValueError(
+                    f"fault rate for {rule.site!r} must be in [0, 1], "
+                    f"got {rule.rate}"
+                )
+        self._counts: dict[str, int] = {}
+        #: Every fault fired so far, in firing order.
+        self.injected: list[InjectedFault] = []
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultRegistry":
+        """Build a registry from a ``seed:site=rate,...`` spec string."""
+        head, sep, body = spec.partition(":")
+        if not sep:
+            raise ValueError(
+                f"bad fault spec {spec!r}: expected 'seed:site=rate,...'"
+            )
+        try:
+            seed = int(head.strip())
+        except ValueError:
+            raise ValueError(
+                f"bad fault seed {head!r}: expected an integer"
+            ) from None
+        rules = []
+        for entry in body.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            site, eq, rate_text = entry.partition("=")
+            site = site.strip()
+            if not site:
+                raise ValueError(f"bad fault rule {entry!r}: empty site")
+            if not site.endswith("*") and site not in FAULT_SITES:
+                raise ValueError(
+                    f"unknown fault site {site!r}; known sites: "
+                    + ", ".join(FAULT_SITES)
+                )
+            try:
+                rate = float(rate_text) if eq else 1.0
+            except ValueError:
+                raise ValueError(
+                    f"bad fault rate {rate_text!r} for site {site!r}"
+                ) from None
+            rules.append(FaultRule(site, rate))
+        return cls(seed, rules)
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> Optional["FaultRegistry"]:
+        """The registry described by ``REPRO_FAULTS``, or ``None`` when the
+        variable is unset/empty (the zero-overhead default)."""
+        env = os.environ if environ is None else environ
+        spec = env.get("REPRO_FAULTS", "").strip()
+        if not spec:
+            return None
+        return cls.parse(spec)
+
+    def replica(self) -> "FaultRegistry":
+        """A fresh registry with the same seed and rules (zeroed counters):
+        replaying the same execution path reproduces the same faults."""
+        return FaultRegistry(self.seed, self.rules)
+
+    # -- decisions ---------------------------------------------------------
+
+    def _rate(self, site: str) -> float:
+        for rule in self.rules:
+            if rule.matches(site):
+                return rule.rate
+        return 0.0
+
+    def should_fire(self, site: str, detail: str = "") -> bool:
+        """Deterministically decide (and record) whether this trigger of
+        ``site`` fires. Used directly for *soft* faults the caller handles
+        itself (e.g. cluster retries)."""
+        sequence = self._counts.get(site, 0)
+        self._counts[site] = sequence + 1
+        rate = self._rate(site)
+        if rate <= 0.0:
+            return False
+        draw = zlib.crc32(f"{self.seed}:{site}:{sequence}".encode()) / 2**32
+        if draw >= rate:
+            return False
+        self.injected.append(InjectedFault(site, sequence, detail))
+        return True
+
+    def trigger(self, site: str, detail: str = "") -> None:
+        """A *hard* fault point: raise
+        :class:`~repro.errors.FaultInjectedError` when this trigger fires."""
+        if self.should_fire(site, detail):
+            fault = self.injected[-1]
+            raise FaultInjectedError(fault.site, fault.sequence, fault.detail)
+
+    # -- observation -------------------------------------------------------
+
+    def log(self) -> list[tuple[str, int, str]]:
+        """The fired faults as plain tuples (for determinism comparisons)."""
+        return [(f.site, f.sequence, f.detail) for f in self.injected]

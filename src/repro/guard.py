@@ -1,0 +1,172 @@
+"""Execution guardrails: resource budgets and cooperative cancellation.
+
+Section 6 of the paper shows how nested iteration can silently turn into
+O(n^2) work; a production-shaped engine must be able to *bound* that work
+rather than discover it after the fact. :class:`Limits` declares budgets
+(wall-clock, rows scanned, rows materialized, subquery invocations);
+:class:`ExecutionGuard` enforces them cooperatively -- the executor calls
+:meth:`ExecutionGuard.check` at step granularity, so a trip is observed
+within one executor step of the limit being crossed.
+
+Budgets trip as typed errors (:class:`~repro.errors.BudgetExceeded`,
+:class:`~repro.errors.QueryCancelled`) carrying a snapshot of the
+:class:`~repro.exec.metrics.Metrics` at trip time.
+
+The default (``limits=None``) is zero-overhead: no guard object exists and
+the executor's fast path performs a single ``is None`` test per step.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .errors import BudgetExceeded, QueryCancelled
+
+
+@dataclass(frozen=True)
+class Limits:
+    """Resource budgets for one query execution. ``None`` = unlimited.
+
+    ``timeout`` is wall-clock seconds; the row budgets bound the engine's
+    own work counters (see :class:`~repro.exec.metrics.Metrics`).
+    """
+
+    timeout: Optional[float] = None
+    max_rows_scanned: Optional[int] = None
+    max_rows_materialized: Optional[int] = None
+    max_subquery_invocations: Optional[int] = None
+
+    def any_set(self) -> bool:
+        """Is at least one budget configured?"""
+        return any(
+            value is not None for value in dataclasses.asdict(self).values()
+        )
+
+
+class ExecutionGuard:
+    """Cooperative budget checker threaded through the executor.
+
+    The guard holds the :class:`Limits` plus a reference to the live
+    ``Metrics`` being accumulated (attached by the execution context).
+    ``check()`` raises :class:`~repro.errors.BudgetExceeded` when any
+    counter passed its budget, or :class:`~repro.errors.QueryCancelled`
+    after :meth:`cancel` was called (e.g. from another thread).
+
+    ``clock`` is injectable for deterministic timeout tests.
+    """
+
+    def __init__(
+        self,
+        limits: Limits,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.limits = limits
+        self.metrics = None
+        self._clock = clock
+        self._deadline: Optional[float] = (
+            None if limits.timeout is None else clock() + limits.timeout
+        )
+        self._cancelled = False
+        #: The error this guard tripped with, if any (set by ``check``).
+        self.tripped = None
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, metrics) -> None:
+        """Bind the live metrics object counters are read from."""
+        self.metrics = metrics
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation; the running query observes it
+        at its next ``check()`` (one executor step at most)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Has cancellation been requested?"""
+        return self._cancelled
+
+    # -- enforcement -------------------------------------------------------
+
+    def _snapshot(self):
+        if self.metrics is None:
+            return None
+        return dataclasses.replace(self.metrics)
+
+    def _trip(self, error) -> None:
+        self.tripped = error
+        raise error
+
+    def check(self) -> None:
+        """Raise the appropriate typed error if any budget is exhausted.
+
+        Called by the executor at step granularity; cheap when nothing
+        tripped (a handful of compares).
+        """
+        if self._cancelled:
+            self._trip(QueryCancelled(metrics=self._snapshot()))
+        if self._deadline is not None and self._clock() > self._deadline:
+            self._trip(
+                BudgetExceeded(
+                    "timeout",
+                    self.limits.timeout,
+                    round(
+                        self._clock() - (self._deadline - self.limits.timeout), 6
+                    ),
+                    metrics=self._snapshot(),
+                )
+            )
+        metrics = self.metrics
+        if metrics is None:
+            return
+        limits = self.limits
+        if (
+            limits.max_rows_scanned is not None
+            and metrics.rows_scanned > limits.max_rows_scanned
+        ):
+            self._trip(
+                BudgetExceeded(
+                    "max_rows_scanned",
+                    limits.max_rows_scanned,
+                    metrics.rows_scanned,
+                    metrics=self._snapshot(),
+                )
+            )
+        if (
+            limits.max_rows_materialized is not None
+            and metrics.rows_materialized > limits.max_rows_materialized
+        ):
+            self._trip(
+                BudgetExceeded(
+                    "max_rows_materialized",
+                    limits.max_rows_materialized,
+                    metrics.rows_materialized,
+                    metrics=self._snapshot(),
+                )
+            )
+        if (
+            limits.max_subquery_invocations is not None
+            and metrics.subquery_invocations > limits.max_subquery_invocations
+        ):
+            self._trip(
+                BudgetExceeded(
+                    "max_subquery_invocations",
+                    limits.max_subquery_invocations,
+                    metrics.subquery_invocations,
+                    metrics=self._snapshot(),
+                )
+            )
+
+
+def guard_for(
+    limits: Optional[Limits],
+    clock: Callable[[], float] = time.monotonic,
+) -> Optional[ExecutionGuard]:
+    """An :class:`ExecutionGuard` for ``limits``, or ``None`` when no limits
+    were given (the zero-overhead default)."""
+    if limits is None:
+        return None
+    return ExecutionGuard(limits, clock=clock)

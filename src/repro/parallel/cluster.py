@@ -7,6 +7,14 @@ simple cost model. Section 6 of the paper presents no measured numbers --
 only an execution-strategy analysis (broadcast-per-tuple nested iteration
 versus fully partitioned decorrelated plans) -- and this model quantifies
 exactly the effects it describes.
+
+Failure model: with a :class:`repro.faults.FaultRegistry` attached, the
+soft fault sites ``cluster.node`` (a node crashes mid-step and the step is
+re-run after recovery) and ``cluster.deliver`` (a message is lost and
+re-sent after a timeout) fire deterministically from the registry seed.
+Each retry doubles the affected work/traffic and adds
+:data:`RETRY_BACKOFF` time units to the node, folded into its busy time
+and therefore the makespan -- answers are never affected, only cost.
 """
 
 from __future__ import annotations
@@ -14,7 +22,14 @@ from __future__ import annotations
 import zlib
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..faults import FaultRegistry
+
+#: Simulated recovery/timeout penalty per retry (same arbitrary time units
+#: as the row/message costs of :mod:`repro.parallel.simulate`).
+RETRY_BACKOFF = 25.0
 
 
 @dataclass
@@ -25,22 +40,28 @@ class Node:
     rows_processed: int = 0
     messages_sent: int = 0
     messages_received: int = 0
+    failures: int = 0
+    retries: int = 0
+    backoff_time: float = 0.0
 
     def busy_time(self, row_cost: float, message_cost: float) -> float:
-        """Simulated busy time under the given cost model."""
+        """Simulated busy time under the given cost model (retry backoff
+        included -- failures stretch the makespan)."""
         return (
             self.rows_processed * row_cost
             + (self.messages_sent + self.messages_received) * message_cost
+            + self.backoff_time
         )
 
 
 class Cluster:
     """A set of nodes plus hash-partitioned table storage."""
 
-    def __init__(self, n_nodes: int):
+    def __init__(self, n_nodes: int, faults: Optional["FaultRegistry"] = None):
         if n_nodes < 1:
             raise ValueError("cluster needs at least one node")
         self.nodes = [Node(i) for i in range(n_nodes)]
+        self.faults = faults
         #: table name -> list of per-node row lists
         self.partitions: dict[str, list[list[tuple]]] = {}
 
@@ -76,9 +97,21 @@ class Cluster:
 
     def send(self, sender: int, receiver: int, n_messages: int = 1) -> None:
         """Record ``n_messages`` from ``sender`` to ``receiver`` (loopback
-        delivery within a node is free)."""
+        delivery within a node is free).
+
+        With faults attached, a fired ``cluster.deliver`` models one lost
+        delivery: the batch is re-sent after a timeout, doubling its traffic
+        and charging the sender :data:`RETRY_BACKOFF`.
+        """
         if sender == receiver:
             return
+        if self.faults is not None and self.faults.should_fire(
+            "cluster.deliver", detail=f"{sender}->{receiver}"
+        ):
+            node = self.nodes[sender]
+            node.retries += 1
+            node.backoff_time += RETRY_BACKOFF
+            n_messages *= 2
         self.nodes[sender].messages_sent += n_messages
         self.nodes[receiver].messages_received += n_messages
 
@@ -88,8 +121,23 @@ class Cluster:
             self.send(sender, node.node_id, n_messages)
 
     def work(self, node_id: int, n_rows: int) -> None:
-        """Account ``n_rows`` of local processing at ``node_id``."""
-        self.nodes[node_id].rows_processed += n_rows
+        """Account ``n_rows`` of local processing at ``node_id``.
+
+        With faults attached, a fired ``cluster.node`` models the node
+        crashing mid-step: after recovery the step re-runs from scratch
+        (doubled rows) plus :data:`RETRY_BACKOFF` recovery time.
+        """
+        node = self.nodes[node_id]
+        if (
+            n_rows > 0
+            and self.faults is not None
+            and self.faults.should_fire("cluster.node", detail=f"node {node_id}")
+        ):
+            node.failures += 1
+            node.retries += 1
+            node.backoff_time += RETRY_BACKOFF
+            n_rows *= 2
+        node.rows_processed += n_rows
 
     def reset_counters(self) -> None:
         """Zero all work and traffic counters."""
@@ -97,6 +145,9 @@ class Cluster:
             node.rows_processed = 0
             node.messages_sent = 0
             node.messages_received = 0
+            node.failures = 0
+            node.retries = 0
+            node.backoff_time = 0.0
 
 
 #: Rows per network message during set-oriented repartitioning. Bulk

@@ -30,9 +30,15 @@ single-node engine in tests) while accounting work and messages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
+from ..exec.metrics import Metrics
+from ..guard import guard_for
 from .cluster import Cluster, hash_partition
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..faults import FaultRegistry
+    from ..guard import ExecutionGuard, Limits
 
 #: Cost model (arbitrary units): a network message is much more expensive
 #: than touching a row, the defining property of shared-nothing systems.
@@ -59,6 +65,12 @@ class ParallelMetrics:
     rows_processed: int
     makespan: float
     per_node_busy: list[float] = field(default_factory=list)
+    #: Failure accounting (non-zero only under injected cluster faults);
+    #: the retry backoff is already folded into the per-node busy times and
+    #: therefore into the makespan.
+    node_failures: int = 0
+    retries: int = 0
+    backoff_time: float = 0.0
 
     def speedup_reference(self) -> float:
         """Total work if executed serially (for speedup computations)."""
@@ -83,7 +95,23 @@ def _metrics(
         rows_processed=sum(n.rows_processed for n in cluster.nodes),
         makespan=max(per_node) if per_node else 0.0,
         per_node_busy=per_node,
+        node_failures=sum(n.failures for n in cluster.nodes),
+        retries=sum(n.retries for n in cluster.nodes),
+        backoff_time=sum(n.backoff_time for n in cluster.nodes),
     )
+
+
+def _checkpoint(cluster: Cluster, guard: Optional["ExecutionGuard"]) -> None:
+    """Map the cluster's work onto the guard's counters and check budgets.
+
+    Rows processed across the cluster count against ``max_rows_scanned``;
+    the wall-clock timeout and cancellation apply as in the single-node
+    engine. Called once per simulated node step.
+    """
+    if guard is None:
+        return
+    guard.metrics.rows_scanned = sum(n.rows_processed for n in cluster.nodes)
+    guard.check()
 
 
 def simulate_nested_iteration(
@@ -91,15 +119,21 @@ def simulate_nested_iteration(
     emp_rows: list[tuple],
     n_nodes: int,
     budget_limit: float = 10000.0,
+    faults: Optional["FaultRegistry"] = None,
+    limits: Optional["Limits"] = None,
 ) -> ParallelMetrics:
     """Section 6.1: broadcast-per-tuple nested iteration."""
-    cluster = Cluster(n_nodes)
+    cluster = Cluster(n_nodes, faults=faults)
+    guard = guard_for(limits)
+    if guard is not None:
+        guard.attach(Metrics())
     _load(cluster, dept_rows, emp_rows)
     answer: list[tuple] = []
     fragment_pairs: set[tuple[int, int]] = set()
     for node in cluster.nodes:
         local_depts = cluster.local_rows("dept", node.node_id)
         cluster.work(node.node_id, len(local_depts))  # the outer scan
+        _checkpoint(cluster, guard)
         for dept in local_depts:
             if not (dept[_D_BUDGET] is not None and dept[_D_BUDGET] < budget_limit):
                 continue
@@ -116,6 +150,7 @@ def simulate_nested_iteration(
                 fragment_pairs.add((node.node_id, server.node_id))
                 # ...and returns its partial count.
                 cluster.send(server.node_id, node.node_id)
+            _checkpoint(cluster, guard)
             if dept[_D_NUMEMPS] is not None and dept[_D_NUMEMPS] > total:
                 answer.append((dept[_D_NAME],))
     return _metrics(cluster, "nested_iteration", answer, len(fragment_pairs))
@@ -126,9 +161,14 @@ def simulate_decorrelated(
     emp_rows: list[tuple],
     n_nodes: int,
     budget_limit: float = 10000.0,
+    faults: Optional["FaultRegistry"] = None,
+    limits: Optional["Limits"] = None,
 ) -> ParallelMetrics:
     """Section 6.2: the magic-decorrelated plan, fully partition-parallel."""
-    cluster = Cluster(n_nodes)
+    cluster = Cluster(n_nodes, faults=faults)
+    guard = guard_for(limits)
+    if guard is not None:
+        guard.attach(Metrics())
     _load(cluster, dept_rows, emp_rows)
 
     # 1. Supplementary table computed locally, repartitioned on building.
@@ -140,12 +180,14 @@ def simulate_decorrelated(
             [d for d in local if d[_D_BUDGET] is not None and d[_D_BUDGET] < budget_limit]
         )
     supp = hash_partition(cluster, supp_local, key=lambda d: d[_D_BUILDING])
+    _checkpoint(cluster, guard)
 
     # 2. Magic: distinct bindings, projected locally (already partitioned).
     magic: list[set] = []
     for node in cluster.nodes:
         cluster.work(node.node_id, len(supp[node.node_id]))
         magic.append({d[_D_BUILDING] for d in supp[node.node_id]})
+    _checkpoint(cluster, guard)
 
     # 3. EMP repartitioned on the correlation attribute; the decorrelated
     # subquery (join + GROUP BY on building) is then entirely local.
@@ -163,6 +205,7 @@ def simulate_decorrelated(
             if e[_E_BUILDING] in magic[node.node_id]:
                 local_counts[e[_E_BUILDING]] = local_counts.get(e[_E_BUILDING], 0) + 1
         counts.append(local_counts)
+    _checkpoint(cluster, guard)
 
     # 4. Final join: SUPP and the decorrelated counts are co-partitioned on
     # building, so the join (with the COUNT-bug COALESCE) is local.
@@ -174,6 +217,7 @@ def simulate_decorrelated(
             count = counts[node.node_id].get(dept[_D_BUILDING], 0)
             if dept[_D_NUMEMPS] is not None and dept[_D_NUMEMPS] > count:
                 answer.append((dept[_D_NAME],))
+    _checkpoint(cluster, guard)
     return _metrics(cluster, "magic_decorrelated", answer, cluster.n_nodes)
 
 
@@ -181,11 +225,23 @@ def sweep_nodes(
     dept_rows: list[tuple],
     emp_rows: list[tuple],
     node_counts: Optional[list[int]] = None,
+    faults: Optional["FaultRegistry"] = None,
 ) -> list[tuple[ParallelMetrics, ParallelMetrics]]:
-    """Run both strategies over a range of cluster sizes."""
+    """Run both strategies over a range of cluster sizes.
+
+    Each simulation gets its own replica of the fault registry (same seed,
+    zeroed trigger counters) so that one sweep is reproducible run-to-run
+    and the cluster sizes do not interfere with each other's fault draws.
+    """
     results = []
     for n in node_counts or [1, 2, 4, 8, 16]:
-        ni = simulate_nested_iteration(dept_rows, emp_rows, n)
-        magic = simulate_decorrelated(dept_rows, emp_rows, n)
+        ni = simulate_nested_iteration(
+            dept_rows, emp_rows, n,
+            faults=faults.replica() if faults is not None else None,
+        )
+        magic = simulate_decorrelated(
+            dept_rows, emp_rows, n,
+            faults=faults.replica() if faults is not None else None,
+        )
         results.append((ni, magic))
     return results

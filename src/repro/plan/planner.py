@@ -136,8 +136,15 @@ def _predicate_requirements(box: SelectBox, predicate: ast.Expr) -> set[int]:
     return required
 
 
-def plan_select_box(catalog: Catalog, box: SelectBox) -> SelectPlan:
-    """Greedy cost-based ordering of one SPJ box."""
+def plan_select_box(catalog: Catalog, box: SelectBox, guard=None) -> SelectPlan:
+    """Greedy cost-based ordering of one SPJ box.
+
+    ``guard`` (a :class:`repro.guard.ExecutionGuard`) makes planning itself
+    a cooperative cancellation/timeout point: plans are built lazily during
+    execution, so a tripped budget must also stop the planner.
+    """
+    if guard is not None:
+        guard.check()
     quantifier_by_id = {id(q): q for q in box.quantifiers}
 
     simple_preds: list[tuple[ast.Expr, set[int], list[BoxScalarSubquery]]] = []

@@ -21,14 +21,46 @@ Strategies are dispatched by their string value (``"kim"``, ``"magic"``,
 from __future__ import annotations
 
 import os
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional, TYPE_CHECKING
 
-from ..errors import QGMConsistencyError, RewriteError
+from ..errors import FaultInjectedError, QGMConsistencyError, RewriteError
 from ..qgm.model import QueryGraph
 from ..qgm.validate import validate_graph
 from ..storage.catalog import Catalog
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..faults import FaultRegistry
+
 StepHook = Callable[[str, QueryGraph], None]
+
+#: The graceful-degradation order: whatever was requested, then magic (the
+#: paper's general method), then nested iteration (always applicable --
+#: "guarantees an answer whenever NI can produce one").
+FALLBACK_CHAIN: tuple[str, ...] = ("magic", "ni")
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One step down the strategy fallback chain.
+
+    Recorded on the query result whenever a requested strategy (or a
+    fallback) failed and the engine moved on to the next strategy in
+    :data:`FALLBACK_CHAIN`.
+    """
+
+    requested: str   # the strategy the caller asked for
+    attempted: str   # the strategy that failed here
+    fallback: str    # the strategy tried next ("" when the chain ran out)
+    error_type: str  # class name of the error that triggered the step
+    message: str     # its message
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        target = self.fallback or "<none>"
+        return (
+            f"degraded {self.attempted!r} -> {target!r} "
+            f"[{self.error_type}]: {self.message}"
+        )
 
 
 def env_validate_default() -> bool:
@@ -45,10 +77,13 @@ class RewriteEngine:
         catalog: Catalog,
         validate: Optional[bool] = None,
         on_step: Optional[StepHook] = None,
+        faults: Optional["FaultRegistry"] = None,
     ):
         self.catalog = catalog
         self.validate = env_validate_default() if validate is None else validate
         self._user_hook = on_step
+        #: Deterministic fault-injection registry (site "rewrite.strategy").
+        self.faults = faults
         #: Step descriptions recorded during the most recent rewrite.
         self.steps: list[str] = []
 
@@ -95,6 +130,8 @@ class RewriteEngine:
             self.check(graph, "bind")
         else:
             validate_graph(graph, self.catalog)
+        if self.faults is not None:
+            self.faults.trigger("rewrite.strategy", detail=key)
 
         if key == "ni":
             result = graph
@@ -125,3 +162,55 @@ class RewriteEngine:
         else:
             validate_graph(result, self.catalog)
         return result
+
+    # -- graceful degradation ---------------------------------------------------
+
+    def rewrite_with_fallback(
+        self,
+        build: Callable[[], QueryGraph],
+        strategy,
+        decorrelate_existential: bool = True,
+    ) -> tuple[QueryGraph, list[DegradationEvent]]:
+        """Apply ``strategy``, degrading along :data:`FALLBACK_CHAIN` on
+        failure.
+
+        ``build`` constructs a *fresh* bound graph -- rewrites mutate their
+        input, so every attempt needs its own graph. Strategy-specific
+        failures (:class:`~repro.errors.RewriteError` including
+        ``NotApplicableError``, rewrite invariant violations, and injected
+        rewrite faults) each append a :class:`DegradationEvent`; the chain
+        ends at nested iteration, which is always applicable, so an answer
+        is guaranteed whenever NI itself can produce one. If even the last
+        strategy fails, the final error propagates (with the full event log
+        available on ``self.degradations``).
+        """
+        requested = getattr(strategy, "value", strategy)
+        chain = [requested]
+        chain.extend(k for k in FALLBACK_CHAIN if k not in chain)
+        events: list[DegradationEvent] = []
+        #: The most recent fallback log (also returned), kept on the engine
+        #: so failures that propagate can still be diagnosed.
+        self.degradations = events
+        for position, key in enumerate(chain):
+            try:
+                graph = self.rewrite(
+                    build(), key,
+                    decorrelate_existential=decorrelate_existential,
+                )
+                return graph, events
+            except (RewriteError, QGMConsistencyError, FaultInjectedError) as exc:
+                fallback = (
+                    chain[position + 1] if position + 1 < len(chain) else ""
+                )
+                events.append(
+                    DegradationEvent(
+                        requested=requested,
+                        attempted=key,
+                        fallback=fallback,
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                    )
+                )
+                if not fallback:
+                    raise
+        raise RewriteError("empty fallback chain")  # pragma: no cover

@@ -4,6 +4,7 @@ import pytest
 
 from repro import Database, Result, Strategy
 from repro.errors import BindError, CatalogError, ExecutionError
+from repro.exec import Metrics
 
 
 @pytest.fixture
@@ -84,3 +85,38 @@ class TestFacade:
         assert Strategy.NESTED_ITERATION.label == "NI"
         assert Strategy.MAGIC_OPT.label == "OptMag"
         assert len({s.label for s in Strategy}) == len(list(Strategy))
+
+
+class TestResultScalarDiagnostics:
+    def test_empty_result_raises_typed_error_naming_the_query(self, db):
+        sql = "SELECT v FROM t WHERE id = 999"
+        with pytest.raises(ExecutionError) as info:
+            db.execute(sql).scalar()
+        message = str(info.value)
+        assert "empty result" in message
+        assert sql in message
+
+    def test_multi_row_result_names_shape_and_query(self, db):
+        sql = "SELECT id FROM t"
+        with pytest.raises(ExecutionError) as info:
+            db.execute(sql).scalar()
+        message = str(info.value)
+        assert "3x1" in message
+        assert sql in message
+
+    def test_multi_column_result_rejected(self, db):
+        with pytest.raises(ExecutionError) as info:
+            db.execute("SELECT id, v FROM t WHERE id = 1").scalar()
+        assert "1x2" in str(info.value)
+
+    def test_result_carries_sql_and_degradations(self, db):
+        result = db.execute("SELECT count(*) FROM t")
+        assert "count(*)" in result.sql.lower()
+        assert result.degradations == []
+
+    def test_bare_result_scalar_still_typed(self):
+        # A Result constructed outside the engine has no SQL to cite but
+        # must raise the same typed error.
+        with pytest.raises(ExecutionError) as info:
+            Result(columns=["a"], rows=[], metrics=Metrics()).scalar()
+        assert "empty result" in str(info.value)

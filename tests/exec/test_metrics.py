@@ -35,3 +35,43 @@ def test_as_dict_contains_every_counter():
 
 def test_fresh_metrics_are_zero():
     assert Metrics().total_work() == 0
+
+
+def test_materialize_tracks_high_water_mark():
+    metrics = Metrics()
+    metrics.materialize(10)
+    metrics.materialize(5)
+    assert metrics.rows_materialized == 15
+    assert metrics.peak_rows_materialized == 15
+    # A later drop in the cumulative count (e.g. after a reset of the
+    # running total) must not lower the recorded peak.
+    metrics.rows_materialized = 3
+    metrics.materialize(1)
+    assert metrics.rows_materialized == 4
+    assert metrics.peak_rows_materialized == 15
+
+
+def test_as_dict_reports_materialization_counters():
+    metrics = Metrics()
+    metrics.materialize(7)
+    d = metrics.as_dict()
+    assert d["rows_materialized"] == 7
+    assert d["peak_rows_materialized"] == 7
+
+
+def test_addition_takes_max_of_peaks():
+    a = Metrics(rows_materialized=10, peak_rows_materialized=10)
+    b = Metrics(rows_materialized=4, peak_rows_materialized=4)
+    c = a + b
+    # Cumulative totals add; the high-water mark is per-execution.
+    assert c.rows_materialized == 14
+    assert c.peak_rows_materialized == 10
+
+
+def test_materialization_does_not_change_total_work():
+    # total_work() feeds the benchmark tables, whose numbers are pinned;
+    # the memory counters report alongside it without perturbing it.
+    metrics = Metrics(rows_scanned=10)
+    before = metrics.total_work()
+    metrics.materialize(1000)
+    assert metrics.total_work() == before

@@ -1,0 +1,13 @@
+"""Guard/fault suite fixtures.
+
+These tests pin their own fault registries (or none); an ambient
+``REPRO_FAULTS`` -- e.g. the CI fault-injection matrix -- must not leak
+into them. Tests that exercise env pickup set the variable explicitly.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)

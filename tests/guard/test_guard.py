@@ -1,0 +1,169 @@
+"""Execution guardrails: budgets, cancellation, zero-overhead default."""
+
+import threading
+
+import pytest
+
+from repro import Database, ExecutionGuard, Limits, Strategy
+from repro.errors import BudgetExceeded, GuardrailError, QueryCancelled
+from repro.exec import Metrics
+from repro.guard import guard_for
+from repro.tpcd import EMP_DEPT_QUERY
+
+
+@pytest.fixture
+def db(empdept_catalog) -> Database:
+    return Database(empdept_catalog)
+
+
+class TestLimits:
+    def test_any_set(self):
+        assert not Limits().any_set()
+        assert Limits(timeout=1.0).any_set()
+        assert Limits(max_rows_scanned=10).any_set()
+
+    def test_guard_for_none_is_none(self):
+        assert guard_for(None) is None
+        assert isinstance(guard_for(Limits()), ExecutionGuard)
+
+
+class TestBudgets:
+    def test_rows_scanned_budget_trips(self, db):
+        with pytest.raises(BudgetExceeded) as info:
+            db.execute(EMP_DEPT_QUERY, limits=Limits(max_rows_scanned=3))
+        error = info.value
+        assert error.budget == "max_rows_scanned"
+        assert error.limit == 3
+        assert error.observed > 3
+        # The metrics snapshot at trip time is attached and consistent.
+        assert error.metrics is not None
+        assert error.metrics.rows_scanned == error.observed
+
+    def test_trip_is_within_one_step_of_the_limit(self, db):
+        # The check runs at step granularity: the observed overshoot is at
+        # most one step's worth of rows (here: one full table scan).
+        biggest_table = max(
+            len(t) for t in (db.catalog.table("dept"), db.catalog.table("emp"))
+        )
+        with pytest.raises(BudgetExceeded) as info:
+            db.execute(EMP_DEPT_QUERY, limits=Limits(max_rows_scanned=1))
+        assert info.value.observed <= 1 + biggest_table
+
+    def test_subquery_invocation_budget_trips(self, db):
+        with pytest.raises(BudgetExceeded) as info:
+            db.execute(
+                EMP_DEPT_QUERY,
+                strategy=Strategy.NESTED_ITERATION,
+                limits=Limits(max_subquery_invocations=2),
+            )
+        assert info.value.budget == "max_subquery_invocations"
+
+    def test_decorrelated_strategies_do_not_invoke_subqueries(self, db):
+        # The same budget that kills NI passes for the decorrelated plan --
+        # the paper's whole point, now enforceable as a guardrail.
+        result = db.execute(
+            EMP_DEPT_QUERY,
+            strategy=Strategy.MAGIC,
+            limits=Limits(max_subquery_invocations=2),
+        )
+        assert sorted(result.rows) == sorted(
+            db.execute(EMP_DEPT_QUERY).rows
+        )
+
+    def test_rows_materialized_budget_trips(self, db):
+        with pytest.raises(BudgetExceeded) as info:
+            db.execute(
+                EMP_DEPT_QUERY,
+                strategy=Strategy.MAGIC,
+                cse_mode="materialize",
+                limits=Limits(max_rows_materialized=0),
+            )
+        assert info.value.budget == "max_rows_materialized"
+
+    def test_timeout_budget_trips(self, db):
+        clock_value = [0.0]
+
+        def clock() -> float:
+            clock_value[0] += 10.0
+            return clock_value[0]
+
+        guard = ExecutionGuard(Limits(timeout=5.0), clock=clock)
+        with pytest.raises(BudgetExceeded) as info:
+            db.execute(EMP_DEPT_QUERY, guard=guard)
+        assert info.value.budget == "timeout"
+        assert guard.tripped is info.value
+
+    def test_generous_budgets_do_not_trip(self, db):
+        result = db.execute(
+            EMP_DEPT_QUERY,
+            limits=Limits(
+                timeout=3600.0,
+                max_rows_scanned=10**9,
+                max_rows_materialized=10**9,
+                max_subquery_invocations=10**9,
+            ),
+        )
+        assert sorted(result.rows) == [("d_low",), ("research",), ("sales",)]
+
+    def test_budget_error_is_typed(self, db):
+        with pytest.raises(GuardrailError):
+            db.execute(EMP_DEPT_QUERY, limits=Limits(max_rows_scanned=0))
+
+
+class TestCancellation:
+    def test_pre_cancelled_guard_stops_immediately(self, db):
+        guard = ExecutionGuard(Limits())
+        guard.cancel()
+        with pytest.raises(QueryCancelled) as info:
+            db.execute(EMP_DEPT_QUERY, guard=guard)
+        assert guard.cancelled
+        assert info.value.metrics is not None
+
+    def test_cancel_from_another_thread(self, empdept_catalog):
+        # A cooperative cancel lands within one executor step: use a clock
+        # hook-free approach -- cancel after the first check observed.
+        db = Database(empdept_catalog)
+        guard = ExecutionGuard(Limits())
+        started = threading.Event()
+
+        original_check = guard.check
+
+        def checking():
+            started.set()
+            original_check()
+
+        guard.check = checking  # type: ignore[method-assign]
+        canceller = threading.Thread(
+            target=lambda: (started.wait(5), guard.cancel())
+        )
+        canceller.start()
+        try:
+            # Big enough NI workload that cancellation lands mid-flight on
+            # any machine; raises QueryCancelled once observed.
+            with pytest.raises(QueryCancelled):
+                for _ in range(1000):
+                    db.execute(EMP_DEPT_QUERY, guard=guard)
+        finally:
+            canceller.join()
+
+
+class TestZeroOverheadDefault:
+    def test_no_limits_identical_metrics(self, db):
+        plain = db.execute(EMP_DEPT_QUERY, strategy=Strategy.MAGIC)
+        limited = db.execute(
+            EMP_DEPT_QUERY, strategy=Strategy.MAGIC, limits=Limits()
+        )
+        assert plain.metrics.as_dict() == limited.metrics.as_dict()
+        assert plain.rows == limited.rows
+
+    def test_metrics_snapshot_is_a_copy(self, db):
+        with pytest.raises(BudgetExceeded) as info:
+            db.execute(EMP_DEPT_QUERY, limits=Limits(max_rows_scanned=1))
+        snapshot = info.value.metrics
+        assert snapshot is not None
+        assert isinstance(snapshot, Metrics)
+        before = snapshot.rows_scanned
+        snapshot.rows_scanned += 123
+        with pytest.raises(BudgetExceeded) as second:
+            db.execute(EMP_DEPT_QUERY, limits=Limits(max_rows_scanned=1))
+        assert second.value.metrics.rows_scanned == before

@@ -101,3 +101,77 @@ class TestReport:
         assert "## Section 6" in text
         assert "## Ablation" in text
         assert "| NI |" in text
+
+
+@pytest.fixture
+def correlated_script(tmp_path):
+    """A small correlated-subquery workload for the guardrail flags."""
+    path = tmp_path / "corr.sql"
+    path.write_text(
+        """
+        CREATE TABLE dept (name TEXT PRIMARY KEY, building TEXT, num_emps INT);
+        CREATE TABLE emp (empno INT PRIMARY KEY, building TEXT);
+        INSERT INTO dept VALUES ('d1', 'b1', 2), ('d2', 'b2', 0);
+        INSERT INTO emp VALUES (1, 'b1'), (2, 'b1'), (3, 'b2');
+        SELECT name FROM dept D WHERE D.num_emps >
+            (SELECT count(*) FROM emp E WHERE E.building = D.building);
+        """
+    )
+    return path
+
+
+class TestGuardrailFlags:
+    def test_timeout_exits_124(self, correlated_script):
+        result = run_cli("run", str(correlated_script), "--timeout", "0")
+        assert result.returncode == 124
+        assert "guardrail:" in result.stderr
+        assert "timeout" in result.stderr
+
+    def test_max_rows_exits_125_with_metrics(self, correlated_script):
+        result = run_cli("run", str(correlated_script), "--max-rows", "1")
+        assert result.returncode == 125
+        assert "max_rows_scanned" in result.stderr
+        assert "work at trip time" in result.stderr
+        assert "rows_scanned" in result.stderr
+
+    def test_generous_budgets_run_clean(self, correlated_script):
+        result = run_cli(
+            "run", str(correlated_script),
+            "--timeout", "300", "--max-rows", "1000000",
+        )
+        assert result.returncode == 0
+        assert "(0 rows" in result.stdout  # d1 has exactly num_emps matches
+
+    def test_faults_flag_injects_typed_error(self, correlated_script):
+        result = run_cli(
+            "run", str(correlated_script), "--faults", "1:storage.scan=1",
+        )
+        assert result.returncode == 1
+        assert "FaultInjectedError" in result.stderr
+        assert "storage.scan" in result.stderr
+
+    def test_bad_faults_spec_is_rejected(self, correlated_script):
+        result = run_cli(
+            "run", str(correlated_script), "--faults", "nonsense",
+        )
+        assert result.returncode != 0
+        assert "--faults" in result.stderr
+
+    def test_faults_runs_are_deterministic(self, correlated_script):
+        args = ("run", str(correlated_script),
+                "--faults", "9:storage.scan=0.2,exec.join=0.1")
+        first = run_cli(*args)
+        second = run_cli(*args)
+        assert first.returncode == second.returncode
+        assert first.stdout == second.stdout
+        assert first.stderr == second.stderr
+
+    def test_fallback_prints_degradation(self, correlated_script):
+        result = run_cli(
+            "run", str(correlated_script),
+            "--strategy", "magic", "--fallback",
+            "--faults", "0:rewrite.strategy=0.3",
+        )
+        assert result.returncode == 0
+        assert "-- degraded 'magic' -> 'ni'" in result.stdout
+        assert "FaultInjectedError" in result.stdout

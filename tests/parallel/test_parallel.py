@@ -145,3 +145,85 @@ class TestSimulations:
         magic = simulate_decorrelated(dept, emp, 3)
         # d1: count over NULL building = 0, 1 > 0 -> qualifies.
         assert ni.answer == magic.answer == [("d1",)]
+
+
+class TestClusterFaults:
+    """Node-failure simulation: deterministic retries folded into makespan."""
+
+    SPEC = "1:cluster.node=0.05,cluster.deliver=0.01"
+
+    def _run(self, empdept_rows, spec=None):
+        from repro import FaultRegistry
+
+        dept, emp, _ = empdept_rows
+        faults = FaultRegistry.parse(spec or self.SPEC)
+        return simulate_decorrelated(dept, emp, 4, faults=faults), faults
+
+    def test_answers_survive_node_failures(self, empdept_rows):
+        dept, emp, _ = empdept_rows
+        clean = simulate_decorrelated(dept, emp, 4)
+        faulty, _ = self._run(empdept_rows)
+        assert faulty.answer == clean.answer
+
+    def test_failures_are_accounted(self, empdept_rows):
+        faulty, faults = self._run(empdept_rows)
+        assert faulty.node_failures > 0 or faulty.retries > 0
+        assert faulty.retries >= faulty.node_failures
+        assert faults.log()  # the registry recorded every fired fault
+
+    def test_backoff_is_folded_into_makespan(self, empdept_rows):
+        from repro.parallel.cluster import RETRY_BACKOFF
+
+        faulty, _ = self._run(empdept_rows)
+        assert faulty.backoff_time == pytest.approx(
+            faulty.retries * RETRY_BACKOFF
+        )
+        # Backoff lives inside the per-node busy times, hence the makespan.
+        assert faulty.makespan == pytest.approx(max(faulty.per_node_busy))
+        assert sum(faulty.per_node_busy) >= faulty.backoff_time
+
+    def test_simulation_is_deterministic(self, empdept_rows):
+        a, fa = self._run(empdept_rows)
+        b, fb = self._run(empdept_rows)
+        assert a == b
+        assert fa.log() == fb.log()
+
+    def test_no_faults_means_no_failure_accounting(self, empdept_rows):
+        dept, emp, _ = empdept_rows
+        clean = simulate_decorrelated(dept, emp, 4)
+        assert clean.node_failures == 0
+        assert clean.retries == 0
+        assert clean.backoff_time == 0.0
+
+    def test_ni_under_faults_keeps_answer(self, empdept_rows):
+        from repro import FaultRegistry
+
+        dept, emp, _ = empdept_rows
+        clean = simulate_nested_iteration(dept, emp, 3)
+        faulty = simulate_nested_iteration(
+            dept, emp, 3, faults=FaultRegistry.parse(self.SPEC)
+        )
+        assert faulty.answer == clean.answer
+
+    def test_sweep_with_faults_is_reproducible(self, empdept_rows):
+        from repro import FaultRegistry
+
+        dept, emp, _ = empdept_rows
+
+        def sweep():
+            faults = FaultRegistry.parse(self.SPEC)
+            return sweep_nodes(dept, emp, node_counts=[2, 4], faults=faults)
+
+        assert sweep() == sweep()
+
+    def test_reset_counters_clears_failure_fields(self):
+        from repro import FaultRegistry
+        from repro.parallel.cluster import RETRY_BACKOFF
+
+        cluster = Cluster(2, faults=FaultRegistry.parse("1:cluster.node=1"))
+        cluster.work(0, n_rows=10)
+        node = cluster.nodes[0]
+        assert node.failures == 1
+        assert node.backoff_time == RETRY_BACKOFF
+        cluster.reset_counters()
+        assert (node.failures, node.retries, node.backoff_time) == (0, 0, 0.0)
