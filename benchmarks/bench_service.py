@@ -1,0 +1,28 @@
+"""Query-service throughput/latency baseline (``BENCH_service.json``).
+
+A fault-free soak at the default benchmark scale: how many mixed queries
+per second does the concurrent service sustain, and what are the p50/p95
+latencies? The committed ``BENCH_service.json`` at the repo root records
+the first baseline; regenerate it with::
+
+    python -m repro soak --workers 8 --seconds 10 --seed 42 \
+        --cancel-rate 0 --tight-deadline-rate 0 --bench-out BENCH_service.json
+"""
+
+import pytest
+
+from repro.serve.soak import run_soak
+
+
+@pytest.mark.benchmark(group="service")
+@pytest.mark.parametrize("workers", [1, 4, 8])
+def test_bench_service_throughput(benchmark, workers):
+    def soak():
+        return run_soak(
+            workers=workers, seconds=2.0, seed=42, faults=None,
+            scale=0.002, cancel_rate=0.0, tight_deadline_rate=0.0,
+        )
+
+    report = benchmark.pedantic(soak, rounds=1, iterations=1, warmup_rounds=0)
+    assert report.ok, [str(v) for v in report.violations]
+    assert report.stats.completed > 0

@@ -1,13 +1,14 @@
 """Reproduction of Complex Query Decorrelation (Seshadri, Pirahesh, Leung - ICDE 1996).
 
-Public entry points: Database, Strategy, Result, plus the execution
-guardrails (Limits, ExecutionGuard) and the deterministic fault-injection
-registry (FaultRegistry).
+Public entry points: Database, Strategy, Result, the execution guardrails
+(Limits, ExecutionGuard), the deterministic fault-injection registry
+(FaultRegistry), and the concurrent query service (QueryService).
 """
 
 from .api import Database, Result, Strategy
 from .faults import FaultRegistry
 from .guard import ExecutionGuard, Limits
+from .serve import QueryService, ServiceStats
 
 __version__ = "1.0.0"
 __all__ = [
@@ -17,5 +18,7 @@ __all__ = [
     "Limits",
     "ExecutionGuard",
     "FaultRegistry",
+    "QueryService",
+    "ServiceStats",
     "__version__",
 ]

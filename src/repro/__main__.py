@@ -146,6 +146,98 @@ def cmd_shell(args: argparse.Namespace) -> int:
             print(f"error: {exc}")
 
 
+def cmd_soak(args: argparse.Namespace) -> int:
+    """``repro soak``: the chaos soak harness for the query service.
+
+    Runs a seeded mixed workload (EMP/DEPT + TPC-D Q1/Q2/Q3) across worker
+    threads with injected faults, random cancellations and tight
+    deadlines, then verifies the metamorphic invariant per query and the
+    service counter reconciliation. Exit codes: ``0`` all invariants held,
+    ``1`` at least one violation (wrong answer, untyped error, hang, or
+    counter mismatch), ``2`` bad configuration. A ``faulthandler`` watchdog
+    is armed for 3x the soak duration (+60 s), so a deadlocked service
+    fails with thread stacks instead of hanging the runner.
+    """
+    import faulthandler
+    import json
+
+    from .serve.soak import run_soak
+
+    faulthandler.enable()
+    # A hard watchdog: if the soak (including drain) wedges, dump every
+    # thread's stack and kill the process rather than hang CI.
+    faulthandler.dump_traceback_later(
+        max(args.seconds * 3, 30.0) + 60.0, exit=True
+    )
+    try:
+        try:
+            report = run_soak(
+                workers=args.workers,
+                seconds=args.seconds,
+                seed=args.seed,
+                faults=args.faults,
+                scale=args.scale,
+                cancel_rate=args.cancel_rate,
+                tight_deadline_rate=args.tight_deadline_rate,
+                max_queue=args.max_queue,
+                breaker_threshold=args.breaker_threshold,
+                breaker_cooldown=args.breaker_cooldown,
+                fault_scope=args.fault_scope,
+            )
+        except ValueError as exc:
+            print(f"soak: bad configuration: {exc}", file=sys.stderr)
+            return 2
+    finally:
+        faulthandler.cancel_dump_traceback_later()
+
+    payload = report.as_dict()
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if args.bench_out:
+        stats = report.stats
+        bench = {
+            "benchmark": "service_soak",
+            "workers": args.workers,
+            "seconds": round(report.seconds, 3),
+            "scale": args.scale,
+            "seed": args.seed,
+            "faults": args.faults or "",
+            "throughput_qps": round(report.throughput(), 2),
+            "latency_p50_ms": stats.latency_p50_ms,
+            "latency_p95_ms": stats.latency_p95_ms,
+            "submitted": stats.submitted,
+            "completed": stats.completed,
+            "failed": stats.failed,
+            "cancelled": stats.cancelled,
+            "rejected": stats.rejected,
+        }
+        with open(args.bench_out, "w") as handle:
+            json.dump(bench, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.bench_out}")
+    print(
+        f"soak: {report.seconds:.1f}s, {report.stats.submitted} submitted "
+        f"({report.stats.completed} ok / {report.stats.failed} failed / "
+        f"{report.stats.cancelled} cancelled / {report.stats.rejected} "
+        f"rejected), {report.throughput():.1f} q/s, "
+        f"p50 {report.stats.latency_p50_ms} ms, "
+        f"p95 {report.stats.latency_p95_ms} ms, "
+        f"{report.checked_answers} answers checked, "
+        f"{len(report.stats.breaker_transitions)} breaker transitions"
+    )
+    for strategy, snapshot in sorted(report.stats.breakers.items()):
+        print(f"  breaker[{strategy}]: {snapshot['state']}")
+    if not report.ok:
+        for violation in report.violations:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    print("soak: all invariants held")
+    return 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     """``repro figures``: regenerate the paper's tables and figures."""
     from .bench.figures import ALL_FIGURES, table1
@@ -258,6 +350,42 @@ def main(argv: list[str] | None = None) -> int:
              "rewrite failure",
     )
     p_run.set_defaults(fn=cmd_run)
+
+    p_soak = sub.add_parser(
+        "soak", help="chaos soak: concurrent mixed workload with faults"
+    )
+    p_soak.add_argument("--workers", type=int, default=8)
+    p_soak.add_argument("--seconds", type=float, default=20.0)
+    p_soak.add_argument("--seed", type=int, default=42)
+    p_soak.add_argument(
+        "--faults", default=None, metavar="SEED:SPEC",
+        help="deterministic fault injection, e.g. "
+             "'42:storage.scan=0.002,rewrite.strategy=0.05'",
+    )
+    p_soak.add_argument("--scale", type=float, default=0.005,
+                        help="TPC-D scale factor for the soak database")
+    p_soak.add_argument("--cancel-rate", type=float, default=0.05,
+                        dest="cancel_rate",
+                        help="probability a background canceller targets an "
+                             "in-flight query each tick")
+    p_soak.add_argument("--tight-deadline-rate", type=float, default=0.1,
+                        dest="tight_deadline_rate",
+                        help="fraction of submissions given a millisecond "
+                             "deadline")
+    p_soak.add_argument("--max-queue", type=int, default=64, dest="max_queue")
+    p_soak.add_argument("--breaker-threshold", type=int, default=3,
+                        dest="breaker_threshold")
+    p_soak.add_argument("--breaker-cooldown", type=float, default=1.0,
+                        dest="breaker_cooldown")
+    p_soak.add_argument("--fault-scope", choices=["shared", "worker"],
+                        default="shared", dest="fault_scope")
+    p_soak.add_argument("--json", default=None, metavar="PATH",
+                        help="write the full report as JSON")
+    p_soak.add_argument("--bench-out", default=None, metavar="PATH",
+                        dest="bench_out",
+                        help="write a throughput/latency baseline JSON "
+                             "(e.g. BENCH_service.json)")
+    p_soak.set_defaults(fn=cmd_soak)
 
     p_shell = sub.add_parser("shell", help="interactive SQL shell")
     p_shell.add_argument("--strategy", default="ni")

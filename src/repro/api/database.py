@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from ..errors import BindError, ExecutionError
+from ..errors import BindError, ExecutionError, ReproError
 from ..exec import Metrics, execute_graph
 from ..faults import FaultRegistry
 from ..guard import ExecutionGuard, Limits
@@ -113,10 +113,49 @@ class Database:
     # -- DDL / DML -----------------------------------------------------------
 
     def execute_script(self, sql: str) -> list[Result]:
-        """Run a ``;``-separated script; returns one Result per statement."""
-        return [self._execute_statement(s) for s in parse_statements(sql)]
+        """Run a ``;``-separated script; returns one Result per statement.
 
-    def _execute_statement(self, statement: ast.Statement) -> Result:
+        Each statement's source text is threaded onto its :class:`Result`
+        (``result.sql``) and into any error it raises -- a failing DDL or
+        INSERT names the originating statement the same way
+        :meth:`Result.scalar` names its query. The whole script is parsed
+        before the first statement executes, so a syntax error anywhere
+        runs nothing."""
+        from ..sql.splitter import split_statements
+
+        sources = split_statements(sql)
+        statements = [parse_statement(s) for s in sources]
+        if len(statements) != len(sources):  # pragma: no cover - paranoia
+            return [self._execute_statement(s) for s in parse_statements(sql)]
+        return [
+            self._execute_statement(statement, sql=source)
+            for statement, source in zip(statements, sources)
+        ]
+
+    @staticmethod
+    def _name_statement(exc: ReproError, sql: str) -> None:
+        """Append the originating statement to ``exc``'s message (once) and
+        stash it on ``exc.sql``; long statements are truncated."""
+        if not sql or getattr(exc, "sql", ""):
+            return
+        exc.sql = sql  # type: ignore[attr-defined]
+        text = " ".join(sql.split())
+        if len(text) > 120:
+            text = text[:117] + "..."
+        exc.args = (f"{exc.args[0]} [in statement: {text}]",) + exc.args[1:]
+
+    def _execute_statement(
+        self, statement: ast.Statement, sql: str = ""
+    ) -> Result:
+        try:
+            return self._execute_statement_inner(statement, sql)
+        except ReproError as exc:
+            self._name_statement(exc, sql)
+            raise
+
+    def _execute_statement_inner(
+        self, statement: ast.Statement, sql: str = ""
+    ) -> Result:
         if isinstance(statement, ast.CreateTable):
             columns = [
                 Column(c.name, SQLType[c.type_name], nullable=not c.not_null)
@@ -125,29 +164,32 @@ class Database:
             self.catalog.create_table(
                 statement.name, Schema(columns, primary_key=statement.primary_key)
             )
-            return Result([], [], Metrics())
+            return Result([], [], Metrics(), sql=sql)
         if isinstance(statement, ast.CreateIndex):
             table = self.catalog.table(statement.table)
             table.create_index(
                 statement.name, list(statement.columns),
                 unique=statement.unique, kind=statement.kind,
             )
-            return Result([], [], Metrics())
+            return Result([], [], Metrics(), sql=sql)
         if isinstance(statement, ast.DropIndex):
             self.catalog.table(statement.table).drop_index(statement.name)
-            return Result([], [], Metrics())
+            return Result([], [], Metrics(), sql=sql)
         if isinstance(statement, ast.CreateView):
             # Views are validated eagerly then stored as SQL text.
             build_qgm(statement.query, self.catalog)
             self.catalog.create_view(statement.name, to_sql(statement.query))
-            return Result([], [], Metrics())
+            return Result([], [], Metrics(), sql=sql)
         if isinstance(statement, ast.Insert):
-            return self._insert(statement)
+            return self._insert(statement, sql=sql)
         if isinstance(statement, (ast.Select, ast.SetOp)):
-            return self._run_query(statement, Strategy.NESTED_ITERATION, "recompute")
+            return self._run_query(
+                statement, Strategy.NESTED_ITERATION, "recompute",
+                sql=sql or None,
+            )
         raise BindError(f"unsupported statement {type(statement).__name__}")
 
-    def _insert(self, statement: ast.Insert) -> Result:
+    def _insert(self, statement: ast.Insert, sql: str = "") -> Result:
         table = self.catalog.table(statement.table)
         names = table.schema.names()
         columns = [c.lower() for c in statement.columns] or names
@@ -174,7 +216,7 @@ class Database:
         self.catalog.invalidate_stats(table.name)
         metrics = Metrics()
         metrics.rows_output = inserted
-        return Result([], [], metrics)
+        return Result([], [], metrics, sql=sql)
 
     # -- queries ---------------------------------------------------------------
 
@@ -187,6 +229,7 @@ class Database:
         limits: Optional[Limits] = None,
         guard: Optional[ExecutionGuard] = None,
         fallback: bool = False,
+        disabled=None,
     ) -> Result:
         """Parse, bind, rewrite per ``strategy``, and execute one statement.
 
@@ -209,15 +252,20 @@ class Database:
         strategy's rewrite fails, the engine retries along
         ``requested -> magic -> nested iteration`` and records the taken
         chain as :class:`~repro.rewrite.engine.DegradationEvent`s on
-        ``Result.degradations``.
+        ``Result.degradations``. ``disabled`` (fallback mode only) is a
+        per-strategy veto callable forwarded to
+        :meth:`~repro.rewrite.engine.RewriteEngine.rewrite_with_fallback`
+        -- the query service's circuit breakers use it to skip quarantined
+        strategies without re-paying their rewrite.
         """
         statement = parse_statement(sql)
         if not isinstance(statement, (ast.Select, ast.SetOp)):
-            return self._execute_statement(statement)
+            return self._execute_statement(statement, sql=sql)
         return self._run_query(
             statement, strategy, cse_mode,
             decorrelate_existential=decorrelate_existential,
             limits=limits, guard=guard, fallback=fallback, sql=sql,
+            disabled=disabled,
         )
 
     def _run_query(
@@ -230,6 +278,7 @@ class Database:
         guard: Optional[ExecutionGuard] = None,
         fallback: bool = False,
         sql: Optional[str] = None,
+        disabled=None,
     ) -> Result:
         if sql is None:
             sql = to_sql(statement)
@@ -238,6 +287,7 @@ class Database:
             graph, degradations = self.engine.rewrite_with_fallback(
                 lambda: build_qgm(statement, self.catalog), strategy,
                 decorrelate_existential=decorrelate_existential,
+                disabled=disabled,
             )
         else:
             graph = self.rewrite(

@@ -142,6 +142,33 @@ class QueryCancelled(GuardrailError):
         self.reason = reason
 
 
+class AdmissionRejected(ReproError):
+    """Raised by the query service when a submission cannot be admitted.
+
+    Admission control bounds the service's wait queue: rather than letting
+    submissions pile up without bound, overflow fails fast with this typed
+    error. ``queue_depth``/``max_queue`` describe the wait queue at
+    rejection time, ``in_flight`` the number of queries then executing;
+    ``reason`` is ``"queue full"`` or ``"service closed"``.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        queue_depth: int,
+        max_queue: int,
+        in_flight: int = 0,
+    ):
+        super().__init__(
+            f"admission rejected ({reason}): queue depth {queue_depth}"
+            f"/{max_queue}, {in_flight} in flight"
+        )
+        self.reason = reason
+        self.queue_depth = queue_depth
+        self.max_queue = max_queue
+        self.in_flight = in_flight
+
+
 class FaultInjectedError(ReproError):
     """Raised by a deterministic fault-injection point (``REPRO_FAULTS``).
 

@@ -23,11 +23,22 @@ module, no ``PYTHONHASHSEED`` sensitivity: the same seed and the same
 execution path produce the same fault sites, the same errors and the same
 degradation log on every run. Every fired fault is recorded on
 ``registry.injected`` for exactly that comparison.
+
+Concurrency: the per-site trigger counters are **global to the registry**,
+not per query. A registry shared by concurrent queries hands out ordinals
+in arrival order (the counter mutation is guarded by a lock, so no ordinal
+is ever lost or duplicated), which means the *set* of fired ordinals per
+site is still exactly the crc32 schedule -- but *which query* observes a
+given ordinal depends on thread interleaving. For per-query (or
+per-worker) deterministic fault sequences, give each execution stream its
+own :meth:`FaultRegistry.replica`; that is what
+``repro.serve.QueryService(fault_scope="worker")`` does.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import zlib
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional
@@ -80,6 +91,14 @@ class FaultRegistry:
     registry should cover exactly one unit of comparison -- typically one
     ``Database`` or one simulated cluster. Two registries built from the
     same spec replay identically over the same execution path.
+
+    Thread safety: :meth:`should_fire` / :meth:`trigger` take an internal
+    lock around the counter increment, the fire decision and the
+    ``injected`` append, so concurrent queries sharing one registry never
+    lose or duplicate a trigger ordinal. The ordinal *assignment* across
+    queries follows arrival order (see the module docstring); use
+    :meth:`replica` per execution stream when per-stream determinism is
+    required.
     """
 
     def __init__(self, seed: int, rules: Iterable[FaultRule]):
@@ -94,6 +113,7 @@ class FaultRegistry:
                     f"got {rule.rate}"
                 )
         self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
         #: Every fault fired so far, in firing order.
         self.injected: list[InjectedFault] = []
 
@@ -165,26 +185,36 @@ class FaultRegistry:
         """Deterministically decide (and record) whether this trigger of
         ``site`` fires. Used directly for *soft* faults the caller handles
         itself (e.g. cluster retries)."""
-        sequence = self._counts.get(site, 0)
-        self._counts[site] = sequence + 1
-        rate = self._rate(site)
-        if rate <= 0.0:
-            return False
-        draw = zlib.crc32(f"{self.seed}:{site}:{sequence}".encode()) / 2**32
-        if draw >= rate:
-            return False
-        self.injected.append(InjectedFault(site, sequence, detail))
-        return True
+        return self._fire(site, detail) is not None
+
+    def _fire(self, site: str, detail: str) -> Optional[InjectedFault]:
+        """The locked decision: claim the next ordinal for ``site``, decide,
+        record. Returns the fired fault (atomically, so concurrent callers
+        never read another query's entry off ``injected[-1]``) or None."""
+        with self._lock:
+            sequence = self._counts.get(site, 0)
+            self._counts[site] = sequence + 1
+            rate = self._rate(site)
+            if rate <= 0.0:
+                return None
+            draw = zlib.crc32(f"{self.seed}:{site}:{sequence}".encode()) / 2**32
+            if draw >= rate:
+                return None
+            fault = InjectedFault(site, sequence, detail)
+            self.injected.append(fault)
+            return fault
 
     def trigger(self, site: str, detail: str = "") -> None:
         """A *hard* fault point: raise
         :class:`~repro.errors.FaultInjectedError` when this trigger fires."""
-        if self.should_fire(site, detail):
-            fault = self.injected[-1]
+        fault = self._fire(site, detail)
+        if fault is not None:
             raise FaultInjectedError(fault.site, fault.sequence, fault.detail)
 
     # -- observation -------------------------------------------------------
 
     def log(self) -> list[tuple[str, int, str]]:
-        """The fired faults as plain tuples (for determinism comparisons)."""
-        return [(f.site, f.sequence, f.detail) for f in self.injected]
+        """The fired faults as plain tuples (for determinism comparisons).
+        Locked, so the snapshot is consistent under concurrent queries."""
+        with self._lock:
+            return [(f.site, f.sequence, f.detail) for f in self.injected]

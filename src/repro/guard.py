@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from .errors import BudgetExceeded, QueryCancelled
+from .exec.metrics import Metrics
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,15 @@ class ExecutionGuard:
     after :meth:`cancel` was called (e.g. from another thread).
 
     ``clock`` is injectable for deterministic timeout tests.
+
+    Concurrency contract: :meth:`cancel` is safe to call from any thread
+    and is the *only* cross-thread entry point -- it flips a single boolean
+    flag (an atomic store under the GIL), which the executing thread
+    observes at its next :meth:`check`, i.e. within one executor step.
+    The deadline is fixed at construction time (``clock() + timeout``), so
+    a guard built when a query is *submitted* to a service charges queue
+    wait time against the deadline too; everything else on the guard is
+    owned by the executing thread.
     """
 
     def __init__(
@@ -89,11 +99,20 @@ class ExecutionGuard:
         """Has cancellation been requested?"""
         return self._cancelled
 
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` when no timeout is set;
+        never negative). Service schedulers use this for queue triage."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - self._clock())
+
     # -- enforcement -------------------------------------------------------
 
     def _snapshot(self):
         if self.metrics is None:
-            return None
+            # Tripped before execution began (cancelled or expired while
+            # queued): an all-zero snapshot, meaning "no work was done".
+            return Metrics()
         return dataclasses.replace(self.metrics)
 
     def _trip(self, error) -> None:

@@ -170,6 +170,7 @@ class RewriteEngine:
         build: Callable[[], QueryGraph],
         strategy,
         decorrelate_existential: bool = True,
+        disabled: Optional[Callable[[str], Optional[str]]] = None,
     ) -> tuple[QueryGraph, list[DegradationEvent]]:
         """Apply ``strategy``, degrading along :data:`FALLBACK_CHAIN` on
         failure.
@@ -183,6 +184,16 @@ class RewriteEngine:
         is guaranteed whenever NI itself can produce one. If even the last
         strategy fails, the final error propagates (with the full event log
         available on ``self.degradations``).
+
+        ``disabled`` lets a caller veto chain entries without paying for
+        the rewrite attempt at all: it receives each strategy key before
+        ``build()`` runs and returns a human-readable reason to skip it
+        (or ``None`` to proceed). A skip is recorded as a
+        :class:`DegradationEvent` with ``error_type="CircuitBreakerOpen"``
+        -- this is how the query service's per-strategy circuit breakers
+        degrade straight down the chain while a strategy is quarantined.
+        If every chain entry is vetoed, a :class:`~repro.errors.RewriteError`
+        summarising the reasons is raised.
         """
         requested = getattr(strategy, "value", strategy)
         chain = [requested]
@@ -192,6 +203,29 @@ class RewriteEngine:
         #: so failures that propagate can still be diagnosed.
         self.degradations = events
         for position, key in enumerate(chain):
+            if disabled is not None:
+                reason = disabled(key)
+                if reason:
+                    fallback = (
+                        chain[position + 1] if position + 1 < len(chain) else ""
+                    )
+                    events.append(
+                        DegradationEvent(
+                            requested=requested,
+                            attempted=key,
+                            fallback=fallback,
+                            error_type="CircuitBreakerOpen",
+                            message=reason,
+                        )
+                    )
+                    if not fallback:
+                        raise RewriteError(
+                            "no strategy available: "
+                            + "; ".join(
+                                f"{e.attempted}: {e.message}" for e in events
+                            )
+                        )
+                    continue
             try:
                 graph = self.rewrite(
                     build(), key,

@@ -1,0 +1,26 @@
+"""Concurrent query service: admission control, deadlines, breakers, soak.
+
+Public surface:
+
+* :class:`~repro.serve.service.QueryService` -- thread-pool service over a
+  shared :class:`~repro.api.database.Database` (tickets, admission
+  control, cross-thread cancel, per-strategy circuit breakers, stats);
+* :class:`~repro.serve.service.Ticket` / ``ServiceStats``;
+* :class:`~repro.serve.breaker.CircuitBreaker` / ``BreakerTransition``;
+* :func:`~repro.serve.soak.run_soak` -- the chaos soak harness behind
+  ``python -m repro soak``.
+"""
+
+from .breaker import BreakerTransition, CircuitBreaker
+from .service import QueryService, ServiceStats, Ticket
+from .soak import SoakReport, run_soak
+
+__all__ = [
+    "QueryService",
+    "ServiceStats",
+    "Ticket",
+    "CircuitBreaker",
+    "BreakerTransition",
+    "SoakReport",
+    "run_soak",
+]

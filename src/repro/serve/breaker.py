@@ -1,0 +1,179 @@
+"""Per-strategy circuit breakers for the query service.
+
+A breaker quarantines a decorrelation strategy after ``threshold``
+*consecutive* failures (rewrite errors, invariant violations, injected
+faults, or execution failures attributed to that strategy), so subsequent
+queries degrade straight down the fallback chain without re-paying the
+failing rewrite. After ``cooldown`` seconds the breaker admits exactly one
+half-open *probe*; a successful probe closes the breaker, a failed one
+re-opens it for another cooldown.
+
+States and transitions (the classic three-state machine)::
+
+    CLOSED --[threshold consecutive failures]--> OPEN
+    OPEN   --[cooldown elapsed, probe claimed]--> HALF_OPEN
+    HALF_OPEN --[probe succeeded]--> CLOSED
+    HALF_OPEN --[probe failed]-----> OPEN
+
+An *abandoned* probe (the probing query died before the strategy was
+attempted, e.g. it was cancelled) stays HALF_OPEN with the probe slot
+freed, so the next ``try_pass`` claims a fresh probe.
+
+All methods are thread-safe; ``clock`` is injectable for deterministic
+tests. Every transition is reported through ``on_transition`` (the service
+aggregates them into ``service.stats().breaker_transitions``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One state change of one strategy's breaker."""
+
+    strategy: str
+    from_state: str
+    to_state: str
+    reason: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"breaker[{self.strategy}] {self.from_state} -> {self.to_state}"
+            f" ({self.reason})"
+        )
+
+
+class CircuitBreaker:
+    """The three-state breaker guarding one strategy.
+
+    :meth:`try_pass` is consulted *before* a rewrite attempt (via the
+    engine's ``disabled`` hook); :meth:`record_success` /
+    :meth:`record_failure` report the attempt's outcome;
+    :meth:`release_probe` returns an unresolved half-open probe (e.g. the
+    probing query was cancelled before its rewrite finished) so the next
+    caller can claim a fresh one.
+    """
+
+    def __init__(
+        self,
+        strategy: str,
+        threshold: int = 5,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[BreakerTransition], None]] = None,
+    ):
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.strategy = strategy
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+
+    # -- observation -------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def snapshot(self) -> dict:
+        """State + counters as a plain dict (for ``service.stats()``)."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "probe_inflight": self._probe_inflight,
+            }
+
+    # -- transitions -------------------------------------------------------
+
+    def _transition(self, to_state: str, reason: str) -> None:
+        """Move to ``to_state`` (caller holds the lock)."""
+        event = BreakerTransition(self.strategy, self._state, to_state, reason)
+        self._state = to_state
+        if self._on_transition is not None:
+            self._on_transition(event)
+
+    def try_pass(self) -> tuple[Optional[str], bool]:
+        """May a query attempt this strategy right now?
+
+        Returns ``(block_reason, claimed_probe)``: ``block_reason`` is
+        ``None`` when the attempt may proceed (closed, or this caller just
+        claimed the half-open probe, in which case ``claimed_probe`` is
+        True and the caller MUST later resolve it via ``record_success``,
+        ``record_failure`` or ``release_probe``), else a human-readable
+        reason the strategy is quarantined.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return None, False
+            if self._state == OPEN:
+                if self._clock() - self._opened_at < self.cooldown:
+                    return (
+                        f"circuit open for {self.strategy!r} "
+                        f"({self._consecutive_failures} consecutive failures)",
+                        False,
+                    )
+                self._transition(HALF_OPEN, "cooldown elapsed, probing")
+                self._probe_inflight = True
+                return None, True
+            # HALF_OPEN
+            if self._probe_inflight:
+                return (
+                    f"circuit half-open for {self.strategy!r}, probe in flight",
+                    False,
+                )
+            self._probe_inflight = True
+            return None, True
+
+    def record_success(self) -> None:
+        """An attempt with this strategy succeeded."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_inflight = False
+                self._consecutive_failures = 0
+                self._transition(CLOSED, "probe succeeded")
+            elif self._state == CLOSED:
+                self._consecutive_failures = 0
+            # OPEN: a straggler that passed before the breaker opened;
+            # ignored -- recovery goes through the half-open probe.
+
+    def record_failure(self, reason: str = "") -> None:
+        """An attempt with this strategy failed."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_inflight = False
+                self._consecutive_failures += 1
+                self._opened_at = self._clock()
+                self._transition(OPEN, reason or "probe failed")
+            elif self._state == CLOSED:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.threshold:
+                    self._opened_at = self._clock()
+                    self._transition(
+                        OPEN,
+                        reason
+                        or f"{self._consecutive_failures} consecutive failures",
+                    )
+            # OPEN: stragglers don't extend the cooldown.
+
+    def release_probe(self) -> None:
+        """Return an unresolved half-open probe without an outcome."""
+        with self._lock:
+            if self._state == HALF_OPEN and self._probe_inflight:
+                self._probe_inflight = False

@@ -1,0 +1,597 @@
+"""The concurrent query service: admission control, deadlines, breakers.
+
+:class:`QueryService` wraps a shared :class:`~repro.api.database.Database`
+behind a fixed thread pool. Every submission gets a :class:`Ticket` (query
+id, deadline, :class:`~repro.guard.Limits`, and a pre-built
+:class:`~repro.guard.ExecutionGuard` so it can be cancelled from any
+thread). Admission control bounds the system: at most ``workers`` queries
+execute at once and at most ``max_queue`` wait; overflow raises a typed
+:class:`~repro.errors.AdmissionRejected` carrying the queue depth instead
+of piling up without bound.
+
+Deadlines are measured from *submission* -- the guard's clock starts when
+the ticket is issued, so queue wait counts against the deadline and a
+ticket that expires while queued trips (typed ``BudgetExceeded``) the
+moment a worker picks it up, without executing anything.
+
+Per-strategy circuit breakers (:mod:`repro.serve.breaker`) quarantine a
+strategy after N consecutive rewrite/execution failures; quarantined
+strategies are skipped via the rewrite engine's ``disabled`` hook, so
+degraded queries go straight down the PR-2 fallback chain without
+re-paying the failing rewrite. Nested iteration is exempt -- the strategy
+of last resort must always remain available.
+
+Shared-state contract: the *catalog* (tables, views, stats) is shared by
+all workers and is internally synchronized (see
+:class:`~repro.storage.catalog.Catalog` and
+:class:`~repro.storage.table.Table`). Each worker gets its **own**
+``Database`` facade over that catalog, because the rewrite engine keeps
+per-rewrite diagnostic state (``steps`` / ``degradations``) that must not
+be shared across threads. Fault injection follows ``fault_scope``:
+
+* ``"shared"`` (default): all workers share the base database's
+  :class:`~repro.faults.FaultRegistry` -- the per-site ordinal schedule is
+  global and locked, so the *set* of fired ordinals is deterministic but
+  which query observes a given ordinal depends on thread interleaving;
+* ``"worker"``: each worker thread gets ``registry.replica()`` -- a
+  per-worker deterministic fault sequence.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..api.database import Database, Result
+from ..errors import (
+    AdmissionRejected,
+    BudgetExceeded,
+    QueryCancelled,
+    ReproError,
+)
+from ..guard import ExecutionGuard, Limits
+from .breaker import BreakerTransition, CircuitBreaker
+
+#: Ticket lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: The strategy of last resort; its breaker never blocks (see module doc).
+_LAST_RESORT = "ni"
+
+
+class Ticket:
+    """One admitted query: identity, budgets, and the eventual outcome.
+
+    ``result(timeout=None)`` blocks until the query finishes and returns
+    the :class:`~repro.api.database.Result`, re-raising the query's typed
+    error if it failed. ``done`` / ``state`` observe progress without
+    blocking.
+    """
+
+    def __init__(
+        self,
+        query_id: int,
+        sql: str,
+        strategy: str,
+        guard: ExecutionGuard,
+        submitted_at: float,
+        cse_mode: str = "recompute",
+    ):
+        self.query_id = query_id
+        self.sql = sql
+        self.strategy = strategy
+        self.guard = guard
+        self.submitted_at = submitted_at
+        self.cse_mode = cse_mode
+        self.state = QUEUED
+        self.latency: Optional[float] = None  # seconds, set on completion
+        self._event = threading.Event()
+        self._result: Optional[Result] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the query finished; False on wait timeout."""
+        return self._event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Result:
+        """The query's result (blocking); raises its typed error instead
+        when the query failed or was cancelled."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"query {self.query_id} still {self.state} after {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def error(self) -> Optional[BaseException]:
+        """The stored error (None while unfinished or on success)."""
+        return self._error
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Ticket(#{self.query_id}, {self.state}, {self.strategy})"
+
+
+@dataclass
+class ServiceStats:
+    """A consistent snapshot of the service counters.
+
+    Conservation: ``submitted == admitted + rejected`` always, and after a
+    drain (``close()``) ``admitted == completed + failed + cancelled``, so
+    ``submitted == completed + failed + cancelled + rejected``.
+    """
+
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    in_flight: int = 0
+    queue_depth: int = 0
+    max_queue: int = 0
+    workers: int = 0
+    latency_p50_ms: Optional[float] = None
+    latency_p95_ms: Optional[float] = None
+    breakers: dict = field(default_factory=dict)
+    breaker_transitions: list = field(default_factory=list)
+
+    def reconciles(self) -> bool:
+        """Does every submission have exactly one recorded outcome (only
+        meaningful once the service is idle or closed)?"""
+        return (
+            self.submitted == self.admitted + self.rejected
+            and self.admitted
+            == self.completed + self.failed + self.cancelled
+            + self.in_flight + self.queue_depth
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "in_flight": self.in_flight,
+            "queue_depth": self.queue_depth,
+            "max_queue": self.max_queue,
+            "workers": self.workers,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "breakers": self.breakers,
+            "breaker_transitions": [
+                (t.strategy, t.from_state, t.to_state, t.reason)
+                for t in self.breaker_transitions
+            ],
+        }
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    index = min(
+        len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+class QueryService:
+    """A thread-pool query service over one shared database.
+
+    Parameters
+    ----------
+    db:
+        The base database. Its *catalog* (and, under
+        ``fault_scope="shared"``, its fault registry) is shared by all
+        workers; each worker wraps it in its own facade.
+    workers:
+        Maximum queries executing simultaneously (pool size).
+    max_queue:
+        Maximum queries *waiting*; submissions beyond ``workers`` running
+        plus ``max_queue`` queued raise :class:`AdmissionRejected`.
+    default_limits / default_deadline:
+        Budgets applied to submissions that don't bring their own
+        (``deadline`` is wall-clock seconds measured from submission).
+    breaker_threshold / breaker_cooldown:
+        Consecutive failures that open a strategy's circuit breaker, and
+        the seconds it stays open before admitting a half-open probe.
+    fault_scope:
+        ``"shared"`` (one global, locked fault-ordinal schedule) or
+        ``"worker"`` (a deterministic per-worker replica). See module doc.
+    clock:
+        Injectable monotonic clock (drives deadlines and breakers).
+
+    Use as a context manager; ``close()`` drains by default.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        workers: int = 4,
+        max_queue: int = 32,
+        default_limits: Optional[Limits] = None,
+        default_deadline: Optional[float] = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
+        fault_scope: str = "shared",
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if fault_scope not in ("shared", "worker"):
+            raise ValueError(
+                f"fault_scope must be 'shared' or 'worker', got {fault_scope!r}"
+            )
+        self._db = db
+        self.workers = workers
+        self.max_queue = max_queue
+        self.default_limits = default_limits
+        self.default_deadline = default_deadline
+        self.fault_scope = fault_scope
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._queue: deque[Ticket] = deque()
+        self._tickets: dict[int, Ticket] = {}  # queued or running
+        self._ids = itertools.count(1)
+        self._closed = False
+        # counters (all guarded by self._lock)
+        self._submitted = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._failed = 0
+        self._cancelled = 0
+        self._in_flight = 0
+        self._latencies: list[float] = []
+        # breakers
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._transitions: list[BreakerTransition] = []
+        self._tls = threading.local()
+        # workers
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        strategy: Any = "ni",
+        limits: Optional[Limits] = None,
+        deadline: Optional[float] = None,
+        cse_mode: str = "recompute",
+    ) -> Ticket:
+        """Admit one query (or raise :class:`AdmissionRejected`).
+
+        ``deadline`` (seconds from *now*) is folded into the ticket's
+        guard as a wall-clock timeout; queue wait counts against it.
+        ``strategy`` may be a :class:`~repro.api.strategies.Strategy`
+        member or its string value; the service executes with
+        ``fallback=True``, so a failing strategy degrades rather than
+        erroring (see the breaker discussion in the module docstring).
+        """
+        key = getattr(strategy, "value", strategy)
+        limits = limits if limits is not None else self.default_limits
+        deadline = (
+            deadline if deadline is not None else self.default_deadline
+        )
+        merged = self._merge_limits(limits, deadline)
+        guard = ExecutionGuard(merged, clock=self._clock)
+        with self._lock:
+            self._submitted += 1
+            if self._closed:
+                self._rejected += 1
+                raise AdmissionRejected(
+                    "service closed", len(self._queue), self.max_queue,
+                    in_flight=self._in_flight,
+                )
+            # Total-capacity rule: admit while admitted-but-unfinished
+            # work fits in ``workers + max_queue``.  (Queue depth alone
+            # would make ``max_queue=0`` unusable even with idle workers.)
+            if (
+                self._in_flight + len(self._queue)
+                >= self.workers + self.max_queue
+            ):
+                self._rejected += 1
+                raise AdmissionRejected(
+                    "queue full", len(self._queue), self.max_queue,
+                    in_flight=self._in_flight,
+                )
+            ticket = Ticket(
+                next(self._ids), sql, key, guard, self._clock(),
+                cse_mode=cse_mode,
+            )
+            self._admitted += 1
+            self._tickets[ticket.query_id] = ticket
+            self._queue.append(ticket)
+            self._not_empty.notify()
+            return ticket
+
+    @staticmethod
+    def _merge_limits(
+        limits: Optional[Limits], deadline: Optional[float]
+    ) -> Limits:
+        """Fold a submission deadline into its limits' timeout."""
+        base = limits if limits is not None else Limits()
+        if deadline is None:
+            return base
+        timeout = (
+            deadline if base.timeout is None else min(base.timeout, deadline)
+        )
+        return Limits(
+            timeout=timeout,
+            max_rows_scanned=base.max_rows_scanned,
+            max_rows_materialized=base.max_rows_materialized,
+            max_subquery_invocations=base.max_subquery_invocations,
+        )
+
+    # -- cancellation -------------------------------------------------------
+
+    def cancel(self, query_id: int) -> bool:
+        """Request cooperative cancellation of a queued or running query.
+
+        Returns True when the query was still in flight (it will trip with
+        :class:`~repro.errors.QueryCancelled` within one executor step, or
+        immediately on dequeue if it never started), False when it already
+        finished or the id is unknown.
+        """
+        with self._lock:
+            ticket = self._tickets.get(query_id)
+        if ticket is None:
+            return False
+        ticket.guard.cancel()
+        return True
+
+    # -- execution ----------------------------------------------------------
+
+    def _worker_db(self) -> Database:
+        """This worker thread's database facade (built once per thread).
+
+        Shares the base catalog; own rewrite engine (its per-rewrite
+        diagnostic state is not thread-safe); fault registry per
+        ``fault_scope``.
+        """
+        local = self._tls
+        db = getattr(local, "db", None)
+        if db is None:
+            kwargs: dict[str, Any] = {}
+            if self._db.faults is not None:
+                kwargs["faults"] = (
+                    self._db.faults.replica()
+                    if self.fault_scope == "worker"
+                    else self._db.faults
+                )
+            db = Database(
+                catalog=self._db.catalog,
+                validate=self._db.engine.validate,
+                **kwargs,
+            )
+            local.db = db
+        return db
+
+    def _breaker(self, strategy: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(strategy)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    strategy,
+                    threshold=self._breaker_threshold,
+                    cooldown=self._breaker_cooldown,
+                    clock=self._clock,
+                    on_transition=self._record_transition,
+                )
+                self._breakers[strategy] = breaker
+            return breaker
+
+    def _record_transition(self, event: BreakerTransition) -> None:
+        # Called with the breaker's lock held; appending to a list is
+        # atomic, so no extra lock here (and taking self._lock could
+        # deadlock against _breaker()).
+        self._transitions.append(event)
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._not_empty.wait()
+                if not self._queue:
+                    return  # closed and drained
+                ticket = self._queue.popleft()
+                ticket.state = RUNNING
+                self._in_flight += 1
+            try:
+                self._run_ticket(ticket)
+            finally:
+                with self._lock:
+                    self._in_flight -= 1
+                    self._tickets.pop(ticket.query_id, None)
+                    self._idle.notify_all()
+
+    def _run_ticket(self, ticket: Ticket) -> None:
+        db = self._worker_db()
+        claimed: dict[str, bool] = {}  # strategy -> probe claimed
+        resolved: set[str] = set()
+
+        def disabled(key: str) -> Optional[str]:
+            if key == _LAST_RESORT:
+                return None
+            reason, probe = self._breaker(key).try_pass()
+            if probe:
+                claimed[key] = True
+            return reason
+
+        outcome = FAILED
+        error: Optional[BaseException] = None
+        result: Optional[Result] = None
+        try:
+            # Deadline may have expired (or a cancel landed) while queued:
+            # trip before doing any work.
+            ticket.guard.check()
+            result = db.execute(
+                ticket.sql,
+                strategy=ticket.strategy,
+                cse_mode=getattr(ticket, "cse_mode", "recompute"),
+                guard=ticket.guard,
+                fallback=True,
+                disabled=disabled,
+            )
+            outcome = COMPLETED
+            # Breaker bookkeeping: every strategy that *failed* on the way
+            # down the chain takes a failure; the strategy that finally
+            # produced the answer takes a success.
+            effective = ticket.strategy
+            for event in result.degradations:
+                if event.error_type != "CircuitBreakerOpen":
+                    self._breaker(event.attempted).record_failure(
+                        f"{event.error_type}: {event.message}"
+                    )
+                    resolved.add(event.attempted)
+                effective = event.fallback or effective
+            self._breaker(effective).record_success()
+            resolved.add(effective)
+        except QueryCancelled as exc:
+            outcome, error = CANCELLED, exc
+        except BudgetExceeded as exc:
+            # A budget/deadline trip says nothing about the strategy's
+            # health; it does not feed the breaker.
+            outcome, error = FAILED, exc
+        except ReproError as exc:
+            outcome, error = FAILED, exc
+            # Execution-stage failure: attribute to the strategy whose
+            # plan was executing (the last fallback taken, else requested).
+            effective = ticket.strategy
+            for event in getattr(db.engine, "degradations", []) or []:
+                effective = event.fallback or effective
+            self._breaker(effective).record_failure(
+                f"{type(exc).__name__}: {exc}"
+            )
+            resolved.add(effective)
+        except BaseException as exc:  # pragma: no cover - invariant breach
+            outcome, error = FAILED, exc
+        finally:
+            for key, was_probe in claimed.items():
+                if was_probe and key not in resolved:
+                    self._breaker(key).release_probe()
+            self._finish(ticket, outcome, result, error)
+
+    def _finish(
+        self,
+        ticket: Ticket,
+        outcome: str,
+        result: Optional[Result],
+        error: Optional[BaseException],
+    ) -> None:
+        latency = self._clock() - ticket.submitted_at
+        with self._lock:
+            ticket.state = outcome
+            ticket.latency = latency
+            if outcome == COMPLETED:
+                self._completed += 1
+            elif outcome == CANCELLED:
+                self._cancelled += 1
+            else:
+                self._failed += 1
+            self._latencies.append(latency)
+        ticket._result = result
+        ticket._error = error
+        ticket._event.set()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop admitting queries and shut the pool down.
+
+        ``drain=True`` (default) lets queued and running queries finish;
+        ``drain=False`` cancels everything still queued (their tickets
+        resolve with :class:`~repro.errors.QueryCancelled`) and interrupts
+        running queries cooperatively.
+        """
+        with self._lock:
+            self._closed = True
+            if not drain:
+                for ticket in list(self._queue) + [
+                    t for t in self._tickets.values() if t.state == RUNNING
+                ]:
+                    ticket.guard.cancel()
+            self._not_empty.notify_all()
+        for thread in self._threads:
+            thread.join(timeout)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until no query is queued or running (service stays open);
+        False if ``timeout`` elapsed first."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._queue or self._in_flight:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    # -- observation --------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """A consistent snapshot of all service counters (see
+        :class:`ServiceStats` for the conservation law)."""
+        with self._lock:
+            latencies = sorted(self._latencies)
+            return ServiceStats(
+                submitted=self._submitted,
+                admitted=self._admitted,
+                rejected=self._rejected,
+                completed=self._completed,
+                failed=self._failed,
+                cancelled=self._cancelled,
+                in_flight=self._in_flight,
+                queue_depth=len(self._queue),
+                max_queue=self.max_queue,
+                workers=self.workers,
+                latency_p50_ms=(
+                    round(_percentile(latencies, 0.50) * 1000, 3)
+                    if latencies else None
+                ),
+                latency_p95_ms=(
+                    round(_percentile(latencies, 0.95) * 1000, 3)
+                    if latencies else None
+                ),
+                breakers={
+                    key: breaker.snapshot()
+                    for key, breaker in self._breakers.items()
+                },
+                breaker_transitions=list(self._transitions),
+            )

@@ -1,0 +1,334 @@
+"""Chaos soak harness: mixed workload, faults, cancels, tight deadlines.
+
+``run_soak`` drives a :class:`~repro.serve.service.QueryService` with a
+seeded mixed workload (the section-2 EMP/DEPT COUNT-bug query plus TPC-D
+Q1/Q2/Q3 at a small scale factor) across worker threads while injecting
+deterministic faults, cancelling random in-flight queries, and giving a
+fraction of submissions deadlines too tight to meet. It then checks the
+PR-2 metamorphic invariant *per query*:
+
+* a completed query's rows must equal the fault-free reference answer for
+  the strategy that actually produced them (per-strategy references,
+  because Kim's method loses COUNT-bug rows by design);
+* a failed query's error must be a *typed* engine error
+  (:class:`~repro.errors.ReproError` subclass) -- never a raw traceback;
+* the service's counters must reconcile: every submission is accounted
+  for as completed, failed, cancelled or rejected; and
+* the service must not hang (the CLI arms ``faulthandler`` so a deadlock
+  dumps stacks instead of stalling CI).
+
+Everything that varies is derived from ``seed`` via ``random.Random``, so
+a soak run is reproducible up to thread scheduling: the *workload* (query
+mix, strategies, deadlines, cancel points) is identical across runs; which
+interleaving the OS picks is exactly what the soak is exercising.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..api.database import Database
+from ..errors import AdmissionRejected, ReproError
+from ..faults import FaultRegistry
+from ..guard import Limits
+from ..storage import Catalog
+from ..tpcd import QUERY_1, QUERY_2, QUERY_3, load_tpcd
+from ..tpcd.queries import EMP_DEPT_QUERY
+from .service import QueryService, ServiceStats
+
+#: The soak workload: name -> (sql, strategies worth requesting for it).
+#: Kim and Dayal are requested where they are *not* always applicable too
+#: -- exercising the fallback chain and feeding the circuit breakers is
+#: the point, not avoiding them.
+WORKLOAD: dict[str, tuple[str, tuple[str, ...]]] = {
+    "empdept": (
+        EMP_DEPT_QUERY,
+        ("ni", "kim", "dayal", "magic", "magic_opt"),
+    ),
+    "q1": (QUERY_1, ("ni", "magic", "magic_opt", "kim")),
+    "q2": (QUERY_2, ("ni", "magic", "magic_opt", "dayal")),
+    "q3": (QUERY_3, ("ni", "magic", "magic_opt", "kim")),
+}
+
+
+@dataclass
+class Violation:
+    """One broken invariant observed by the soak run."""
+
+    kind: str       # "wrong_answer" | "untyped_error" | "reconciliation"
+    query: str      # workload key (or "" for service-level violations)
+    strategy: str   # requested strategy
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        scope = f" [{self.query}/{self.strategy}]" if self.query else ""
+        return f"{self.kind}{scope}: {self.detail}"
+
+
+@dataclass
+class SoakReport:
+    """Outcome of one soak run: stats, outcome mix, violations."""
+
+    seconds: float
+    stats: ServiceStats
+    outcomes: dict = field(default_factory=dict)  # error type name -> count
+    violations: list = field(default_factory=list)
+    checked_answers: int = 0
+    cancels_requested: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def throughput(self) -> float:
+        """Finished queries per second (completed + failed + cancelled)."""
+        finished = (
+            self.stats.completed + self.stats.failed + self.stats.cancelled
+        )
+        return finished / self.seconds if self.seconds > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "seconds": round(self.seconds, 3),
+            "throughput_qps": round(self.throughput(), 2),
+            "checked_answers": self.checked_answers,
+            "cancels_requested": self.cancels_requested,
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "violations": [str(v) for v in self.violations],
+            "stats": self.stats.as_dict(),
+        }
+
+
+def build_soak_catalog(scale: float = 0.005, seed: int = 7) -> Catalog:
+    """The soak database: TPC-D tables at ``scale`` plus the section-2
+    EMP/DEPT tables (with a COUNT-bug department), in one catalog."""
+    from ..storage import Column, Schema
+    from ..types import SQLType
+
+    catalog = load_tpcd(scale_factor=scale, seed=seed)
+    dept = catalog.create_table(
+        "dept",
+        Schema(
+            [
+                Column("name", SQLType.STR, nullable=False),
+                Column("budget", SQLType.FLOAT),
+                Column("num_emps", SQLType.INT),
+                Column("building", SQLType.STR),
+            ],
+            primary_key=["name"],
+        ),
+    )
+    emp = catalog.create_table(
+        "emp",
+        Schema(
+            [
+                Column("empno", SQLType.INT, nullable=False),
+                Column("name", SQLType.STR),
+                Column("building", SQLType.STR),
+                Column("salary", SQLType.FLOAT),
+            ],
+            primary_key=["empno"],
+        ),
+    )
+    rng = random.Random(seed)
+    buildings = [f"B{i}" for i in range(8)]
+    for d in range(24):
+        # Building B7 gets departments but no employees: the COUNT bug.
+        dept.insert(
+            (
+                f"dept{d}",
+                float(rng.randrange(500, 20000)),
+                rng.randrange(0, 6),
+                rng.choice(buildings),
+            )
+        )
+    for e in range(160):
+        emp.insert(
+            (
+                e,
+                f"emp{e}",
+                rng.choice(buildings[:-1]),
+                float(rng.randrange(50, 200)),
+            )
+        )
+    # Deterministic sentinels so the reference answer is non-trivial at
+    # every seed: ``d_bug`` lives in the employee-free building (nested
+    # iteration returns it, Kim's COUNT bug drops it), while ``d_busy``
+    # out-counts its building's staff (every strategy returns it).
+    dept.insert(("d_bug", 5000.0, 3, "B7"))
+    dept.insert(("d_busy", 5000.0, 500, "B0"))
+    emp.create_index("emp_building", ["building"])
+    return catalog
+
+
+def compute_references(
+    catalog: Catalog,
+) -> dict[tuple[str, str], tuple[str, object]]:
+    """Fault-free reference outcomes per (query, strategy).
+
+    Values are ``("rows", sorted_rows)`` or ``("error", error_class_name)``
+    -- a strategy that is statically inapplicable (Kim on Q3, say) is a
+    legitimate *typed* reference outcome, not a soak failure.
+    """
+    reference_db = Database(
+        catalog=catalog, validate=False, faults=FaultRegistry(0, ())
+    )
+    references: dict[tuple[str, str], tuple[str, object]] = {}
+    for name, (sql, _) in WORKLOAD.items():
+        for strategy in ("ni", "kim", "dayal", "ganski_wong", "magic",
+                         "magic_opt"):
+            try:
+                result = reference_db.execute(sql, strategy=strategy)
+                references[(name, strategy)] = ("rows", sorted(result.rows))
+            except ReproError as exc:
+                references[(name, strategy)] = ("error", type(exc).__name__)
+    return references
+
+
+def run_soak(
+    workers: int = 8,
+    seconds: float = 20.0,
+    seed: int = 42,
+    faults: Optional[str] = None,
+    scale: float = 0.005,
+    cancel_rate: float = 0.05,
+    tight_deadline_rate: float = 0.1,
+    max_queue: int = 64,
+    breaker_threshold: int = 3,
+    breaker_cooldown: float = 1.0,
+    fault_scope: str = "shared",
+    default_limits: Optional[Limits] = None,
+) -> SoakReport:
+    """Run the chaos soak and verify every invariant (see module doc).
+
+    ``faults`` is a ``seed:site=rate`` spec (:mod:`repro.faults` syntax);
+    ``cancel_rate`` is the per-submission probability that a background
+    canceller targets the query mid-flight; ``tight_deadline_rate`` is the
+    fraction of submissions given a deadline of a few milliseconds.
+    """
+    rng = random.Random(seed)
+    catalog = build_soak_catalog(scale=scale, seed=seed)
+    references = compute_references(catalog)
+    registry = FaultRegistry.parse(faults) if faults else None
+    kwargs = {"faults": registry} if registry is not None else {}
+    base_db = Database(catalog=catalog, validate=False, **kwargs)
+    if default_limits is None:
+        # A backstop so no single query can run away with a worker: roomy
+        # enough that fault-free queries never trip it.
+        default_limits = Limits(timeout=30.0, max_rows_scanned=50_000_000)
+
+    service = QueryService(
+        base_db,
+        workers=workers,
+        max_queue=max_queue,
+        default_limits=default_limits,
+        breaker_threshold=breaker_threshold,
+        breaker_cooldown=breaker_cooldown,
+        fault_scope=fault_scope,
+    )
+    submitted: list[tuple] = []  # (ticket, workload key)
+    cancels = [0]
+    stop = threading.Event()
+
+    def canceller() -> None:
+        """Randomly cancel in-flight queries (seeded choice, wall-clock
+        paced)."""
+        cancel_rng = random.Random(seed ^ 0x5A5A)
+        while not stop.wait(0.002):
+            with service._lock:
+                in_flight = list(service._tickets.keys())
+            if in_flight and cancel_rng.random() < cancel_rate:
+                if service.cancel(cancel_rng.choice(in_flight)):
+                    cancels[0] += 1
+
+    canceller_thread = threading.Thread(target=canceller, daemon=True)
+    canceller_thread.start()
+
+    start = time.monotonic()
+    try:
+        while time.monotonic() - start < seconds:
+            name = rng.choice(list(WORKLOAD))
+            sql, strategies = WORKLOAD[name]
+            strategy = rng.choice(strategies)
+            deadline = None
+            if rng.random() < tight_deadline_rate:
+                deadline = rng.uniform(0.0005, 0.01)
+            try:
+                ticket = service.submit(sql, strategy=strategy,
+                                        deadline=deadline)
+                submitted.append((ticket, name))
+            except AdmissionRejected:
+                # Counted by the service; back off a little so the queue
+                # can drain instead of hammering the admission check.
+                time.sleep(0.001)
+        service.drain(timeout=max(30.0, seconds))
+    finally:
+        stop.set()
+        canceller_thread.join(timeout=5.0)
+        service.close(drain=True, timeout=max(30.0, seconds))
+    elapsed = time.monotonic() - start
+
+    # -- verification ------------------------------------------------------
+    report = SoakReport(
+        seconds=elapsed,
+        stats=service.stats(),
+        cancels_requested=cancels[0],
+    )
+    for ticket, name in submitted:
+        if not ticket.done:
+            report.violations.append(
+                Violation("hung_query", name, ticket.strategy,
+                          f"query {ticket.query_id} never finished")
+            )
+            continue
+        error = ticket.error()
+        if error is not None:
+            label = type(error).__name__
+            report.outcomes[label] = report.outcomes.get(label, 0) + 1
+            if not isinstance(error, ReproError):
+                report.violations.append(
+                    Violation("untyped_error", name, ticket.strategy,
+                              f"{label}: {error}")
+                )
+            continue
+        report.outcomes["ok"] = report.outcomes.get("ok", 0) + 1
+        result = ticket.result()
+        effective = ticket.strategy
+        for event in result.degradations:
+            effective = event.fallback or effective
+        expected = references.get((name, effective))
+        if expected is None or expected[0] != "rows":
+            report.violations.append(
+                Violation(
+                    "wrong_answer", name, ticket.strategy,
+                    f"completed via {effective!r} but the fault-free "
+                    f"reference for it is {expected!r}",
+                )
+            )
+            continue
+        report.checked_answers += 1
+        if sorted(result.rows) != expected[1]:
+            report.violations.append(
+                Violation(
+                    "wrong_answer", name, ticket.strategy,
+                    f"rows differ from the fault-free {effective!r} answer "
+                    f"(got {len(result.rows)}, expected "
+                    f"{len(expected[1])})",
+                )
+            )
+    stats = report.stats
+    if not stats.reconciles():
+        report.violations.append(
+            Violation(
+                "reconciliation", "", "",
+                f"submitted={stats.submitted} != completed={stats.completed}"
+                f" + failed={stats.failed} + cancelled={stats.cancelled}"
+                f" + rejected={stats.rejected}",
+            )
+        )
+    return report

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Iterator, Sequence, Union
 
 from ..errors import CatalogError, SchemaError
@@ -18,6 +19,16 @@ class Table:
     enforced through an implicit unique :class:`HashIndex`. Additional
     indexes can be attached (and dropped -- the paper's Figure 7 experiment
     drops an index) by name.
+
+    Concurrency contract: every *mutation* (row insert, index create/drop)
+    takes the table's own lock, so concurrent writers and DDL serialise and
+    an index is never torn with respect to the rows it covers. *Readers*
+    are lock-free by design: ``rows`` is append-only (a CPython list can be
+    iterated while another thread appends), and ``indexes`` is replaced
+    wholesale on DDL (copy-on-write), so a scan or planner holding a
+    snapshot of either keeps seeing a consistent -- if slightly stale --
+    view. A query that raced a ``CREATE INDEX`` may plan without the new
+    index; it never observes a half-backfilled one.
     """
 
     def __init__(self, name: str, schema: Schema):
@@ -26,6 +37,7 @@ class Table:
         self.rows: list[tuple] = []
         self.indexes: dict[str, Index] = {}
         self._pk_index: HashIndex | None = None
+        self._lock = threading.Lock()
         if schema.primary_key:
             self._pk_index = HashIndex(
                 f"{self.name}_pkey", schema.key_positions(), unique=True
@@ -35,7 +47,11 @@ class Table:
     # -- data loading ----------------------------------------------------
 
     def insert(self, row: Sequence[Any]) -> None:
-        """Validate and append one row, maintaining all indexes."""
+        """Validate and append one row, maintaining all indexes.
+
+        Atomic with respect to concurrent inserts and index DDL (the table
+        lock); the row-id assignment and every index update happen under
+        one critical section."""
         validated = self.schema.validate_row(row)
         if self._pk_index is not None:
             for pos in self.schema.key_positions():
@@ -43,12 +59,13 @@ class Table:
                     raise SchemaError(
                         f"primary key column of table {self.name!r} cannot be NULL"
                     )
-        row_id = len(self.rows)
-        # Validate unique indexes before mutating so a failed insert leaves
-        # the table unchanged.
-        for index in self.indexes.values():
-            index.insert(row_id, validated)
-        self.rows.append(validated)
+        with self._lock:
+            row_id = len(self.rows)
+            # Validate unique indexes before mutating so a failed insert
+            # leaves the table unchanged.
+            for index in self.indexes.values():
+                index.insert(row_id, validated)
+            self.rows.append(validated)
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
         """Insert many rows; returns the number inserted."""
@@ -81,34 +98,57 @@ class Table:
 
         ``kind`` is ``"hash"`` (any number of columns, equality only) or
         ``"sorted"`` (single column, supports ranges).
+
+        Atomic: the duplicate check, the backfill over existing rows and
+        the registration run under the table lock, serialised against
+        concurrent inserts -- the new index covers exactly the rows present
+        when it becomes visible. ``indexes`` is replaced copy-on-write so
+        concurrent readers iterating the old dict are unaffected.
         """
         index_name = index_name.lower()
-        if index_name in self.indexes:
-            raise CatalogError(f"index {index_name!r} already exists on {self.name!r}")
-        positions = [self.schema.position(c) for c in columns]
-        index: Index
-        if kind == "hash":
-            index = HashIndex(index_name, positions, unique=unique)
-            for row_id, row in enumerate(self.rows):
-                index.insert(row_id, row)
-        elif kind == "sorted":
-            if len(positions) != 1:
-                raise CatalogError("sorted indexes take exactly one column")
-            index = SortedIndex(index_name, positions[0], unique=unique)
-            index.bulk_load((rid, row[positions[0]]) for rid, row in enumerate(self.rows))
-        else:
-            raise CatalogError(f"unknown index kind {kind!r}")
-        self.indexes[index_name] = index
-        return index
+        with self._lock:
+            if index_name in self.indexes:
+                raise CatalogError(
+                    f"index {index_name!r} already exists on {self.name!r}"
+                )
+            positions = [self.schema.position(c) for c in columns]
+            index: Index
+            if kind == "hash":
+                index = HashIndex(index_name, positions, unique=unique)
+                for row_id, row in enumerate(self.rows):
+                    index.insert(row_id, row)
+            elif kind == "sorted":
+                if len(positions) != 1:
+                    raise CatalogError("sorted indexes take exactly one column")
+                index = SortedIndex(index_name, positions[0], unique=unique)
+                index.bulk_load(
+                    (rid, row[positions[0]])
+                    for rid, row in enumerate(self.rows)
+                )
+            else:
+                raise CatalogError(f"unknown index kind {kind!r}")
+            updated = dict(self.indexes)
+            updated[index_name] = index
+            self.indexes = updated
+            return index
 
     def drop_index(self, index_name: str) -> None:
-        """Drop a secondary index (the primary key index cannot be dropped)."""
+        """Drop a secondary index (the primary key index cannot be dropped).
+
+        Copy-on-write like :meth:`create_index`: in-flight readers holding
+        the old ``indexes`` dict (or the index object itself) keep a usable
+        snapshot."""
         index_name = index_name.lower()
-        if index_name not in self.indexes:
-            raise CatalogError(f"no index {index_name!r} on table {self.name!r}")
-        if self.indexes[index_name] is self._pk_index:
-            raise CatalogError("cannot drop the primary key index")
-        del self.indexes[index_name]
+        with self._lock:
+            if index_name not in self.indexes:
+                raise CatalogError(
+                    f"no index {index_name!r} on table {self.name!r}"
+                )
+            if self.indexes[index_name] is self._pk_index:
+                raise CatalogError("cannot drop the primary key index")
+            updated = dict(self.indexes)
+            del updated[index_name]
+            self.indexes = updated
 
     def find_index(self, columns: Sequence[str]) -> Index | None:
         """An index whose key is exactly ``columns`` (order-insensitive for

@@ -120,3 +120,50 @@ class TestResultScalarDiagnostics:
         with pytest.raises(ExecutionError) as info:
             Result(columns=["a"], rows=[], metrics=Metrics()).scalar()
         assert "empty result" in str(info.value)
+
+
+class TestStatementAttribution:
+    """Satellite: a failing DDL/INSERT inside a script names the statement
+    that raised it, and every per-statement Result carries its source."""
+
+    def test_script_results_carry_their_source(self, db):
+        results = db.execute_script(
+            "INSERT INTO t VALUES (7, 'g', 0); SELECT count(*) FROM t"
+        )
+        assert results[0].sql.startswith("INSERT INTO t VALUES (7")
+        assert "count(*)" in results[1].sql
+
+    def test_failing_insert_names_its_statement(self, db):
+        with pytest.raises(BindError) as info:
+            db.execute_script(
+                "INSERT INTO t VALUES (8, 'h', 0);"
+                " INSERT INTO t (id, v) VALUES (9)"
+            )
+        assert "INSERT INTO t (id, v) VALUES (9)" in str(info.value)
+        assert "VALUES (8" not in str(info.value)
+        assert info.value.sql.startswith("INSERT INTO t (id, v)")
+
+    def test_failing_ddl_names_its_statement(self, db):
+        with pytest.raises(CatalogError) as info:
+            db.execute_script(
+                "CREATE TABLE fresh (x INT); CREATE TABLE t (x INT)"
+            )
+        assert "[in statement: CREATE TABLE t (x INT)]" in str(info.value)
+        # The script parsed as a whole, but statements before the failure
+        # executed: all-or-nothing is per statement, not per script.
+        assert db.catalog.has_table("fresh")
+
+    def test_long_statements_are_truncated_in_messages(self, db):
+        values = ", ".join(f"({i + 100}, 'x', 0)" for i in range(40))
+        with pytest.raises(CatalogError) as info:
+            db.execute_script(
+                f"INSERT INTO t VALUES {values}; CREATE TABLE t (x INT)"
+            )
+        message = str(info.value)
+        assert "CREATE TABLE t (x INT)" in message
+
+    def test_single_statement_errors_are_annotated_too(self, db):
+        with pytest.raises(CatalogError) as info:
+            db.execute("CREATE TABLE t (x INT)")
+        assert "[in statement: CREATE TABLE t (x INT)]" in str(info.value)
+        assert info.value.sql == "CREATE TABLE t (x INT)"

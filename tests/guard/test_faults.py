@@ -137,3 +137,69 @@ class TestEngineIntegration:
         assert db.faults is not None
         with pytest.raises(FaultInjectedError):
             db.execute(EMP_DEPT_QUERY, strategy=Strategy.MAGIC)
+
+
+class TestConcurrentDeterminism:
+    """The registry keeps ONE global per-site ordinal schedule: concurrent
+    callers each claim a distinct ordinal atomically, so the *set* of fired
+    ordinals matches a single-threaded run of the same schedule exactly
+    (which ordinal lands in which thread is the only nondeterminism)."""
+
+    def test_concurrent_draws_consume_one_global_schedule(self):
+        import threading
+
+        spec = "9:exec.join=0.25"
+        reference = FaultRegistry.parse(spec)
+        expected_fired = [
+            n for n in range(800) if reference.should_fire("exec.join")
+        ]
+
+        registry = FaultRegistry.parse(spec)
+        barrier = threading.Barrier(8)
+
+        def work() -> None:
+            barrier.wait()
+            for _ in range(100):
+                registry.should_fire("exec.join")
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+            assert not t.is_alive()
+
+        # Exactly 800 ordinals were claimed -- none lost, none duplicated --
+        # and the fired set is the single-threaded schedule.
+        fired = sorted(seq for _, seq, _ in registry.log())
+        assert fired == expected_fired
+        assert len(set(fired)) == len(fired)
+
+    def test_replica_gives_each_thread_a_private_schedule(self):
+        import threading
+
+        base = FaultRegistry.parse("9:exec.join=0.25")
+        single = base.replica()
+        reference = [
+            n for n in range(100) if single.should_fire("exec.join")
+        ]
+        results: list = [None] * 4
+
+        def work(i: int) -> None:
+            replica = base.replica()
+            results[i] = [
+                n for n in range(100) if replica.should_fire("exec.join")
+            ]
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+
+        # Every replica replays the same schedule from zero, and none of
+        # them advanced the base registry's counters.
+        assert all(r == reference for r in results)
+        assert base.log() == []

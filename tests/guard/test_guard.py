@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro import Database, ExecutionGuard, Limits, Strategy
+from repro import Database, ExecutionGuard, FaultRegistry, Limits, Strategy
 from repro.errors import BudgetExceeded, GuardrailError, QueryCancelled
 from repro.exec import Metrics
 from repro.guard import guard_for
@@ -167,3 +167,55 @@ class TestZeroOverheadDefault:
         with pytest.raises(BudgetExceeded) as second:
             db.execute(EMP_DEPT_QUERY, limits=Limits(max_rows_scanned=1))
         assert second.value.metrics.rows_scanned == before
+
+
+class _ScanGate(FaultRegistry):
+    """Blocks the executing thread inside its first table scan until
+    released -- a deterministic window for cross-thread cancellation."""
+
+    def __init__(self):
+        super().__init__(0, ())
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def trigger(self, site: str, detail: str = "") -> None:
+        if site == "storage.scan":
+            self.started.set()
+            assert self.release.wait(30), "gate never released"
+
+
+class TestCrossThreadCancellationPerStrategy:
+    """Satellite: a ``cancel()`` issued from a second thread mid-scan must
+    surface as ``QueryCancelled`` (with a metrics snapshot) within one
+    executor step, for every rewrite strategy."""
+
+    @pytest.mark.parametrize(
+        "strategy", ["ni", "kim", "dayal", "magic", "magic_opt"]
+    )
+    def test_cancel_mid_scan(self, empdept_catalog, strategy):
+        gate = _ScanGate()
+        db = Database(empdept_catalog, faults=gate)
+        guard = ExecutionGuard(Limits())
+        outcome: list = []
+
+        def run() -> None:
+            try:
+                db.execute(EMP_DEPT_QUERY, strategy=strategy, guard=guard)
+                outcome.append(None)
+            except BaseException as exc:  # noqa: BLE001 - asserted below
+                outcome.append(exc)
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        try:
+            assert gate.started.wait(30)  # wedged inside the first scan
+            guard.cancel()                # ... from this (second) thread
+        finally:
+            gate.release.set()
+            worker.join(30)
+        assert not worker.is_alive(), f"{strategy}: query wedged"
+        assert len(outcome) == 1
+        error = outcome[0]
+        assert isinstance(error, QueryCancelled), error
+        assert error.metrics is not None
+        assert guard.tripped is error

@@ -1,0 +1,21 @@
+"""Service suite fixtures.
+
+Like the guard suite, these tests pin their own fault registries; an
+ambient ``REPRO_FAULTS``/``REPRO_VALIDATE`` (e.g. from a CI matrix job)
+must not leak in.
+"""
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_VALIDATE", raising=False)
+
+
+@pytest.fixture
+def db(empdept_catalog) -> Database:
+    return Database(empdept_catalog)

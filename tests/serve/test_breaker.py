@@ -1,0 +1,211 @@
+"""Circuit breaker: unit state machine + service-level open/recover."""
+
+import pytest
+
+from repro import Database, FaultRegistry, QueryService
+from repro.errors import FaultInjectedError
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.tpcd import EMP_DEPT_QUERY
+
+from .test_service import EXPECTED
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock) -> CircuitBreaker:
+    return CircuitBreaker("kim", threshold=3, cooldown=10.0, clock=clock)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_passes(self, breaker):
+        assert breaker.state == CLOSED
+        assert breaker.try_pass() == (None, False)
+
+    def test_failures_below_threshold_stay_closed(self, breaker):
+        breaker.record_failure("boom")
+        breaker.record_failure("boom")
+        assert breaker.state == CLOSED
+        assert breaker.try_pass() == (None, False)
+
+    def test_success_resets_the_consecutive_count(self, breaker):
+        breaker.record_failure("boom")
+        breaker.record_failure("boom")
+        breaker.record_success()
+        breaker.record_failure("boom")
+        breaker.record_failure("boom")
+        assert breaker.state == CLOSED
+
+    def test_opens_at_threshold(self, breaker):
+        for _ in range(3):
+            breaker.record_failure("boom")
+        assert breaker.state == OPEN
+        reason, probe = breaker.try_pass()
+        assert reason is not None and "kim" in reason
+        assert not probe
+
+    def test_half_open_after_cooldown_claims_single_probe(
+        self, breaker, clock
+    ):
+        for _ in range(3):
+            breaker.record_failure("boom")
+        clock.advance(10.0)
+        reason, probe = breaker.try_pass()
+        assert reason is None and probe
+        assert breaker.state == HALF_OPEN
+        # Only one probe at a time: a second caller is still blocked.
+        reason, probe = breaker.try_pass()
+        assert reason is not None and not probe
+
+    def test_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("boom")
+        clock.advance(10.0)
+        assert breaker.try_pass() == (None, True)
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.try_pass() == (None, False)
+
+    def test_probe_failure_reopens_and_restarts_cooldown(
+        self, breaker, clock
+    ):
+        for _ in range(3):
+            breaker.record_failure("boom")
+        clock.advance(10.0)
+        assert breaker.try_pass() == (None, True)
+        breaker.record_failure("still broken")
+        assert breaker.state == OPEN
+        clock.advance(5.0)  # half the cooldown: still blocked
+        reason, probe = breaker.try_pass()
+        assert reason is not None and not probe
+        clock.advance(5.0)
+        assert breaker.try_pass() == (None, True)
+
+    def test_released_probe_frees_the_slot(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("boom")
+        clock.advance(10.0)
+        assert breaker.try_pass() == (None, True)
+        breaker.release_probe()
+        assert breaker.state == HALF_OPEN
+        assert breaker.try_pass() == (None, True)
+
+    def test_transitions_are_reported(self, clock):
+        seen = []
+        breaker = CircuitBreaker(
+            "kim", threshold=1, cooldown=1.0, clock=clock,
+            on_transition=seen.append,
+        )
+        breaker.record_failure("boom")
+        clock.advance(1.0)
+        breaker.try_pass()
+        breaker.record_success()
+        assert [(t.from_state, t.to_state) for t in seen] == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+        assert all(t.strategy == "kim" for t in seen)
+
+    def test_snapshot(self, breaker):
+        breaker.record_failure("boom")
+        snap = breaker.snapshot()
+        assert breaker.strategy == "kim"
+        assert snap["state"] == "closed"
+        assert snap["consecutive_failures"] == 1
+
+
+class FlakyRegistry(FaultRegistry):
+    """Fails every ``magic`` rewrite attempt while ``failing`` is set."""
+
+    def __init__(self):
+        super().__init__(0, ())
+        self.failing = True
+
+    def trigger(self, site: str, detail: str = "") -> None:
+        if site == "rewrite.strategy" and detail == "magic" and self.failing:
+            raise FaultInjectedError(site, 0, "synthetic magic failure")
+
+
+class TestServiceIntegration:
+    def test_breaker_opens_degrades_and_recovers(self, empdept_catalog):
+        flaky = FlakyRegistry()
+        clock = FakeClock()
+        db = Database(empdept_catalog, faults=flaky)
+        with QueryService(
+            db, workers=1, breaker_threshold=2, breaker_cooldown=5.0,
+            clock=clock,
+        ) as service:
+            # Two failing magic rewrites: both queries still answer (the
+            # chain degrades to nested iteration) and the breaker opens.
+            for _ in range(2):
+                result = service.submit(
+                    EMP_DEPT_QUERY, strategy="magic"
+                ).result(timeout=30)
+                assert sorted(result.rows) == EXPECTED
+                assert [e.error_type for e in result.degradations] == [
+                    "FaultInjectedError"
+                ]
+            stats = service.stats()
+            assert stats.breakers["magic"]["state"] == "open"
+
+            # While open, magic is skipped outright -- the degradation
+            # event says CircuitBreakerOpen, not a re-paid rewrite fault.
+            result = service.submit(
+                EMP_DEPT_QUERY, strategy="magic"
+            ).result(timeout=30)
+            assert sorted(result.rows) == EXPECTED
+            assert [e.error_type for e in result.degradations] == [
+                "CircuitBreakerOpen"
+            ]
+
+            # Strategy heals + cooldown elapses: the half-open probe runs
+            # magic for real, succeeds, and closes the breaker.
+            flaky.failing = False
+            clock.advance(5.0)
+            result = service.submit(
+                EMP_DEPT_QUERY, strategy="magic"
+            ).result(timeout=30)
+            assert sorted(result.rows) == EXPECTED
+            assert result.degradations == []
+            stats = service.stats()
+            assert stats.breakers["magic"]["state"] == "closed"
+            assert [
+                (t.from_state, t.to_state)
+                for t in stats.breaker_transitions
+                if t.strategy == "magic"
+            ] == [
+                ("closed", "open"),
+                ("open", "half_open"),
+                ("half_open", "closed"),
+            ]
+            assert stats.reconciles()
+
+    def test_last_resort_strategy_is_never_blocked(self, empdept_catalog):
+        # Even if "ni" somehow accrues failures, the service exempts it:
+        # there is nothing further to degrade to.
+        flaky = FlakyRegistry()
+        db = Database(empdept_catalog, faults=flaky)
+        with QueryService(
+            db, workers=1, breaker_threshold=1, breaker_cooldown=3600.0
+        ) as service:
+            service.submit(EMP_DEPT_QUERY, strategy="magic").result(timeout=30)
+            assert service.stats().breakers["magic"]["state"] == "open"
+            result = service.submit(
+                EMP_DEPT_QUERY, strategy="ni"
+            ).result(timeout=30)
+            assert sorted(result.rows) == EXPECTED

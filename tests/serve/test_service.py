@@ -1,0 +1,259 @@
+"""QueryService: admission control, deadlines, cancellation, stats."""
+
+import threading
+
+import pytest
+
+from repro import Database, FaultRegistry, Limits, QueryService, Strategy
+from repro.errors import (
+    AdmissionRejected,
+    BudgetExceeded,
+    QueryCancelled,
+)
+from repro.tpcd import EMP_DEPT_QUERY
+
+#: EMP/DEPT reference answer (see tests/conftest.py for the data).
+EXPECTED = [("d_low",), ("research",), ("sales",)]
+
+
+class Gate(FaultRegistry):
+    """A registry whose ``storage.scan`` trigger blocks until released.
+
+    Deterministic way to wedge a worker mid-query: the executing query
+    parks inside its first table scan (``started`` set), every later
+    submission queues behind it, and ``release`` lets everything proceed.
+    """
+
+    def __init__(self):
+        super().__init__(0, ())
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def trigger(self, site: str, detail: str = "") -> None:
+        if site == "storage.scan":
+            self.started.set()
+            assert self.release.wait(30), "gate never released"
+
+
+@pytest.fixture
+def gate() -> Gate:
+    return Gate()
+
+
+@pytest.fixture
+def gated_db(empdept_catalog, gate) -> Database:
+    return Database(empdept_catalog, faults=gate)
+
+
+class TestBasics:
+    def test_result_matches_direct_execution(self, db):
+        with QueryService(db, workers=2) as service:
+            ticket = service.submit(EMP_DEPT_QUERY, strategy=Strategy.MAGIC)
+            result = ticket.result(timeout=30)
+        assert sorted(result.rows) == EXPECTED
+        assert ticket.state == "completed"
+        assert ticket.latency is not None
+
+    def test_many_concurrent_queries_all_answer(self, db):
+        with QueryService(db, workers=4, max_queue=100) as service:
+            tickets = [
+                service.submit(EMP_DEPT_QUERY, strategy=s)
+                for _ in range(10)
+                for s in (Strategy.NESTED_ITERATION, Strategy.MAGIC)
+            ]
+            for ticket in tickets:
+                assert sorted(ticket.result(timeout=30).rows) == EXPECTED
+        stats = service.stats()
+        assert stats.completed == 20
+        assert stats.reconciles()
+
+    def test_strategy_accepts_enum_and_string(self, db):
+        with QueryService(db, workers=1) as service:
+            a = service.submit(EMP_DEPT_QUERY, strategy="magic")
+            b = service.submit(EMP_DEPT_QUERY, strategy=Strategy.MAGIC)
+            assert a.result(30).rows == b.result(30).rows
+
+
+class TestAdmissionControl:
+    def test_queue_overflow_raises_typed_error(self, gated_db, gate):
+        service = QueryService(gated_db, workers=1, max_queue=2)
+        try:
+            service.submit(EMP_DEPT_QUERY)   # wedges the only worker
+            assert gate.started.wait(30)     # ... confirmed mid-scan
+            service.submit(EMP_DEPT_QUERY)   # queue slot 1
+            service.submit(EMP_DEPT_QUERY)   # queue slot 2
+            with pytest.raises(AdmissionRejected) as info:
+                service.submit(EMP_DEPT_QUERY)
+            error = info.value
+            assert error.reason == "queue full"
+            assert error.queue_depth == 2
+            assert error.max_queue == 2
+            assert error.in_flight == 1
+            assert "2/2" in str(error)
+        finally:
+            gate.release.set()
+            service.close(drain=True, timeout=30)
+        stats = service.stats()
+        assert stats.rejected == 1
+        assert stats.submitted == 4
+        assert stats.completed == 3
+        assert stats.reconciles()
+
+    def test_closed_service_rejects(self, db):
+        service = QueryService(db, workers=1)
+        service.close()
+        with pytest.raises(AdmissionRejected) as info:
+            service.submit(EMP_DEPT_QUERY)
+        assert info.value.reason == "service closed"
+        assert service.stats().reconciles()
+
+    def test_zero_queue_means_workers_only(self, gated_db, gate):
+        service = QueryService(gated_db, workers=1, max_queue=0)
+        try:
+            service.submit(EMP_DEPT_QUERY)
+            assert gate.started.wait(30)
+            with pytest.raises(AdmissionRejected):
+                service.submit(EMP_DEPT_QUERY)
+        finally:
+            gate.release.set()
+            service.close(drain=True, timeout=30)
+        assert service.stats().reconciles()
+
+
+class TestDeadlines:
+    def test_deadline_expired_while_queued_trips_immediately(
+        self, gated_db, gate
+    ):
+        # The doomed query's deadline expires while it waits behind the
+        # wedged worker; the worker's pre-execution check must trip it
+        # without running anything (zero work in the metrics snapshot).
+        service = QueryService(gated_db, workers=1, max_queue=4)
+        try:
+            service.submit(EMP_DEPT_QUERY)
+            assert gate.started.wait(30)
+            doomed = service.submit(EMP_DEPT_QUERY, deadline=0.0)
+            gate.release.set()
+            with pytest.raises(BudgetExceeded) as info:
+                doomed.result(timeout=30)
+            assert info.value.budget == "timeout"
+        finally:
+            gate.release.set()
+            service.close(drain=True, timeout=30)
+        assert service.stats().failed == 1
+        assert service.stats().reconciles()
+
+    def test_default_deadline_applies(self, db):
+        with QueryService(db, workers=1, default_deadline=0.0) as service:
+            ticket = service.submit(EMP_DEPT_QUERY)
+            with pytest.raises(BudgetExceeded):
+                ticket.result(timeout=30)
+
+    def test_limits_merge_with_deadline(self):
+        merged = QueryService._merge_limits(
+            Limits(timeout=5.0, max_rows_scanned=10), 1.0
+        )
+        assert merged.timeout == 1.0
+        assert merged.max_rows_scanned == 10
+        merged = QueryService._merge_limits(Limits(timeout=0.5), 1.0)
+        assert merged.timeout == 0.5
+        merged = QueryService._merge_limits(None, 2.0)
+        assert merged.timeout == 2.0
+        merged = QueryService._merge_limits(Limits(max_rows_scanned=7), None)
+        assert merged.timeout is None
+        assert merged.max_rows_scanned == 7
+
+
+class TestCancellation:
+    def test_cancel_queued_query(self, gated_db, gate):
+        service = QueryService(gated_db, workers=1, max_queue=4)
+        try:
+            service.submit(EMP_DEPT_QUERY)
+            assert gate.started.wait(30)
+            victim = service.submit(EMP_DEPT_QUERY)
+            assert service.cancel(victim.query_id)
+            gate.release.set()
+            with pytest.raises(QueryCancelled) as info:
+                victim.result(timeout=30)
+            assert info.value.metrics is not None
+        finally:
+            gate.release.set()
+            service.close(drain=True, timeout=30)
+        stats = service.stats()
+        assert stats.cancelled == 1
+        assert stats.reconciles()
+
+    def test_cancel_running_query_by_id(self, gated_db, gate):
+        # Cross-thread cancel of a query that is mid-scan: the cancel flag
+        # is observed at the next guard check, within one executor step.
+        service = QueryService(gated_db, workers=1)
+        try:
+            ticket = service.submit(EMP_DEPT_QUERY)
+            assert gate.started.wait(30)          # wedged inside the scan
+            assert service.cancel(ticket.query_id)
+            gate.release.set()
+            with pytest.raises(QueryCancelled):
+                ticket.result(timeout=30)
+        finally:
+            gate.release.set()
+            service.close(drain=True, timeout=30)
+        assert service.stats().cancelled == 1
+
+    def test_cancel_unknown_or_finished_returns_false(self, db):
+        with QueryService(db, workers=1) as service:
+            ticket = service.submit(EMP_DEPT_QUERY)
+            ticket.result(timeout=30)
+            assert not service.cancel(ticket.query_id)
+            assert not service.cancel(99999)
+
+    def test_close_without_drain_cancels_queued(self, gated_db, gate):
+        service = QueryService(gated_db, workers=1, max_queue=8)
+        service.submit(EMP_DEPT_QUERY)
+        assert gate.started.wait(30)
+        victims = [service.submit(EMP_DEPT_QUERY) for _ in range(3)]
+        gate.release.set()
+        service.close(drain=False, timeout=30)
+        for victim in victims:
+            assert victim.done
+            assert isinstance(victim.error(), QueryCancelled)
+        assert service.stats().reconciles()
+
+
+class TestStats:
+    def test_reconciliation_after_mixed_outcomes(self, db):
+        with QueryService(db, workers=2, max_queue=50) as service:
+            tickets = [service.submit(EMP_DEPT_QUERY) for _ in range(6)]
+            tickets.append(service.submit(EMP_DEPT_QUERY, deadline=0.0))
+            for ticket in tickets:
+                ticket.wait(30)
+        stats = service.stats()
+        assert stats.submitted == 7
+        assert stats.completed + stats.failed == 7
+        assert stats.reconciles()
+        assert stats.latency_p50_ms is not None
+        assert stats.latency_p95_ms >= stats.latency_p50_ms
+
+    def test_per_worker_fault_scope_replicates_registry(self, empdept_catalog):
+        registry = FaultRegistry.parse("5:exec.join=0")
+        base = Database(empdept_catalog, faults=registry)
+        with QueryService(base, workers=2, fault_scope="worker") as service:
+            for _ in range(4):
+                service.submit(EMP_DEPT_QUERY).result(timeout=30)
+        # Worker replicas were used: the base registry's per-site trigger
+        # counters never moved.
+        assert registry._counts == {}
+
+    def test_shared_fault_scope_uses_base_registry(self, empdept_catalog):
+        registry = FaultRegistry.parse("5:exec.join=0")
+        base = Database(empdept_catalog, faults=registry)
+        with QueryService(base, workers=2, fault_scope="shared") as service:
+            for _ in range(4):
+                service.submit(EMP_DEPT_QUERY).result(timeout=30)
+        assert registry._counts  # the shared schedule advanced
+
+    def test_bad_configuration_rejected(self, db):
+        with pytest.raises(ValueError):
+            QueryService(db, workers=0)
+        with pytest.raises(ValueError):
+            QueryService(db, max_queue=-1)
+        with pytest.raises(ValueError):
+            QueryService(db, fault_scope="bogus")

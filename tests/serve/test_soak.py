@@ -1,0 +1,71 @@
+"""Short, seeded chaos soaks (the CI job runs the long ones)."""
+
+import json
+
+import pytest
+
+from repro.serve.soak import (
+    WORKLOAD,
+    build_soak_catalog,
+    compute_references,
+    run_soak,
+)
+
+
+@pytest.mark.slow
+class TestSoak:
+    def test_chaos_soak_holds_the_invariant(self):
+        # Faults + cancels + tight deadlines for ~1.5 s: every query must
+        # produce the reference answer or a typed error, and the service
+        # counters must reconcile.
+        report = run_soak(
+            workers=4,
+            seconds=1.5,
+            seed=7,
+            faults="7:storage.scan=0.002,exec.join=0.005,rewrite.strategy=0.1",
+            scale=0.002,
+            cancel_rate=0.1,
+            tight_deadline_rate=0.2,
+            breaker_threshold=2,
+            breaker_cooldown=0.2,
+        )
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.stats.reconciles()
+        assert report.checked_answers > 0
+        assert report.stats.submitted > 0
+        json.dumps(report.as_dict())  # the CLI --json payload serialises
+
+    def test_worker_fault_scope_soak(self):
+        report = run_soak(
+            workers=2,
+            seconds=1.0,
+            seed=11,
+            faults="11:exec.group=0.01",
+            scale=0.002,
+            cancel_rate=0.0,
+            tight_deadline_rate=0.0,
+            fault_scope="worker",
+        )
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.stats.completed > 0
+
+
+class TestReferences:
+    def test_references_cover_the_whole_workload(self):
+        catalog = build_soak_catalog(scale=0.002)
+        references = compute_references(catalog)
+        for name, (_, strategies) in WORKLOAD.items():
+            for strategy in strategies:
+                assert (name, strategy) in references
+
+    def test_workload_exercises_the_count_bug_divergence(self):
+        # The dept table ships an employee-free building, so Kim's
+        # COUNT-bug answer must differ from nested iteration on the
+        # EMP/DEPT query -- the soak checks per-strategy references
+        # precisely because of this designed divergence.
+        catalog = build_soak_catalog(scale=0.002)
+        references = compute_references(catalog)
+        kind_ni, rows_ni = references[("empdept", "ni")]
+        kind_kim, rows_kim = references[("empdept", "kim")]
+        assert kind_ni == kind_kim == "rows"
+        assert rows_ni != rows_kim

@@ -1,0 +1,149 @@
+"""Storage-layer thread-safety: the races the query service depends on.
+
+Each test hammers one documented critical section from many threads and
+asserts the invariant the lock is supposed to protect.  A barrier lines
+every thread up on the contended operation to maximise interleaving.
+"""
+
+import threading
+
+import pytest
+
+from repro.storage import Catalog, Column, Schema
+from repro.storage.catalog import CatalogError
+from repro.types import SQLType
+
+
+def _schema() -> Schema:
+    return Schema(
+        [
+            Column("id", SQLType.INT, nullable=False),
+            Column("val", SQLType.STR),
+        ],
+        primary_key=["id"],
+    )
+
+
+def _run_threads(n: int, target) -> list:
+    """Run ``target(i)`` in ``n`` threads behind a barrier; collect results
+    or raised exceptions per thread."""
+    barrier = threading.Barrier(n)
+    results: list = [None] * n
+    def wrapper(i: int) -> None:
+        barrier.wait()
+        try:
+            results[i] = target(i)
+        except Exception as exc:  # noqa: BLE001 - collected for assertions
+            results[i] = exc
+    threads = [
+        threading.Thread(target=wrapper, args=(i,)) for i in range(n)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30)
+        assert not t.is_alive(), "storage operation wedged"
+    return results
+
+
+class TestCatalogRaces:
+    def test_racing_create_table_has_one_winner(self):
+        catalog = Catalog()
+        results = _run_threads(
+            8, lambda i: catalog.create_table("t", _schema())
+        )
+        errors = [r for r in results if isinstance(r, Exception)]
+        assert len(errors) == 7
+        assert all(isinstance(e, CatalogError) for e in errors)
+        assert catalog.has_table("t")
+        assert len(list(catalog.tables())) == 1
+
+    def test_racing_create_view_has_one_winner(self):
+        catalog = Catalog()
+        results = _run_threads(
+            8, lambda i: catalog.create_view("v", f"SELECT {i}")
+        )
+        errors = [r for r in results if isinstance(r, Exception)]
+        assert len(errors) == 7
+        winner = next(i for i, r in enumerate(results) if r is None)
+        assert catalog.view_sql("v") == f"SELECT {winner}"
+
+    def test_stats_invalidation_is_never_lost(self):
+        # Writers insert + invalidate; readers pull stats throughout.  At
+        # the end one more invalidate + read must see the final row count
+        # (a stale cache line would betray a lost invalidation).
+        catalog = Catalog()
+        table = catalog.create_table("t", _schema())
+
+        def work(i: int) -> None:
+            for k in range(50):
+                if i % 2 == 0:  # writer
+                    table.insert((i * 1000 + k, f"v{k}"))
+                    catalog.invalidate_stats("t")
+                else:  # reader
+                    stats = catalog.stats("t")
+                    assert 0 <= stats.row_count <= 8 * 50
+
+        results = _run_threads(8, work)
+        assert not any(isinstance(r, Exception) for r in results), results
+        catalog.invalidate_stats("t")
+        assert catalog.stats("t").row_count == len(table) == 4 * 50
+
+
+class TestTableRaces:
+    def test_concurrent_inserts_lose_nothing(self):
+        catalog = Catalog()
+        table = catalog.create_table("t", _schema())
+
+        def work(i: int) -> None:
+            for k in range(100):
+                table.insert((i * 1000 + k, f"w{i}"))
+
+        results = _run_threads(8, work)
+        assert not any(isinstance(r, Exception) for r in results), results
+        assert len(table) == 800
+        ids = [row[0] for row in table.scan()]
+        assert len(set(ids)) == 800  # no duplicated/lost row under the pk
+
+    def test_create_index_during_inserts_is_complete(self):
+        # DDL races data: whatever rows exist when the index becomes
+        # visible were backfilled, and every later insert maintains it --
+        # so after the dust settles the index must cover every row.
+        catalog = Catalog()
+        table = catalog.create_table("t", _schema())
+        created = threading.Event()
+
+        def work(i: int):
+            if i == 0:
+                index = table.create_index("t_val", ["val"])
+                created.set()
+                return index
+            for k in range(200):
+                table.insert((i * 1000 + k, f"w{i % 3}"))
+            return None
+
+        results = _run_threads(8, work)
+        assert not any(isinstance(r, Exception) for r in results), results
+        assert created.is_set()
+        index = table.indexes["t_val"]
+        indexed = sum(
+            len(index.lookup(f"w{v}")) for v in range(3)
+        )
+        assert indexed == len(table) == 7 * 200
+
+    def test_duplicate_key_race_admits_exactly_one(self):
+        catalog = Catalog()
+        table = catalog.create_table("t", _schema())
+        results = _run_threads(8, lambda i: table.insert((42, f"w{i}")))
+        errors = [r for r in results if isinstance(r, Exception)]
+        assert len(errors) == 7  # unique pk: one winner, seven typed errors
+        assert len(table) == 1
+
+    def test_failed_insert_leaves_table_unchanged(self):
+        catalog = Catalog()
+        table = catalog.create_table("t", _schema())
+        table.insert((1, "a"))
+        with pytest.raises(Exception):
+            table.insert((1, "dup"))
+        assert len(table) == 1
+        assert list(table.scan()) == [(1, "a")]
