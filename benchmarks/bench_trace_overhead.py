@@ -1,0 +1,92 @@
+"""The zero-overhead-when-disabled contract of ``repro.trace``.
+
+Tracing follows the ``limits=None`` pattern of :mod:`repro.guard`: when no
+tracer is attached the executor and rewrite engine must take the plain
+code path -- no span bookkeeping, no clock reads, no snapshots. Two
+guards enforce it:
+
+* a *structural* check: with every :class:`~repro.trace.Tracer` entry
+  point booby-trapped, untraced execution must still succeed (the
+  disabled path provably never touches the tracer machinery);
+* a *timing* check: the untraced median must not exceed the traced
+  median by more than 5% -- the disabled path regressing towards (or
+  past) the cost of the enabled one is exactly the bug this catches.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro import Database, Strategy
+from repro.tpcd import QUERY_2, load_tpcd
+from repro.trace import Tracer
+
+from conftest import BENCH_SCALE, run_once
+
+#: Timing-check budget: untraced must stay within 5% of traced.
+OVERHEAD_TOLERANCE = 1.05
+ROUNDS = 9
+
+
+@pytest.fixture(scope="module")
+def db() -> Database:
+    db = Database(load_tpcd(scale_factor=min(BENCH_SCALE, 0.01)))
+    for table in db.catalog.tables():
+        db.catalog.stats(table.name)
+    return db
+
+
+def _median_seconds(fn, rounds: int = ROUNDS) -> float:
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def test_untraced_path_never_touches_the_tracer(db, monkeypatch):
+    """Structural zero overhead: booby-trap every tracer entry point and
+    run an untraced query -- the disabled path must not trip a single one."""
+    def boom(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError("tracer machinery reached on the untraced path")
+
+    for name in ("begin", "end", "cache_hit", "record", "attach"):
+        monkeypatch.setattr(Tracer, name, boom)
+    result = db.execute(QUERY_2, strategy=Strategy.MAGIC)
+    assert result.rows
+
+
+def test_disabled_overhead_within_tolerance(db):
+    """Timing zero overhead: untraced execution must not regress to more
+    than ``OVERHEAD_TOLERANCE`` of the traced cost (tracing does strictly
+    more work, so a disabled path slower than that is a regression)."""
+    def untraced():
+        db.execute(QUERY_2, strategy=Strategy.MAGIC)
+
+    def traced():
+        db.execute(QUERY_2, strategy=Strategy.MAGIC, tracer=Tracer())
+
+    untraced()  # warm caches outside the measurement
+    untraced_median = _median_seconds(untraced)
+    traced_median = _median_seconds(traced)
+    assert untraced_median <= traced_median * OVERHEAD_TOLERANCE, (
+        f"untraced median {untraced_median * 1000:.3f}ms exceeds "
+        f"{OVERHEAD_TOLERANCE}x traced median {traced_median * 1000:.3f}ms"
+    )
+
+
+@pytest.mark.benchmark(group="trace-overhead")
+def test_bench_untraced(db, benchmark):
+    run_once(benchmark, lambda: db.execute(QUERY_2, strategy=Strategy.MAGIC))
+
+
+@pytest.mark.benchmark(group="trace-overhead")
+def test_bench_traced(db, benchmark):
+    run_once(
+        benchmark,
+        lambda: db.execute(
+            QUERY_2, strategy=Strategy.MAGIC, tracer=Tracer()
+        ),
+    )

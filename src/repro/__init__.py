@@ -2,13 +2,15 @@
 
 Public entry points: Database, Strategy, Result, the execution guardrails
 (Limits, ExecutionGuard), the deterministic fault-injection registry
-(FaultRegistry), and the concurrent query service (QueryService).
+(FaultRegistry), the concurrent query service (QueryService), and the
+span collector behind EXPLAIN ANALYZE (Tracer).
 """
 
 from .api import Database, Result, Strategy
 from .faults import FaultRegistry
 from .guard import ExecutionGuard, Limits
 from .serve import QueryService, ServiceStats
+from .trace import Tracer
 
 __version__ = "1.0.0"
 __all__ = [
@@ -20,5 +22,6 @@ __all__ = [
     "FaultRegistry",
     "QueryService",
     "ServiceStats",
+    "Tracer",
     "__version__",
 ]

@@ -183,6 +183,7 @@ def cmd_soak(args: argparse.Namespace) -> int:
                 breaker_threshold=args.breaker_threshold,
                 breaker_cooldown=args.breaker_cooldown,
                 fault_scope=args.fault_scope,
+                trace=args.trace,
             )
         except ValueError as exc:
             print(f"soak: bad configuration: {exc}", file=sys.stderr)
@@ -230,6 +231,14 @@ def cmd_soak(args: argparse.Namespace) -> int:
     )
     for strategy, snapshot in sorted(report.stats.breakers.items()):
         print(f"  breaker[{strategy}]: {snapshot['state']}")
+    if report.operator_totals:
+        print("  per-operator totals (traced queries, top 10 by elapsed):")
+        for op in report.operator_totals[:10]:
+            print(
+                f"    {op['name']:<32} calls={op['calls']:>6} "
+                f"rows_out={op['rows_out']:>8} "
+                f"elapsed={op['elapsed_ms']:>10.3f}ms"
+            )
     if not report.ok:
         for violation in report.violations:
             print(f"VIOLATION: {violation}", file=sys.stderr)
@@ -250,20 +259,163 @@ def cmd_figures(args: argparse.Namespace) -> int:
     for name, fn in ALL_FIGURES.items():
         if args.only and name not in args.only:
             continue
-        report = fn(scale_factor=args.scale, repeat=args.repeat)
+        report = fn(
+            scale_factor=args.scale, repeat=args.repeat, trace=args.operators
+        )
         report.print()
         ok = ok and report.shape_holds()
         print()
     return 0 if ok else 1
 
 
-def cmd_explain(args: argparse.Namespace) -> int:
-    """``repro explain``: print the (rewritten) QGM of one query."""
+#: ``repro explain``/``stats`` query-name shorthands (require ``--tpcd``).
+_NAMED_QUERIES = ("q1", "q2", "q3", "q1v", "empdept")
+
+
+def _resolve_query(name_or_sql: str, tpcd_scale) -> tuple[str, bool]:
+    """Resolve a query-name shorthand (q1/q2/q3/q1v/empdept) against the
+    TPC-D workload; anything else is returned as SQL text verbatim.
+    Returns (sql, is_named)."""
+    key = name_or_sql.strip().lower()
+    if key not in _NAMED_QUERIES:
+        return name_or_sql, False
+    from . import tpcd
+
+    named = {
+        "q1": tpcd.QUERY_1,
+        "q1v": tpcd.QUERY_1_VARIANT,
+        "q2": tpcd.QUERY_2,
+        "q3": tpcd.QUERY_3,
+        "empdept": tpcd.EMP_DEPT_QUERY,
+    }
+    return named[key], True
+
+
+def _explain_db(args: argparse.Namespace, needs_data: bool) -> Database:
+    """The database for ``explain``/``stats``: ``--tpcd SCALE`` loads the
+    paper's workload, ``--db script.sql`` runs a schema script."""
+    if args.tpcd is not None:
+        from .tpcd import load_empdept, load_tpcd
+
+        catalog = load_tpcd(scale_factor=args.tpcd)
+        load_empdept(catalog=catalog)
+        return Database(catalog=catalog)
     db = Database()
     if args.db:
         with open(args.db) as handle:
             db.execute_script(handle.read())
-    print(db.explain(args.query, _parse_strategy(args.strategy)))
+    elif needs_data:
+        raise SystemExit(
+            "explain --analyze needs data: pass --tpcd SCALE or --db script"
+        )
+    return db
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``repro explain``: print the (rewritten) QGM of one query.
+
+    ``--analyze`` executes the query under a tracer and prints the
+    physical plan annotated EXPLAIN ANALYZE-style (per-operator calls,
+    rows, elapsed), the rewrite timeline, a per-operator breakdown and a
+    metrics reconciliation footer. ``--tpcd SCALE`` loads the paper's
+    TPC-D workload so the named queries q1/q2/q3 (and q1v/empdept) work
+    as shorthands. ``--trace-out PATH`` additionally writes the full span
+    tree as versioned JSON (see ``repro trace-check``)."""
+    sql, is_named = _resolve_query(args.query, args.tpcd)
+    if is_named and args.tpcd is None:
+        raise SystemExit(
+            f"named query {args.query!r} needs --tpcd SCALE for its data"
+        )
+    db = _explain_db(args, needs_data=args.analyze)
+    strategy = _parse_strategy(args.strategy)
+    if not args.analyze:
+        print(db.explain(sql, strategy))
+        return 0
+
+    from .trace import Tracer
+
+    tracer = Tracer()
+    print(db.explain(
+        sql, strategy, analyze=True, cse_mode=args.cse_mode, tracer=tracer,
+    ))
+    if args.trace_out:
+        import json
+
+        payload = tracer.export(sql=sql, strategy=strategy.value)
+        with open(args.trace_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.trace_out}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``repro stats``: run a seeded workload through the query service
+    with tracing on and print the service metrics export.
+
+    The workload is the paper trio (Q1/Q2/Q3) plus EMP/DEPT across all
+    four strategies -- enough traffic to populate the latency and
+    queue-depth histograms and the per-query trace ring. ``--format
+    prometheus`` prints the text exposition format; ``json`` (default)
+    the full snapshot including recent traces."""
+    from .serve.service import QueryService
+    from .tpcd import (
+        EMP_DEPT_QUERY, QUERY_1, QUERY_2, QUERY_3, load_empdept, load_tpcd,
+    )
+
+    catalog = load_tpcd(scale_factor=args.scale)
+    load_empdept(catalog=catalog)
+    db = Database(catalog=catalog)
+    queries = [QUERY_1, QUERY_2, QUERY_3, EMP_DEPT_QUERY]
+    strategies = ["ni", "kim", "dayal", "magic"]
+    with QueryService(
+        db, workers=args.workers, trace=True,
+        trace_history=args.trace_history,
+    ) as service:
+        tickets = [
+            service.submit(sql, strategy=strategy)
+            for sql in queries for strategy in strategies
+        ]
+        for ticket in tickets:
+            ticket.wait(timeout=120)
+        service.drain(timeout=120)
+        stats = service.stats()
+    print(stats.export(args.format))
+    return 0
+
+
+def cmd_trace_check(args: argparse.Namespace) -> int:
+    """``repro trace-check``: validate an exported trace JSON file.
+
+    Checks the file against the versioned schema and verifies it
+    round-trips byte-identically through the parser (the CI schema
+    check). Exit 0 when both hold, 1 otherwise."""
+    import json
+
+    from .errors import TraceError
+    from .trace import trace_round_trips
+
+    try:
+        with open(args.file) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"trace-check: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if not trace_round_trips(payload):
+            print(
+                f"trace-check: {args.file} does not round-trip through the "
+                "parser", file=sys.stderr,
+            )
+            return 1
+    except TraceError as exc:
+        print(f"trace-check: {args.file}: {exc}", file=sys.stderr)
+        return 1
+    spans = payload.get("spans", [])
+    print(
+        f"trace-check: {args.file} OK (version {payload.get('version')}, "
+        f"{len(spans)} root spans)"
+    )
     return 0
 
 
@@ -379,6 +531,8 @@ def main(argv: list[str] | None = None) -> int:
                         dest="breaker_cooldown")
     p_soak.add_argument("--fault-scope", choices=["shared", "worker"],
                         default="shared", dest="fault_scope")
+    p_soak.add_argument("--trace", action="store_true",
+                        help="trace every query; report per-operator totals")
     p_soak.add_argument("--json", default=None, metavar="PATH",
                         help="write the full report as JSON")
     p_soak.add_argument("--bench-out", default=None, metavar="PATH",
@@ -396,6 +550,9 @@ def main(argv: list[str] | None = None) -> int:
     p_fig.add_argument("--repeat", type=int, default=1)
     p_fig.add_argument("--only", nargs="*", default=None,
                        help="e.g. --only figure8 figure9")
+    p_fig.add_argument("--operators", action="store_true",
+                       help="add a traced run per strategy and print "
+                            "per-operator breakdowns")
     p_fig.set_defaults(fn=cmd_figures)
 
     p_lint = sub.add_parser(
@@ -409,11 +566,54 @@ def main(argv: list[str] | None = None) -> int:
                         help="diagnostics only (no pattern/strategy report)")
     p_lint.set_defaults(fn=cmd_lint)
 
-    p_explain = sub.add_parser("explain", help="print the rewritten QGM")
-    p_explain.add_argument("query")
+    p_explain = sub.add_parser(
+        "explain",
+        help="print the rewritten QGM (or, with --analyze, the executed "
+             "plan with per-operator profiling)",
+    )
+    p_explain.add_argument(
+        "query",
+        help="SQL text, or a named query (q1/q2/q3/q1v/empdept, with --tpcd)",
+    )
     p_explain.add_argument("--db", help="SQL script creating the schema")
     p_explain.add_argument("--strategy", default="magic")
+    p_explain.add_argument(
+        "--analyze", action="store_true",
+        help="execute the query under a tracer and annotate the plan with "
+             "actual per-operator rows/calls/elapsed",
+    )
+    p_explain.add_argument(
+        "--tpcd", type=float, default=None, metavar="SCALE",
+        help="load the TPC-D + EMP/DEPT workload at this scale factor",
+    )
+    p_explain.add_argument("--cse-mode", default="recompute", dest="cse_mode")
+    p_explain.add_argument(
+        "--trace-out", default=None, metavar="PATH", dest="trace_out",
+        help="write the span tree as versioned JSON (with --analyze)",
+    )
     p_explain.set_defaults(fn=cmd_explain)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="run a traced workload through the query service and print "
+             "its metrics export",
+    )
+    p_stats.add_argument("--scale", type=float, default=0.005,
+                         help="TPC-D scale factor for the workload")
+    p_stats.add_argument("--workers", type=int, default=4)
+    p_stats.add_argument("--trace-history", type=int, default=64,
+                         dest="trace_history",
+                         help="ring-buffer size for per-query trace summaries")
+    p_stats.add_argument("--format", choices=["json", "prometheus"],
+                         default="json")
+    p_stats.set_defaults(fn=cmd_stats)
+
+    p_trace = sub.add_parser(
+        "trace-check",
+        help="validate an exported trace JSON file (schema + round-trip)",
+    )
+    p_trace.add_argument("file")
+    p_trace.set_defaults(fn=cmd_trace_check)
 
     p_report = sub.add_parser(
         "report", help="write the full evaluation as Markdown"

@@ -13,7 +13,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, TYPE_CHECKING
 
 from ..errors import BindError, ExecutionError, ReproError
 from ..exec import Metrics, execute_graph
@@ -28,6 +28,9 @@ from ..storage import Catalog, Column, Schema
 from ..types import SQLType
 from .strategies import Strategy
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..trace import Tracer
+
 
 @dataclass
 class Result:
@@ -35,7 +38,9 @@ class Result:
 
     ``sql`` is the originating statement's text (used in error messages);
     ``degradations`` records the strategy fallback chain taken when
-    ``execute(..., fallback=True)`` had to degrade (empty otherwise).
+    ``execute(..., fallback=True)`` had to degrade (empty otherwise);
+    ``tracer`` is the span collector when the query ran traced
+    (``execute(..., tracer=...)``), ``None`` otherwise.
     """
 
     columns: list[str]
@@ -43,6 +48,7 @@ class Result:
     metrics: Metrics
     sql: str = ""
     degradations: list = field(default_factory=list)
+    tracer: Optional["Tracer"] = None
 
     def __iter__(self):
         return iter(self.rows)
@@ -230,6 +236,7 @@ class Database:
         guard: Optional[ExecutionGuard] = None,
         fallback: bool = False,
         disabled=None,
+        tracer: Optional["Tracer"] = None,
     ) -> Result:
         """Parse, bind, rewrite per ``strategy``, and execute one statement.
 
@@ -257,6 +264,11 @@ class Database:
         :meth:`~repro.rewrite.engine.RewriteEngine.rewrite_with_fallback`
         -- the query service's circuit breakers use it to skip quarantined
         strategies without re-paying their rewrite.
+
+        ``tracer`` (a :class:`repro.trace.Tracer`) collects the span tree
+        -- one aggregate node per rewrite step and per plan node -- and is
+        returned on ``Result.tracer``. ``None`` (the default) is the
+        zero-overhead untraced path.
         """
         statement = parse_statement(sql)
         if not isinstance(statement, (ast.Select, ast.SetOp)):
@@ -265,7 +277,7 @@ class Database:
             statement, strategy, cse_mode,
             decorrelate_existential=decorrelate_existential,
             limits=limits, guard=guard, fallback=fallback, sql=sql,
-            disabled=disabled,
+            disabled=disabled, tracer=tracer,
         )
 
     def _run_query(
@@ -279,6 +291,7 @@ class Database:
         fallback: bool = False,
         sql: Optional[str] = None,
         disabled=None,
+        tracer: Optional["Tracer"] = None,
     ) -> Result:
         if sql is None:
             sql = to_sql(statement)
@@ -287,20 +300,21 @@ class Database:
             graph, degradations = self.engine.rewrite_with_fallback(
                 lambda: build_qgm(statement, self.catalog), strategy,
                 decorrelate_existential=decorrelate_existential,
-                disabled=disabled,
+                disabled=disabled, tracer=tracer,
             )
         else:
             graph = self.rewrite(
                 statement, strategy,
                 decorrelate_existential=decorrelate_existential,
+                tracer=tracer,
             )
         rows, metrics = execute_graph(
             graph, self.catalog, cse_mode=cse_mode,
-            limits=limits, guard=guard, faults=self.faults,
+            limits=limits, guard=guard, faults=self.faults, tracer=tracer,
         )
         return Result(
             graph.output_names(), rows, metrics,
-            sql=sql, degradations=degradations,
+            sql=sql, degradations=degradations, tracer=tracer,
         )
 
     def rewrite(
@@ -308,6 +322,7 @@ class Database:
         statement: ast.QueryBody,
         strategy: Strategy,
         decorrelate_existential: bool = True,
+        tracer: Optional["Tracer"] = None,
     ) -> QueryGraph:
         """Build the QGM and apply the strategy's rewrite (validated).
 
@@ -315,7 +330,8 @@ class Database:
         also run after every individual rewrite step."""
         graph = build_qgm(statement, self.catalog)
         return self.engine.rewrite(
-            graph, strategy, decorrelate_existential=decorrelate_existential
+            graph, strategy,
+            decorrelate_existential=decorrelate_existential, tracer=tracer,
         )
 
     def analyze(self, sql: str):
@@ -327,13 +343,73 @@ class Database:
         return analyze_sql(sql, self.catalog)
 
     def explain(
-        self, sql: str, strategy: Strategy = Strategy.NESTED_ITERATION
+        self,
+        sql: str,
+        strategy: Strategy = Strategy.NESTED_ITERATION,
+        analyze: bool = False,
+        cse_mode: str = "recompute",
+        tracer: Optional["Tracer"] = None,
     ) -> str:
-        """The (rewritten) QGM as text -- the engine's EXPLAIN."""
+        """The (rewritten) QGM as text -- the engine's EXPLAIN.
+
+        ``analyze=True`` is the engine's ``EXPLAIN ANALYZE``: the query is
+        rewritten and *executed* under a :class:`repro.trace.Tracer`, and
+        the rendering becomes the physical plan annotated per operator
+        with observed calls, rows, cache hits and elapsed time, followed
+        by the rewrite timeline, a per-operator breakdown table, and a
+        reconciliation footer checking that the summed per-span metric
+        deltas reproduce the whole-query totals exactly. ``tracer`` lets
+        callers pass a pre-built collector (e.g. with a fake clock) and
+        inspect the span tree afterwards."""
         statement = parse_statement(sql)
         if not isinstance(statement, (ast.Select, ast.SetOp)):
             raise BindError("EXPLAIN is only available for queries")
-        return graph_to_text(self.rewrite(statement, strategy))
+        if not analyze:
+            return graph_to_text(self.rewrite(statement, strategy))
+
+        from ..exec.metrics import SUM_FIELD_NAMES
+        from ..plan.pretty import plan_to_text
+        from ..trace import (
+            Tracer,
+            render_operator_table,
+            render_rewrite_timeline,
+        )
+
+        if tracer is None:
+            tracer = Tracer()
+        graph = self.rewrite(statement, strategy, tracer=tracer)
+        rows, metrics = execute_graph(
+            graph, self.catalog, cse_mode=cse_mode,
+            faults=self.faults, tracer=tracer,
+        )
+        span_totals = tracer.metric_totals()
+        query_totals = {
+            name: getattr(metrics, name) for name in SUM_FIELD_NAMES
+        }
+        if span_totals == query_totals:
+            verdict = "per-span metric deltas reconcile exactly with query totals"
+        else:  # pragma: no cover - the attribution invariant failing
+            diffs = ", ".join(
+                f"{k}: spans={span_totals[k]} query={query_totals[k]}"
+                for k in SUM_FIELD_NAMES
+                if span_totals[k] != query_totals[k]
+            )
+            verdict = f"per-span metric deltas DIVERGE from query totals ({diffs})"
+        key = getattr(strategy, "value", strategy)
+        return "\n".join([
+            plan_to_text(self.catalog, graph, tracer=tracer),
+            "",
+            "Rewrite timeline:",
+            render_rewrite_timeline(tracer, indent="  "),
+            "",
+            "Per-operator breakdown:",
+            render_operator_table(tracer, indent="  "),
+            "",
+            f"Execution: {len(rows)} rows via strategy {key!r}, "
+            f"total work {metrics.total_work()}, "
+            f"peak live materialisation {metrics.peak_rows_materialized} rows; "
+            + verdict,
+        ])
 
     def explain_plan(
         self, sql: str, strategy: Strategy = Strategy.NESTED_ITERATION

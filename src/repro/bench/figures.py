@@ -26,6 +26,7 @@ from .harness import (
     BenchResult,
     print_results,
     render_bars,
+    render_operator_breakdown,
     run_strategies,
 )
 
@@ -69,6 +70,13 @@ class FigureReport:
         if bars:
             print(bars)
             text += "\n" + bars
+        if any(r.operators for r in self.results):
+            breakdown = (
+                "per-operator breakdown (traced run):\n"
+                + render_operator_breakdown(self.results)
+            )
+            print(breakdown)
+            text += "\n" + breakdown
         for claim, ok in self.shape:
             line = f"  [{'ok' if ok else 'MISMATCH'}] {claim}"
             print(line)
@@ -107,10 +115,11 @@ def figure5(
     scale_factor: float = DEFAULT_SCALE,
     repeat: int = 1,
     strategies: Sequence[Strategy] = PAPER_STRATEGIES,
+    trace: bool = False,
 ) -> FigureReport:
     """Figure 5: Query 1 with all indexes present."""
     db = _build(scale_factor)
-    results = run_strategies(db, QUERY_1, strategies, repeat=repeat)
+    results = run_strategies(db, QUERY_1, strategies, repeat=repeat, trace=trace)
     report = FigureReport(
         "Figure 5", "Query 1, all indexes", scale_factor, results
     )
@@ -158,10 +167,11 @@ def figure6(
     scale_factor: float = DEFAULT_SCALE,
     repeat: int = 1,
     strategies: Sequence[Strategy] = PAPER_STRATEGIES,
+    trace: bool = False,
 ) -> FigureReport:
     """Figure 6: Query 1 variant -- thousands of invocations, many dupes."""
     db = _build(scale_factor)
-    results = run_strategies(db, QUERY_1_VARIANT, strategies, repeat=repeat)
+    results = run_strategies(db, QUERY_1_VARIANT, strategies, repeat=repeat, trace=trace)
     report = FigureReport(
         "Figure 6", "Query 1 variant (no p_size, two regions)", scale_factor,
         results,
@@ -194,6 +204,7 @@ def figure7(
     scale_factor: float = DEFAULT_SCALE,
     repeat: int = 1,
     strategies: Sequence[Strategy] = PAPER_STRATEGIES,
+    trace: bool = False,
 ) -> FigureReport:
     """Figure 7: Query 1 variant with the invocation-supporting index
     dropped, "thereby increasing the work performed in each correlated
@@ -204,7 +215,7 @@ def figure7(
     """
     db = _build(scale_factor)
     db.catalog.table("partsupp").drop_index("ps_suppkey_idx")
-    results = run_strategies(db, QUERY_1_VARIANT, strategies, repeat=repeat)
+    results = run_strategies(db, QUERY_1_VARIANT, strategies, repeat=repeat, trace=trace)
     report = FigureReport(
         "Figure 7", "Query 1 variant, invocation index dropped", scale_factor,
         results,
@@ -226,11 +237,12 @@ def figure8(
     scale_factor: float = DEFAULT_SCALE,
     repeat: int = 1,
     strategies: Sequence[Strategy] = PAPER_STRATEGIES,
+    trace: bool = False,
 ) -> FigureReport:
     """Figure 8: Query 2 -- keyed bindings, cheap subquery: decorrelation
     expected to have little impact; Kim and Dayal orders of magnitude worse."""
     db = _build(scale_factor)
-    results = run_strategies(db, QUERY_2, strategies, repeat=repeat)
+    results = run_strategies(db, QUERY_2, strategies, repeat=repeat, trace=trace)
     report = FigureReport("Figure 8", "Query 2", scale_factor, results)
     ni = report.result(Strategy.NESTED_ITERATION)
     mag = report.result(Strategy.MAGIC)
@@ -259,11 +271,12 @@ def figure9(
     scale_factor: float = DEFAULT_SCALE,
     repeat: int = 1,
     strategies: Sequence[Strategy] = PAPER_STRATEGIES,
+    trace: bool = False,
 ) -> FigureReport:
     """Figure 9: Query 3 -- non-linear, 5 distinct bindings among ~209
     invocations: tremendous improvement from magic; Kim/Dayal inapplicable."""
     db = _build(scale_factor)
-    results = run_strategies(db, QUERY_3, strategies, repeat=repeat)
+    results = run_strategies(db, QUERY_3, strategies, repeat=repeat, trace=trace)
     report = FigureReport("Figure 9", "Query 3 (UNION, duplicates)", scale_factor, results)
     ni = report.result(Strategy.NESTED_ITERATION)
     mag = report.result(Strategy.MAGIC)

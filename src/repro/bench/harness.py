@@ -38,6 +38,10 @@ class BenchResult:
     metrics: Metrics = field(default_factory=Metrics)
     n_rows: int = 0
     reason: str = ""
+    #: Per-operator breakdown (:meth:`repro.trace.Tracer.operator_summaries`
+    #: layout) from a traced run; empty unless the sweep ran with
+    #: ``trace=True``.
+    operators: list = field(default_factory=list)
 
     @property
     def label(self) -> str:
@@ -62,12 +66,17 @@ def run_strategies(
     repeat: int = 1,
     cse_mode: str = "recompute",
     expect_rows: Optional[int] = None,
+    trace: bool = False,
 ) -> list[BenchResult]:
     """Measure ``sql`` under each strategy (best of ``repeat`` runs).
 
     Each reported measurement in the paper "is the average of several
     consecutive runs"; we take the minimum, the standard choice for
     in-process microbenchmarks.
+
+    ``trace=True`` adds one *extra* traced run per strategy (outside the
+    timing loop, so the timed figures stay untraced) and attaches its
+    per-operator breakdown to ``BenchResult.operators``.
     """
     warm(db)
     results: list[BenchResult] = []
@@ -81,12 +90,22 @@ def run_strategies(
                 elapsed = time.perf_counter() - start
                 best_seconds = min(best_seconds, elapsed)
             assert outcome is not None
+            operators: list = []
+            if trace:
+                from ..trace import Tracer
+
+                tracer = Tracer()
+                db.execute(
+                    sql, strategy=strategy, cse_mode=cse_mode, tracer=tracer
+                )
+                operators = tracer.operator_summaries()
             result = BenchResult(
                 strategy=strategy,
                 applicable=True,
                 seconds=best_seconds,
                 metrics=outcome.metrics,
                 n_rows=len(outcome.rows),
+                operators=operators,
             )
             if expect_rows is not None and len(outcome.rows) != expect_rows:
                 result.reason = (
@@ -152,3 +171,25 @@ def print_results(title: str, results: Sequence[BenchResult]) -> str:
     text = "\n".join(lines)
     print(text)
     return text
+
+
+def render_operator_breakdown(
+    results: Sequence[BenchResult], top: int = 6
+) -> str:
+    """Per-strategy operator breakdowns (traced sweeps only): the top
+    ``top`` operators of each strategy by elapsed time."""
+    lines: list[str] = []
+    for result in results:
+        if not result.operators:
+            continue
+        lines.append(f"{result.label}:")
+        for op in result.operators[:top]:
+            work = " ".join(f"{k}={v}" for k, v in op["metrics"].items())
+            lines.append(
+                f"  {op['name']:<36} calls={op['calls']:>5} "
+                f"rows_out={op['rows_out']:>8} "
+                f"elapsed={op['elapsed_ms']:>9.3f}ms  {work}"
+            )
+    if not lines:
+        return "(no traced runs: pass trace=True to run_strategies)"
+    return "\n".join(lines)

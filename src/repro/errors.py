@@ -102,6 +102,10 @@ class ExecutionError(ReproError):
     """Raised at runtime, e.g. a scalar subquery returning more than one row."""
 
 
+class TraceError(ReproError):
+    """Raised for malformed trace payloads (:mod:`repro.trace` schema)."""
+
+
 class GuardrailError(ExecutionError):
     """Base class for execution-governance trips (budgets, cancellation).
 

@@ -44,6 +44,7 @@ from ..plan.planner import (
     SelectPlan,
     SubqueryEvalStep,
     plan_select_box,
+    step_label,
 )
 from ..sql import ast
 from ..storage.catalog import Catalog
@@ -55,6 +56,14 @@ from .metrics import Metrics
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
     from ..faults import FaultRegistry
     from ..guard import ExecutionGuard
+    from ..trace import Tracer
+
+
+def box_label(box: Box) -> str:
+    """The short operator name a box carries in traces and plan output."""
+    if isinstance(box, BaseTableBox):
+        return f"table {box.table_name} [{box.id}]"
+    return f"{box.kind} [{box.id}]"
 
 
 class ExecutionContext:
@@ -64,7 +73,9 @@ class ExecutionContext:
     :mod:`repro.guard`; it is consulted at step granularity so budget trips
     and cancellation are observed within one executor step. ``faults``
     (optional) is the deterministic fault-injection registry of
-    :mod:`repro.faults`. Both default to ``None`` -- the zero-overhead path.
+    :mod:`repro.faults`. ``tracer`` (optional) is the span collector of
+    :mod:`repro.trace`, fed one aggregated span per box and per plan step.
+    All three default to ``None`` -- the zero-overhead path.
     """
 
     def __init__(
@@ -74,6 +85,7 @@ class ExecutionContext:
         cse_mode: str = "recompute",
         guard: Optional["ExecutionGuard"] = None,
         faults: Optional["FaultRegistry"] = None,
+        tracer: Optional["Tracer"] = None,
     ):
         if cse_mode not in ("recompute", "materialize"):
             raise ExecutionError(f"unknown cse_mode {cse_mode!r}")
@@ -82,8 +94,11 @@ class ExecutionContext:
         self.metrics = Metrics()
         self.guard = guard
         self.faults = faults
+        self.tracer = tracer
         if guard is not None:
             guard.attach(self.metrics)
+        if tracer is not None:
+            tracer.attach(self.metrics)
         self._root = root
         self._parents = parent_edges(root)
         self._plans: dict[int, SelectPlan] = {}
@@ -148,7 +163,25 @@ class ExecutionContext:
         if not correlated:
             cached = self._cache.get(box.id)
             if cached is not None:
+                if self.tracer is not None:
+                    self.tracer.cache_hit(
+                        ("box", box.id), box_label(box), "operator"
+                    )
                 return cached
+        tracer = self.tracer
+        if tracer is None:
+            return self._execute_box(box, env, correlated)
+        frame = tracer.begin(("box", box.id), box_label(box), "operator")
+        rows: Optional[list[tuple]] = None
+        try:
+            rows = self._execute_box(box, env, correlated)
+            return rows
+        finally:
+            tracer.end(frame, rows_out=0 if rows is None else len(rows))
+
+    def _execute_box(
+        self, box: Box, env: Env, correlated: bool
+    ) -> list[tuple]:
         if not isinstance(box, BaseTableBox):
             count = self._executions.get(box.id, 0) + 1
             self._executions[box.id] = count
@@ -164,6 +197,14 @@ class ExecutionContext:
             self.metrics.materialize(len(rows))
             self.checkpoint()
         return rows
+
+    def release_materializations(self) -> None:
+        """Drop every CSE/temp cache, releasing its rows from the live
+        materialisation count -- query teardown (the metrics keep the
+        cumulative and high-water figures)."""
+        for rows in self._cache.values():
+            self.metrics.release(len(rows))
+        self._cache.clear()
 
     @staticmethod
     def _forces_materialisation(box: Box) -> bool:
@@ -206,11 +247,24 @@ class ExecutionContext:
 
     def _rows_select(self, box: SelectBox, outer_env: Env) -> list[tuple]:
         plan = self.plan(box)
+        tracer = self.tracer
         envs: list[Env] = [outer_env]
-        for step in plan.steps:
+        for index, step in enumerate(plan.steps):
             if not envs:
                 break
-            envs = self._apply_step(box, step, envs, outer_env)
+            if tracer is None:
+                envs = self._apply_step(box, step, envs, outer_env)
+                continue
+            frame = tracer.begin(
+                ("step", box.id, index), step_label(step), "step",
+                rows_in=len(envs),
+            )
+            out: Optional[list[Env]] = None
+            try:
+                out = self._apply_step(box, step, envs, outer_env)
+                envs = out
+            finally:
+                tracer.end(frame, rows_out=0 if out is None else len(out))
         rows = [
             tuple(evaluate(output.expr, env, self) for output in box.outputs)
             for env in envs
@@ -268,6 +322,7 @@ class ExecutionContext:
             null_safe = step.null_safe or (False,) * len(step.build_exprs)
             child_rows = self.box_rows(q.box, outer_env)
             buckets: dict[tuple, list[tuple]] = {}
+            n_built = 0
             for row in child_rows:
                 row_env = outer_env.bind(q, row)
                 key = _join_key(
@@ -277,17 +332,27 @@ class ExecutionContext:
                 if key is None:
                     continue
                 buckets.setdefault(key, []).append(row)
-            result = []
-            for env in envs:
-                key = _join_key(
-                    [evaluate(e, env, self) for e in step.probe_exprs], null_safe
-                )
-                if key is None:
-                    continue
-                matches = buckets.get(key, ())
-                self.metrics.rows_joined += len(matches)
-                result.extend(env.bind(q, row) for row in matches)
-            return result
+                n_built += 1
+            # The build side is a transient materialisation: it lives for
+            # the probe phase only, so it counts against the live/high-water
+            # figures and is released when the step completes.
+            self.metrics.materialize(n_built)
+            self.checkpoint()
+            try:
+                result = []
+                for env in envs:
+                    key = _join_key(
+                        [evaluate(e, env, self) for e in step.probe_exprs],
+                        null_safe,
+                    )
+                    if key is None:
+                        continue
+                    matches = buckets.get(key, ())
+                    self.metrics.rows_joined += len(matches)
+                    result.extend(env.bind(q, row) for row in matches)
+                return result
+            finally:
+                self.metrics.release(n_built)
 
         if isinstance(step, PredicateStep):
             return [
@@ -327,32 +392,40 @@ class ExecutionContext:
             groups[()] = []
             order.append(())
 
-        rows: list[tuple] = []
-        for key in order:
-            member_envs = groups[key]
-            representative = member_envs[0] if member_envs else env
-            values = []
-            for output in box.outputs:
-                expr = output.expr
-                if isinstance(expr, ast.AggregateCall):
-                    if expr.argument is None:
-                        value = compute_aggregate(
-                            expr.func, None, len(member_envs), expr.distinct,
-                            guard=self.guard,
-                        )
+        # The grouping work table holds the full input partitioned by key
+        # until aggregation finishes -- a transient materialisation.
+        self.metrics.materialize(len(input_rows))
+        self.checkpoint()
+        try:
+            rows: list[tuple] = []
+            for key in order:
+                member_envs = groups[key]
+                representative = member_envs[0] if member_envs else env
+                values = []
+                for output in box.outputs:
+                    expr = output.expr
+                    if isinstance(expr, ast.AggregateCall):
+                        if expr.argument is None:
+                            value = compute_aggregate(
+                                expr.func, None, len(member_envs), expr.distinct,
+                                guard=self.guard,
+                            )
+                        else:
+                            arg_values = [
+                                evaluate(expr.argument, e, self)
+                                for e in member_envs
+                            ]
+                            value = compute_aggregate(
+                                expr.func, arg_values, len(member_envs),
+                                expr.distinct, guard=self.guard,
+                            )
                     else:
-                        arg_values = [
-                            evaluate(expr.argument, e, self) for e in member_envs
-                        ]
-                        value = compute_aggregate(
-                            expr.func, arg_values, len(member_envs), expr.distinct,
-                            guard=self.guard,
-                        )
-                else:
-                    value = evaluate(expr, representative, self)
-                values.append(value)
-            rows.append(tuple(values))
-        return rows
+                        value = evaluate(expr, representative, self)
+                    values.append(value)
+                rows.append(tuple(values))
+            return rows
+        finally:
+            self.metrics.release(len(input_rows))
 
     # -- set operations ------------------------------------------------------
 
@@ -416,6 +489,7 @@ class ExecutionContext:
         if equi is not None:
             left_keys, right_keys, null_safe = equi
             buckets: dict[tuple, list[tuple]] = {}
+            n_built = 0
             for row in right_rows:
                 row_env = env.bind(right_q, row)
                 key = _join_key(
@@ -424,23 +498,32 @@ class ExecutionContext:
                 if key is None:
                     continue
                 buckets.setdefault(key, []).append(row)
-            for lrow in left_rows:
-                lenv = env.bind(left_q, lrow)
-                key = _join_key(
-                    [evaluate(e, lenv, self) for e in left_keys], null_safe
-                )
-                matches = [] if key is None else buckets.get(key, [])
-                matched = False
-                for rrow in matches:
-                    combined = lenv.bind(right_q, rrow)
-                    if box.condition is None or predicate_holds(
-                        box.condition, combined, self
-                    ):
-                        matched = True
-                        self.metrics.rows_joined += 1
-                        rows.append(self._project_oj(box, combined))
-                if not matched:
-                    rows.append(self._project_oj(box, lenv.bind(right_q, null_row)))
+                n_built += 1
+            # Transient build-side materialisation, as in HashJoinStep.
+            self.metrics.materialize(n_built)
+            self.checkpoint()
+            try:
+                for lrow in left_rows:
+                    lenv = env.bind(left_q, lrow)
+                    key = _join_key(
+                        [evaluate(e, lenv, self) for e in left_keys], null_safe
+                    )
+                    matches = [] if key is None else buckets.get(key, [])
+                    matched = False
+                    for rrow in matches:
+                        combined = lenv.bind(right_q, rrow)
+                        if box.condition is None or predicate_holds(
+                            box.condition, combined, self
+                        ):
+                            matched = True
+                            self.metrics.rows_joined += 1
+                            rows.append(self._project_oj(box, combined))
+                    if not matched:
+                        rows.append(
+                            self._project_oj(box, lenv.bind(right_q, null_row))
+                        )
+            finally:
+                self.metrics.release(n_built)
         else:
             for lrow in left_rows:
                 lenv = env.bind(left_q, lrow)
@@ -540,13 +623,15 @@ def execute_graph(
     limits=None,
     guard: Optional["ExecutionGuard"] = None,
     faults: Optional["FaultRegistry"] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> tuple[list[tuple], Metrics]:
     """Execute a QGM query graph; returns (rows, metrics).
 
     ``limits`` (a :class:`repro.guard.Limits`) builds a fresh guard for this
     execution; alternatively pass a pre-built ``guard`` (e.g. to cancel the
     query from another thread). ``faults`` enables deterministic fault
-    injection. All three default to ``None`` -- no overhead.
+    injection, ``tracer`` per-operator span collection. All default to
+    ``None`` -- no overhead.
     """
     if ctx is None:
         if guard is None and limits is not None:
@@ -554,8 +639,29 @@ def execute_graph(
 
             guard = guard_for(limits)
         ctx = ExecutionContext(
-            catalog, graph.root, cse_mode, guard=guard, faults=faults
+            catalog, graph.root, cse_mode,
+            guard=guard, faults=faults, tracer=tracer,
         )
+    if ctx.tracer is None:
+        try:
+            rows = _run_graph(graph, ctx)
+        finally:
+            ctx.release_materializations()
+        return rows, ctx.metrics
+    # Root "query" span: wraps the whole execution (including ORDER BY /
+    # LIMIT / projection and the rows_output bump) so the exclusive
+    # per-span deltas telescope to the final Metrics totals exactly.
+    frame = ctx.tracer.begin(("query",), "query", "query")
+    rows = None
+    try:
+        rows = _run_graph(graph, ctx)
+        return rows, ctx.metrics
+    finally:
+        ctx.release_materializations()
+        ctx.tracer.end(frame, rows_out=0 if rows is None else len(rows))
+
+
+def _run_graph(graph: QueryGraph, ctx: ExecutionContext) -> list[tuple]:
     ctx.checkpoint()
     rows = list(ctx.box_rows(graph.root, Env()))
     if graph.order_by:
@@ -569,7 +675,7 @@ def execute_graph(
     if graph.visible_columns is not None:
         rows = [row[: graph.visible_columns] for row in rows]
     ctx.metrics.rows_output += len(rows)
-    return rows, ctx.metrics
+    return rows
 
 
 class _Reversed:

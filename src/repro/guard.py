@@ -156,13 +156,17 @@ class ExecutionGuard:
             )
         if (
             limits.max_rows_materialized is not None
-            and metrics.rows_materialized > limits.max_rows_materialized
+            and metrics.peak_rows_materialized > limits.max_rows_materialized
         ):
+            # The budget bounds *memory*: the high-water mark of live
+            # materialised rows, not the cumulative write count (a query
+            # that builds and frees ten small hash tables should not trip
+            # a budget sized for its largest one).
             self._trip(
                 BudgetExceeded(
                     "max_rows_materialized",
                     limits.max_rows_materialized,
-                    metrics.rows_materialized,
+                    metrics.peak_rows_materialized,
                     metrics=self._snapshot(),
                 )
             )

@@ -88,6 +88,24 @@ class SubqueryEvalStep:
 Step = Union[ScanStep, IndexLookupStep, HashJoinStep, PredicateStep, SubqueryEvalStep]
 
 
+def step_label(step: Step) -> str:
+    """A short, stable operator name for one step -- the identity traces
+    and ``EXPLAIN ANALYZE`` annotations display (the full predicate/key
+    text lives in :mod:`repro.plan.pretty`)."""
+    if isinstance(step, ScanStep):
+        suffix = " (correlated)" if step.correlated_to_self else ""
+        return f"scan {step.quantifier.name}{suffix}"
+    if isinstance(step, IndexLookupStep):
+        return f"index lookup {step.quantifier.name} via {step.index_name}"
+    if isinstance(step, HashJoinStep):
+        return f"hash join {step.quantifier.name}"
+    if isinstance(step, PredicateStep):
+        return "filter"
+    if isinstance(step, SubqueryEvalStep):
+        return f"scalar subquery (box {step.node.box.id})"
+    return type(step).__name__  # pragma: no cover - future step kinds
+
+
 @dataclass
 class SelectPlan:
     box: SelectBox

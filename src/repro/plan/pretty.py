@@ -4,9 +4,15 @@ Walks the query graph and prints, for every SPJ box, the step list the
 planner chose: access paths (scan / index lookup / hash join), predicate
 placement, and -- the paper's section 7 concern -- where each correlated
 scalar subquery is evaluated relative to the joins.
+
+With a :class:`repro.trace.Tracer` from an actual execution, every line
+additionally carries ``EXPLAIN ANALYZE``-style annotations (calls, rows,
+cache hits, elapsed) pulled from the tracer's per-operator aggregates.
 """
 
 from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
 
 from ..qgm.analysis import iter_boxes
 from ..qgm.model import (
@@ -28,6 +34,23 @@ from .planner import (
     SubqueryEvalStep,
     plan_select_box,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..trace import Tracer
+
+
+def _annotation(stats) -> str:
+    """One ``(actual: ...)`` suffix from a flattened operator aggregate."""
+    if stats is None:
+        return "  (never executed)"
+    parts = [f"calls={stats.calls}"]
+    if stats.rows_in:
+        parts.append(f"rows_in={stats.rows_in}")
+    parts.append(f"rows_out={stats.rows_out}")
+    if stats.cache_hits:
+        parts.append(f"cache_hits={stats.cache_hits}")
+    parts.append(f"time={stats.elapsed * 1000:.3f}ms")
+    return "  (actual: " + " ".join(parts) + ")"
 
 
 def _step_to_text(step, own: set[int]) -> str:
@@ -59,9 +82,30 @@ def _step_to_text(step, own: set[int]) -> str:
     return repr(step)
 
 
-def plan_to_text(catalog: Catalog, graph: QueryGraph | Box) -> str:
-    """Render the physical plan of every box in the graph."""
+def plan_to_text(
+    catalog: Catalog,
+    graph: QueryGraph | Box,
+    tracer: Optional["Tracer"] = None,
+) -> str:
+    """Render the physical plan of every box in the graph.
+
+    With ``tracer`` (the span collector of an actual execution) every box
+    header and step line is annotated ``EXPLAIN ANALYZE``-style with the
+    observed calls, rows and elapsed time; plan nodes the execution never
+    reached are marked ``(never executed)``."""
     root = graph.root if isinstance(graph, QueryGraph) else graph
+    stats = tracer.operator_stats() if tracer is not None else None
+
+    def box_note(box: Box) -> str:
+        if stats is None:
+            return ""
+        return _annotation(stats.get(("box", box.id)))
+
+    def step_note(box: Box, index: int) -> str:
+        if stats is None:
+            return ""
+        return _annotation(stats.get(("step", box.id, index)))
+
     sections: list[str] = []
     for box in iter_boxes(root):
         if isinstance(box, SelectBox):
@@ -69,24 +113,30 @@ def plan_to_text(catalog: Catalog, graph: QueryGraph | Box) -> str:
             own = {id(q) for q in box.quantifiers}
             lines = [
                 f"[{box.id}] SELECT{' DISTINCT' if box.distinct else ''} "
-                f"(est. {plan.estimated_rows:.1f} rows)"
+                f"(est. {plan.estimated_rows:.1f} rows)" + box_note(box)
             ]
-            for step in plan.steps:
-                lines.append(f"    {_step_to_text(step, own)}")
+            for index, step in enumerate(plan.steps):
+                lines.append(
+                    f"    {_step_to_text(step, own)}" + step_note(box, index)
+                )
             sections.append("\n".join(lines))
         elif isinstance(box, GroupByBox):
             n_keys = len(box.group_by)
             sections.append(
                 f"[{box.id}] HASH AGGREGATE ({n_keys} grouping "
-                f"column{'s' if n_keys != 1 else ''})"
+                f"column{'s' if n_keys != 1 else ''})" + box_note(box)
             )
         elif isinstance(box, SetOpBox):
             sections.append(
                 f"[{box.id}] {box.op.upper()}{' ALL' if box.all else ''} "
-                f"of {len(box.quantifiers)} inputs"
+                f"of {len(box.quantifiers)} inputs" + box_note(box)
             )
         elif isinstance(box, OuterJoinBox):
-            sections.append(f"[{box.id}] LEFT OUTER HASH/NL JOIN")
+            sections.append(
+                f"[{box.id}] LEFT OUTER HASH/NL JOIN" + box_note(box)
+            )
         elif isinstance(box, BaseTableBox):
-            sections.append(f"[{box.id}] TABLE {box.table_name}")
+            sections.append(
+                f"[{box.id}] TABLE {box.table_name}" + box_note(box)
+            )
     return "\n".join(sections)

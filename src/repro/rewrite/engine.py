@@ -25,12 +25,18 @@ from dataclasses import dataclass
 from typing import Callable, Optional, TYPE_CHECKING
 
 from ..errors import FaultInjectedError, QGMConsistencyError, RewriteError
+from ..qgm.analysis import iter_boxes
 from ..qgm.model import QueryGraph
 from ..qgm.validate import validate_graph
 from ..storage.catalog import Catalog
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
     from ..faults import FaultRegistry
+    from ..trace import Tracer
+
+
+def _box_ids(graph: QueryGraph) -> frozenset[int]:
+    return frozenset(box.id for box in iter_boxes(graph.root))
 
 StepHook = Callable[[str, QueryGraph], None]
 
@@ -86,6 +92,10 @@ class RewriteEngine:
         self.faults = faults
         #: Step descriptions recorded during the most recent rewrite.
         self.steps: list[str] = []
+        #: Active span collector (set for the duration of a traced rewrite).
+        self._tracer: Optional["Tracer"] = None
+        self._trace_mark = 0.0
+        self._trace_boxes: frozenset[int] = frozenset()
 
     # -- invariant checking ----------------------------------------------------
 
@@ -107,10 +117,33 @@ class RewriteEngine:
 
     def _hook(self, description: str, graph: QueryGraph) -> None:
         self.steps.append(description)
+        tracer = self._tracer
+        if tracer is not None:
+            # The hook fires *after* the step ran, so the span is recorded
+            # pre-measured: elapsed is the time since the previous step's
+            # hook (or rewrite start), the attrs the box-id delta.
+            now = tracer.now()
+            box_ids = _box_ids(graph)
+            attrs: dict = {}
+            created = sorted(box_ids - self._trace_boxes)
+            removed = sorted(self._trace_boxes - box_ids)
+            if created:
+                attrs["boxes_created"] = created
+            if removed:
+                attrs["boxes_removed"] = removed
+            tracer.record(
+                ("rewrite-step", len(self.steps) - 1), description,
+                "rewrite-step", elapsed=now - self._trace_mark, attrs=attrs,
+            )
+            self._trace_boxes = box_ids
         if self.validate:
             self.check(graph, f"step {description!r}")
         if self._user_hook is not None:
             self._user_hook(description, graph)
+        if tracer is not None:
+            # Reset the mark after validation/user hooks so their cost is
+            # not attributed to the next rewrite step.
+            self._trace_mark = tracer.now()
 
     # -- dispatch ---------------------------------------------------------------
 
@@ -119,12 +152,36 @@ class RewriteEngine:
         graph: QueryGraph,
         strategy,
         decorrelate_existential: bool = True,
+        tracer: Optional["Tracer"] = None,
     ) -> QueryGraph:
         """Apply ``strategy`` (a ``Strategy`` enum member or its string
-        value) to ``graph``, validating per the engine's configuration."""
+        value) to ``graph``, validating per the engine's configuration.
+
+        ``tracer`` (a :class:`repro.trace.Tracer`) collects one span per
+        rewrite plus one child span per FEED/ABSORB step, each carrying
+        its elapsed time and the box ids it created or removed --
+        replayable as a timeline and exportable as JSON. ``None`` (the
+        default) adds no overhead."""
+        key = getattr(strategy, "value", strategy)
+        if tracer is None:
+            return self._rewrite_inner(graph, key, decorrelate_existential)
+        frame = tracer.begin(("rewrite", key), f"rewrite {key}", "rewrite")
+        self._tracer = tracer
+        self._trace_mark = tracer.now()
+        self._trace_boxes = _box_ids(graph)
+        try:
+            result = self._rewrite_inner(graph, key, decorrelate_existential)
+            frame.span.attrs["steps"] = len(self.steps)
+            return result
+        finally:
+            self._tracer = None
+            tracer.end(frame)
+
+    def _rewrite_inner(
+        self, graph: QueryGraph, key: str, decorrelate_existential: bool
+    ) -> QueryGraph:
         from . import decorrelate
 
-        key = getattr(strategy, "value", strategy)
         self.steps = []
         if self.validate:
             self.check(graph, "bind")
@@ -171,6 +228,7 @@ class RewriteEngine:
         strategy,
         decorrelate_existential: bool = True,
         disabled: Optional[Callable[[str], Optional[str]]] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> tuple[QueryGraph, list[DegradationEvent]]:
         """Apply ``strategy``, degrading along :data:`FALLBACK_CHAIN` on
         failure.
@@ -230,6 +288,7 @@ class RewriteEngine:
                 graph = self.rewrite(
                     build(), key,
                     decorrelate_existential=decorrelate_existential,
+                    tracer=tracer,
                 )
                 return graph, events
             except (RewriteError, QGMConsistencyError, FaultInjectedError) as exc:

@@ -125,6 +125,31 @@ class Ticket:
         return f"Ticket(#{self.query_id}, {self.state}, {self.strategy})"
 
 
+#: Histogram bucket upper bounds (``le``), Prometheus-style cumulative.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0
+)
+QUEUE_DEPTH_BUCKETS: tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64)
+
+
+def _histogram(values, buckets) -> dict:
+    """Cumulative-bucket histogram (Prometheus layout): ``buckets`` maps
+    each upper bound to the count of observations <= it; ``count``/``sum``
+    cover every observation (including those above the last bound)."""
+    values = sorted(values)
+    cumulative = {}
+    position = 0
+    for bound in buckets:
+        while position < len(values) and values[position] <= bound:
+            position += 1
+        cumulative[bound] = position
+    return {
+        "buckets": cumulative,
+        "count": len(values),
+        "sum": round(sum(values), 9),
+    }
+
+
 @dataclass
 class ServiceStats:
     """A consistent snapshot of the service counters.
@@ -148,6 +173,13 @@ class ServiceStats:
     latency_p95_ms: Optional[float] = None
     breakers: dict = field(default_factory=dict)
     breaker_transitions: list = field(default_factory=list)
+    #: Cumulative histograms (:func:`_histogram` layout): query latency in
+    #: seconds, and queue depth sampled at each admission.
+    latency_histogram: dict = field(default_factory=dict)
+    queue_depth_histogram: dict = field(default_factory=dict)
+    #: Bounded ring of per-query trace summaries (newest last); populated
+    #: only when the service runs with ``trace=True``.
+    recent_traces: list = field(default_factory=list)
 
     def reconciles(self) -> bool:
         """Does every submission have exactly one recorded outcome (only
@@ -178,7 +210,104 @@ class ServiceStats:
                 (t.strategy, t.from_state, t.to_state, t.reason)
                 for t in self.breaker_transitions
             ],
+            "latency_histogram": {
+                **self.latency_histogram,
+                "buckets": {
+                    str(k): v
+                    for k, v in self.latency_histogram.get(
+                        "buckets", {}
+                    ).items()
+                },
+            },
+            "queue_depth_histogram": {
+                **self.queue_depth_histogram,
+                "buckets": {
+                    str(k): v
+                    for k, v in self.queue_depth_histogram.get(
+                        "buckets", {}
+                    ).items()
+                },
+            },
+            "recent_traces": self.recent_traces,
         }
+
+    # -- export -------------------------------------------------------------
+
+    def export(self, fmt: str = "json") -> str:
+        """The snapshot serialised for scraping: ``"json"`` (one object,
+        sorted keys) or ``"prometheus"`` (text exposition format)."""
+        if fmt == "json":
+            import json
+
+            return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+        if fmt == "prometheus":
+            return self._prometheus()
+        raise ValueError(f"unknown stats export format {fmt!r}")
+
+    _COUNTER_HELP = {
+        "submitted": "Queries submitted (admitted + rejected)",
+        "admitted": "Queries admitted into the service",
+        "rejected": "Submissions rejected by admission control",
+        "completed": "Queries that produced a result",
+        "failed": "Queries that raised a typed error",
+        "cancelled": "Queries cancelled cooperatively",
+    }
+    _GAUGE_HELP = {
+        "in_flight": "Queries executing right now",
+        "queue_depth": "Queries waiting right now",
+        "workers": "Worker pool size",
+        "max_queue": "Wait-queue capacity",
+    }
+
+    def _prometheus(self) -> str:
+        lines: list[str] = []
+        for name, help_text in self._COUNTER_HELP.items():
+            metric = f"repro_queries_{name}_total"
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {getattr(self, name)}")
+        for name, help_text in self._GAUGE_HELP.items():
+            metric = f"repro_{name}"
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {getattr(self, name)}")
+        lines.extend(_prometheus_histogram(
+            "repro_query_latency_seconds",
+            "Query latency from submission to completion",
+            self.latency_histogram,
+        ))
+        lines.extend(_prometheus_histogram(
+            "repro_queue_depth_at_admission",
+            "Wait-queue depth sampled at each admission",
+            self.queue_depth_histogram,
+        ))
+        if self.breakers:
+            metric = "repro_breaker_open"
+            lines.append(
+                f"# HELP {metric} Circuit breaker state "
+                "(1 open, 0 closed/half-open)"
+            )
+            lines.append(f"# TYPE {metric} gauge")
+            for strategy in sorted(self.breakers):
+                state = self.breakers[strategy].get("state", "closed")
+                value = 1 if state == "open" else 0
+                lines.append(f'{metric}{{strategy="{strategy}"}} {value}')
+        return "\n".join(lines) + "\n"
+
+
+def _prometheus_histogram(metric: str, help_text: str, data: dict) -> list:
+    if not data:
+        return []
+    lines = [
+        f"# HELP {metric} {help_text}",
+        f"# TYPE {metric} histogram",
+    ]
+    for bound, count in data["buckets"].items():
+        lines.append(f'{metric}_bucket{{le="{bound}"}} {count}')
+    lines.append(f'{metric}_bucket{{le="+Inf"}} {data["count"]}')
+    lines.append(f"{metric}_sum {data['sum']}")
+    lines.append(f"{metric}_count {data['count']}")
+    return lines
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float:
@@ -213,7 +342,14 @@ class QueryService:
         ``"shared"`` (one global, locked fault-ordinal schedule) or
         ``"worker"`` (a deterministic per-worker replica). See module doc.
     clock:
-        Injectable monotonic clock (drives deadlines and breakers).
+        Injectable monotonic clock (drives deadlines, breakers and
+        ``drain`` timeouts).
+    trace / trace_history:
+        ``trace=True`` runs every query under its own
+        :class:`repro.trace.Tracer` and keeps the last ``trace_history``
+        per-query trace summaries (operator breakdown, metrics, latency)
+        in a bounded ring buffer, surfaced on
+        :attr:`ServiceStats.recent_traces` and :meth:`recent_traces`.
 
     Use as a context manager; ``close()`` drains by default.
     """
@@ -229,6 +365,8 @@ class QueryService:
         breaker_cooldown: float = 30.0,
         fault_scope: str = "shared",
         clock: Callable[[], float] = time.monotonic,
+        trace: bool = False,
+        trace_history: int = 64,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -261,6 +399,12 @@ class QueryService:
         self._cancelled = 0
         self._in_flight = 0
         self._latencies: list[float] = []
+        # tracing: bounded ring of per-query summaries + depth samples
+        self.trace = trace
+        if trace_history < 1:
+            raise ValueError("trace_history must be >= 1")
+        self._trace_history: deque[dict] = deque(maxlen=trace_history)
+        self._queue_depth_samples: list[int] = []
         # breakers
         self._breaker_threshold = breaker_threshold
         self._breaker_cooldown = breaker_cooldown
@@ -329,6 +473,7 @@ class QueryService:
             )
             self._admitted += 1
             self._tickets[ticket.query_id] = ticket
+            self._queue_depth_samples.append(len(self._queue))
             self._queue.append(ticket)
             self._not_empty.notify()
             return ticket
@@ -449,6 +594,11 @@ class QueryService:
         outcome = FAILED
         error: Optional[BaseException] = None
         result: Optional[Result] = None
+        tracer = None
+        if self.trace:
+            from ..trace import Tracer
+
+            tracer = Tracer()
         try:
             # Deadline may have expired (or a cancel landed) while queued:
             # trip before doing any work.
@@ -460,6 +610,7 @@ class QueryService:
                 guard=ticket.guard,
                 fallback=True,
                 disabled=disabled,
+                tracer=tracer,
             )
             outcome = COMPLETED
             # Breaker bookkeeping: every strategy that *failed* on the way
@@ -498,7 +649,7 @@ class QueryService:
             for key, was_probe in claimed.items():
                 if was_probe and key not in resolved:
                     self._breaker(key).release_probe()
-            self._finish(ticket, outcome, result, error)
+            self._finish(ticket, outcome, result, error, tracer=tracer)
 
     def _finish(
         self,
@@ -506,8 +657,25 @@ class QueryService:
         outcome: str,
         result: Optional[Result],
         error: Optional[BaseException],
+        tracer=None,
     ) -> None:
         latency = self._clock() - ticket.submitted_at
+        summary = None
+        if tracer is not None:
+            # Summarise outside the lock (walks the span tree), append
+            # inside it (the ring is shared).
+            summary = {
+                "query_id": ticket.query_id,
+                "sql": ticket.sql,
+                "strategy": ticket.strategy,
+                "outcome": outcome,
+                "latency_ms": round(latency * 1000, 3),
+                "metrics": (
+                    result.metrics.as_dict() if result is not None
+                    else tracer.metric_totals()
+                ),
+                "operators": tracer.operator_summaries(top=8),
+            }
         with self._lock:
             ticket.state = outcome
             ticket.latency = latency
@@ -518,6 +686,8 @@ class QueryService:
             else:
                 self._failed += 1
             self._latencies.append(latency)
+            if summary is not None:
+                self._trace_history.append(summary)
         ticket._result = result
         ticket._error = error
         ticket._event.set()
@@ -551,12 +721,16 @@ class QueryService:
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Block until no query is queued or running (service stays open);
-        False if ``timeout`` elapsed first."""
-        deadline = None if timeout is None else time.monotonic() + timeout
+        False if ``timeout`` elapsed first.
+
+        The deadline runs on the service's injectable clock (like every
+        other timeout here), not the process monotonic clock directly --
+        fake-clock tests drive it deterministically."""
+        deadline = None if timeout is None else self._clock() + timeout
         with self._lock:
             while self._queue or self._in_flight:
                 remaining = (
-                    None if deadline is None else deadline - time.monotonic()
+                    None if deadline is None else deadline - self._clock()
                 )
                 if remaining is not None and remaining <= 0:
                     return False
@@ -564,6 +738,12 @@ class QueryService:
         return True
 
     # -- observation --------------------------------------------------------
+
+    def recent_traces(self) -> list[dict]:
+        """The bounded ring of per-query trace summaries (newest last);
+        empty unless the service runs with ``trace=True``."""
+        with self._lock:
+            return list(self._trace_history)
 
     def stats(self) -> ServiceStats:
         """A consistent snapshot of all service counters (see
@@ -594,4 +774,9 @@ class QueryService:
                     for key, breaker in self._breakers.items()
                 },
                 breaker_transitions=list(self._transitions),
+                latency_histogram=_histogram(latencies, LATENCY_BUCKETS),
+                queue_depth_histogram=_histogram(
+                    self._queue_depth_samples, QUEUE_DEPTH_BUCKETS
+                ),
+                recent_traces=list(self._trace_history),
             )

@@ -38,6 +38,7 @@ from ..guard import Limits
 from ..storage import Catalog
 from ..tpcd import QUERY_1, QUERY_2, QUERY_3, load_tpcd
 from ..tpcd.queries import EMP_DEPT_QUERY
+from ..trace import merge_operator_summaries
 from .service import QueryService, ServiceStats
 
 #: The soak workload: name -> (sql, strategies worth requesting for it).
@@ -79,6 +80,9 @@ class SoakReport:
     violations: list = field(default_factory=list)
     checked_answers: int = 0
     cancels_requested: int = 0
+    #: Per-operator totals merged across every traced query (largest
+    #: elapsed first); populated only when the soak ran with ``trace=True``.
+    operator_totals: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -100,6 +104,7 @@ class SoakReport:
             "cancels_requested": self.cancels_requested,
             "outcomes": dict(sorted(self.outcomes.items())),
             "violations": [str(v) for v in self.violations],
+            "operator_totals": self.operator_totals,
             "stats": self.stats.as_dict(),
         }
 
@@ -203,6 +208,8 @@ def run_soak(
     breaker_cooldown: float = 1.0,
     fault_scope: str = "shared",
     default_limits: Optional[Limits] = None,
+    trace: bool = False,
+    trace_history: int = 256,
 ) -> SoakReport:
     """Run the chaos soak and verify every invariant (see module doc).
 
@@ -210,6 +217,9 @@ def run_soak(
     ``cancel_rate`` is the per-submission probability that a background
     canceller targets the query mid-flight; ``tight_deadline_rate`` is the
     fraction of submissions given a deadline of a few milliseconds.
+    ``trace=True`` runs every query under a tracer and reports merged
+    per-operator totals (``SoakReport.operator_totals``) from the last
+    ``trace_history`` queries.
     """
     rng = random.Random(seed)
     catalog = build_soak_catalog(scale=scale, seed=seed)
@@ -230,6 +240,8 @@ def run_soak(
         breaker_threshold=breaker_threshold,
         breaker_cooldown=breaker_cooldown,
         fault_scope=fault_scope,
+        trace=trace,
+        trace_history=trace_history,
     )
     submitted: list[tuple] = []  # (ticket, workload key)
     cancels = [0]
@@ -278,6 +290,7 @@ def run_soak(
         seconds=elapsed,
         stats=service.stats(),
         cancels_requested=cancels[0],
+        operator_totals=merge_operator_summaries(service.recent_traces()),
     )
     for ticket, name in submitted:
         if not ticket.done:

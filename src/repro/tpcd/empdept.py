@@ -49,14 +49,18 @@ def load_empdept(
     seed: int = 2,
     with_indexes: bool = True,
     empty_building_fraction: float = 0.1,
+    catalog: Catalog | None = None,
 ) -> Catalog:
     """A populated EMP/DEPT catalog.
 
     ``empty_building_fraction`` of the buildings hold departments but no
-    employees -- the situation that triggers the COUNT bug.
+    employees -- the situation that triggers the COUNT bug. ``catalog``
+    loads the tables into an existing catalog (e.g. alongside TPC-D for a
+    mixed workload) instead of creating a fresh one.
     """
     rng = random.Random(seed)
-    catalog = Catalog()
+    if catalog is None:
+        catalog = Catalog()
     create_empdept_schema(catalog, with_indexes=with_indexes)
     dept = catalog.table("dept")
     emp = catalog.table("emp")

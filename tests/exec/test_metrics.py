@@ -75,3 +75,86 @@ def test_materialization_does_not_change_total_work():
     before = metrics.total_work()
     metrics.materialize(1000)
     assert metrics.total_work() == before
+
+
+def test_release_lowers_live_but_not_peak():
+    metrics = Metrics()
+    metrics.materialize(10)
+    metrics.release(10)
+    assert metrics.live_rows_materialized == 0
+    assert metrics.rows_freed == 10
+    assert metrics.peak_rows_materialized == 10
+
+
+def test_peak_diverges_from_cumulative_for_sequential_builds():
+    # Two hash builds that never coexist: cumulative materialisation is
+    # their sum, but the memory high-water mark is only the larger one.
+    metrics = Metrics()
+    metrics.materialize(100)
+    metrics.release(100)
+    metrics.materialize(60)
+    metrics.release(60)
+    assert metrics.rows_materialized == 160
+    assert metrics.peak_rows_materialized == 100
+
+
+def test_peak_tracks_overlapping_materialisations():
+    metrics = Metrics()
+    metrics.materialize(40)   # build A live
+    metrics.materialize(30)   # build B live alongside it
+    metrics.release(40)
+    metrics.materialize(10)
+    assert metrics.peak_rows_materialized == 70
+    assert metrics.live_rows_materialized == 40
+
+
+def test_addition_covers_every_field():
+    # __add__ iterates dataclasses.fields with a declared merge policy;
+    # every counter must survive a round trip (guards against a future
+    # field silently defaulting to zero in merged results).
+    from dataclasses import fields
+
+    a = Metrics(**{f.name: 2 for f in fields(Metrics)})
+    b = Metrics(**{f.name: 3 for f in fields(Metrics)})
+    c = a + b
+    for f in fields(Metrics):
+        expected = 3 if f.metadata.get("merge") == "max" else 5
+        assert getattr(c, f.name) == expected, f.name
+
+
+def test_sum_field_names_exclude_high_water_marks():
+    from dataclasses import fields
+
+    from repro.exec.metrics import SUM_FIELD_NAMES
+
+    assert "peak_rows_materialized" not in SUM_FIELD_NAMES
+    assert "rows_freed" in SUM_FIELD_NAMES
+    assert set(SUM_FIELD_NAMES) | {"peak_rows_materialized"} == {
+        f.name for f in fields(Metrics)
+    }
+    metrics = Metrics(rows_scanned=4, rows_freed=2)
+    assert metrics.sum_values() == tuple(
+        getattr(metrics, name) for name in SUM_FIELD_NAMES
+    )
+
+
+def test_query_execution_frees_every_materialised_row(empdept_catalog):
+    """End-to-end conservation: at query teardown every transient
+    materialisation (hash builds, work tables, CSE caches) was released,
+    so the live count returns to zero and the peak is a true high-water
+    mark rather than the cumulative total."""
+    from repro import Database, Strategy
+
+    db = Database(empdept_catalog)
+    sql = (
+        "SELECT name FROM dept D WHERE D.budget < 10000 AND D.num_emps > "
+        "(SELECT count(*) FROM emp E WHERE E.building = D.building)"
+    )
+    for strategy in (Strategy.NESTED_ITERATION, Strategy.KIM,
+                     Strategy.DAYAL, Strategy.MAGIC):
+        metrics = db.execute(sql, strategy=strategy).metrics
+        assert metrics.rows_freed == metrics.rows_materialized, strategy
+        assert metrics.live_rows_materialized == 0
+        assert metrics.peak_rows_materialized <= metrics.rows_materialized
+        if metrics.rows_materialized:
+            assert metrics.peak_rows_materialized > 0

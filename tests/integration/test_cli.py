@@ -175,3 +175,86 @@ class TestGuardrailFlags:
         assert result.returncode == 0
         assert "-- degraded 'magic' -> 'ni'" in result.stdout
         assert "FaultInjectedError" in result.stdout
+
+
+class TestExplainAnalyze:
+    def test_analyze_named_query_with_trace_out(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main([
+            "explain", "q2", "--tpcd", "0.003", "--analyze",
+            "--strategy", "magic", "--trace-out", str(out),
+        ])
+        text = capsys.readouterr().out
+        assert code == 0
+        assert "(actual: calls=" in text
+        assert "Rewrite timeline:" in text
+        assert "Per-operator breakdown:" in text
+        assert "reconcile exactly" in text
+        assert out.exists()
+
+    def test_analyze_with_db_script(self, correlated_script, capsys):
+        code = main([
+            "explain",
+            "SELECT name FROM dept D WHERE D.num_emps > "
+            "(SELECT count(*) FROM emp E WHERE E.building = D.building)",
+            "--db", str(correlated_script), "--analyze",
+        ])
+        assert code == 0
+        assert "(actual: calls=" in capsys.readouterr().out
+
+    def test_named_query_requires_tpcd(self):
+        with pytest.raises(SystemExit, match="--tpcd"):
+            main(["explain", "q1"])
+
+    def test_analyze_requires_data(self):
+        with pytest.raises(SystemExit, match="needs data"):
+            main(["explain", "SELECT 1", "--analyze"])
+
+
+class TestTraceCheck:
+    def test_exported_trace_passes(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main([
+            "explain", "empdept", "--tpcd", "0.003", "--analyze",
+            "--trace-out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace-check", str(out)]) == 0
+        assert "OK (version 1" in capsys.readouterr().out
+
+    def test_schema_violation_fails(self, tmp_path, capsys):
+        out = tmp_path / "bad.json"
+        out.write_text('{"version": 99, "spans": []}')
+        assert main(["trace-check", str(out)]) == 1
+        assert "version" in capsys.readouterr().err
+
+    def test_unreadable_file_fails(self, tmp_path, capsys):
+        assert main(["trace-check", str(tmp_path / "missing.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_json_stats_reconcile(self, capsys):
+        import json
+
+        code = main(["stats", "--scale", "0.003", "--workers", "2"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["submitted"] == 16  # 4 queries x 4 strategies
+        assert (
+            payload["completed"] + payload["failed"]
+            == payload["submitted"]
+        )
+        assert payload["latency_histogram"]["count"] == 16
+        assert payload["recent_traces"]
+        assert payload["recent_traces"][0]["operators"]
+
+    def test_prometheus_stats(self, capsys):
+        code = main([
+            "stats", "--scale", "0.003", "--workers", "2",
+            "--format", "prometheus",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "repro_queries_submitted_total 16" in text
+        assert "# TYPE repro_query_latency_seconds histogram" in text

@@ -1,0 +1,71 @@
+"""Tracing must be an observer: a traced run returns byte-identical rows
+and ``Metrics`` to an untraced one, for every strategy on every paper
+query -- and composes with ``REPRO_VALIDATE=1`` rewrite validation."""
+
+import json
+
+import pytest
+
+from repro import Database, Strategy
+from repro.errors import NotApplicableError
+from repro.tpcd import QUERY_1, QUERY_2, QUERY_3, load_tpcd
+from repro.trace import Tracer
+
+STRATEGIES = (
+    Strategy.NESTED_ITERATION, Strategy.KIM, Strategy.DAYAL, Strategy.MAGIC,
+)
+QUERIES = {"q1": QUERY_1, "q2": QUERY_2, "q3": QUERY_3}
+
+
+@pytest.fixture(scope="module")
+def tpcd_db() -> Database:
+    db = Database(load_tpcd(scale_factor=0.002))
+    # Warm table statistics so both measured runs plan identically.
+    for table in db.catalog.tables():
+        db.catalog.stats(table.name)
+    return db
+
+
+def _canonical(result) -> tuple[str, str]:
+    """(rows, metrics) serialised for byte-level comparison."""
+    return (
+        json.dumps(result.rows, sort_keys=True, default=str),
+        json.dumps(result.metrics.as_dict(), sort_keys=True),
+    )
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.value)
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_traced_run_is_byte_identical(tpcd_db, name, strategy):
+    sql = QUERIES[name]
+    try:
+        untraced = tpcd_db.execute(sql, strategy=strategy)
+    except NotApplicableError:
+        with pytest.raises(NotApplicableError):
+            tpcd_db.execute(sql, strategy=strategy, tracer=Tracer())
+        return
+    tracer = Tracer()
+    traced = tpcd_db.execute(sql, strategy=strategy, tracer=tracer)
+    assert _canonical(traced) == _canonical(untraced)
+    # The observer actually observed: the trace reproduces the totals.
+    assert tracer.metric_totals() == {
+        name_: value
+        for name_, value in traced.metrics.as_dict().items()
+        if name_ in tracer.metric_totals()
+    }
+
+
+def test_tracing_composes_with_validation(empdept_catalog, monkeypatch):
+    """``REPRO_VALIDATE=1`` (per-step QGM validation) and tracing are
+    orthogonal observers; enabling both changes nothing."""
+    monkeypatch.setenv("REPRO_VALIDATE", "1")
+    sql = (
+        "SELECT name FROM dept D WHERE D.budget < 10000 AND D.num_emps > "
+        "(SELECT count(*) FROM emp E WHERE E.building = D.building)"
+    )
+    plain_db = Database(empdept_catalog)
+    untraced = plain_db.execute(sql, strategy=Strategy.MAGIC)
+    tracer = Tracer()
+    traced = plain_db.execute(sql, strategy=Strategy.MAGIC, tracer=tracer)
+    assert _canonical(traced) == _canonical(untraced)
+    assert any(span.kind == "rewrite" for span in tracer.roots)

@@ -257,3 +257,141 @@ class TestStats:
             QueryService(db, max_queue=-1)
         with pytest.raises(ValueError):
             QueryService(db, fault_scope="bogus")
+
+
+class SteppingClock:
+    """A fake monotonic clock that leaps forward on every read -- any
+    code path still timing itself on ``time.monotonic`` instead of the
+    injected clock shows up as a real-time stall."""
+
+    def __init__(self, step: float = 10.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestDrainClock:
+    def test_drain_deadline_runs_on_the_injected_clock(self, gated_db, gate):
+        """Regression: ``drain`` used to call ``time.monotonic()``
+        directly, so a fake-clock service measured its drain timeout in
+        real seconds. With a clock that leaps 10s per read, a 5s drain
+        deadline must expire on the *fake* timebase (immediately), not
+        after 5 real seconds."""
+        import time as _time
+
+        clock = SteppingClock(step=10.0)
+        service = QueryService(gated_db, workers=1, clock=clock)
+        try:
+            service.submit(EMP_DEPT_QUERY)   # wedges the only worker
+            assert gate.started.wait(30)
+            start = _time.perf_counter()
+            assert service.drain(timeout=5.0) is False
+            assert _time.perf_counter() - start < 2.0
+        finally:
+            gate.release.set()
+            service.close(drain=True, timeout=30)
+
+    def test_drain_with_frozen_clock_never_expires(self, gated_db, gate):
+        """The mirror image: on a frozen fake clock the deadline never
+        arrives, so drain waits for idleness and reports True."""
+        service = QueryService(gated_db, workers=1, clock=lambda: 100.0)
+        try:
+            service.submit(EMP_DEPT_QUERY)
+            assert gate.started.wait(30)
+            releaser = threading.Timer(0.1, gate.release.set)
+            releaser.start()
+            assert service.drain(timeout=5.0) is True
+        finally:
+            gate.release.set()
+            service.close(drain=True, timeout=30)
+
+
+class TestTracing:
+    def test_trace_ring_is_bounded_and_newest_last(self, db):
+        with QueryService(db, workers=1, trace=True,
+                          trace_history=2) as service:
+            tickets = [
+                service.submit(EMP_DEPT_QUERY, strategy="magic")
+                for _ in range(3)
+            ]
+            for ticket in tickets:
+                ticket.result(timeout=30)
+        traces = service.recent_traces()
+        assert len(traces) == 2  # the oldest summary was evicted
+        assert [t["query_id"] for t in traces] == [
+            tickets[1].query_id, tickets[2].query_id
+        ]
+        for summary in traces:
+            assert summary["outcome"] == "completed"
+            assert summary["strategy"] == "magic"
+            assert summary["sql"] == EMP_DEPT_QUERY
+            assert summary["latency_ms"] >= 0
+            assert summary["metrics"]["total_work"] > 0
+            assert summary["operators"], "per-operator breakdown missing"
+            assert len(summary["operators"]) <= 8
+
+    def test_failed_queries_are_traced_too(self, db):
+        with QueryService(db, workers=1, trace=True) as service:
+            ticket = service.submit(EMP_DEPT_QUERY, deadline=0.0)
+            ticket.wait(30)
+        (summary,) = service.recent_traces()
+        assert summary["outcome"] == "failed"
+
+    def test_untraced_service_keeps_no_history(self, db):
+        with QueryService(db, workers=1) as service:
+            service.submit(EMP_DEPT_QUERY).result(timeout=30)
+        assert service.recent_traces() == []
+        assert service.stats().recent_traces == []
+
+    def test_trace_history_must_be_positive(self, db):
+        with pytest.raises(ValueError):
+            QueryService(db, trace_history=0)
+
+
+class TestStatsExport:
+    @pytest.fixture
+    def drained(self, db):
+        with QueryService(db, workers=2, trace=True) as service:
+            for _ in range(3):
+                service.submit(EMP_DEPT_QUERY, strategy="magic")
+            service.drain(timeout=30)
+            yield service
+
+    def test_histograms_cover_every_observation(self, drained):
+        stats = drained.stats()
+        hist = stats.latency_histogram
+        assert hist["count"] == 3
+        assert list(hist["buckets"]) == sorted(hist["buckets"])
+        # Cumulative: monotone non-decreasing, last bound <= count.
+        counts = list(hist["buckets"].values())
+        assert counts == sorted(counts)
+        assert counts[-1] <= hist["count"]
+        depth = stats.queue_depth_histogram
+        assert depth["count"] == 3
+
+    def test_json_export_round_trips(self, drained):
+        import json
+
+        payload = json.loads(drained.stats().export("json"))
+        assert payload["completed"] == 3
+        assert payload["latency_histogram"]["count"] == 3
+        assert len(payload["recent_traces"]) == 3
+
+    def test_prometheus_export_format(self, drained):
+        text = drained.stats().export("prometheus")
+        assert "# TYPE repro_queries_completed_total counter" in text
+        assert "repro_queries_completed_total 3" in text
+        assert "# TYPE repro_in_flight gauge" in text
+        assert "# TYPE repro_query_latency_seconds histogram" in text
+        assert 'repro_query_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_query_latency_seconds_count 3" in text
+        assert 'repro_breaker_open{strategy="magic"} 0' in text
+        assert text.endswith("\n")
+
+    def test_unknown_export_format_rejected(self, drained):
+        with pytest.raises(ValueError):
+            drained.stats().export("xml")

@@ -1,0 +1,221 @@
+"""Unit tests for the span collector: aggregation, exclusive deltas,
+cache hits, the injectable clock, and cross-trace merging."""
+
+import pytest
+
+from repro.exec import Metrics
+from repro.exec.metrics import SUM_FIELD_NAMES
+from repro.trace import Tracer, merge_operator_summaries
+from repro.trace.tracer import _generic_operator_name
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock) -> Tracer:
+    tracer = Tracer(clock=clock)
+    tracer.attach(Metrics())
+    return tracer
+
+
+class TestAggregation:
+    def test_same_key_same_parent_is_one_span(self, tracer):
+        for _ in range(3954):
+            frame = tracer.begin(("box", 7), "subquery", "operator")
+            tracer.end(frame, rows_out=1)
+        assert len(tracer.roots) == 1
+        span = tracer.roots[0]
+        assert span.calls == 3954
+        assert span.rows_out == 3954
+        assert not span.children
+
+    def test_same_key_different_parents_is_two_nodes(self, tracer):
+        for parent_key in (("box", 1), ("box", 2)):
+            outer = tracer.begin(parent_key, "outer", "operator")
+            inner = tracer.begin(("box", 9), "shared", "operator")
+            tracer.end(inner)
+            tracer.end(outer)
+        assert len(tracer.roots) == 2
+        assert all(len(r.children) == 1 for r in tracer.roots)
+        # ... but operator_stats merges every tree position of one key.
+        stats = tracer.operator_stats()
+        assert stats[("box", 9)].calls == 2
+
+    def test_elapsed_is_inclusive(self, tracer, clock):
+        outer = tracer.begin(("box", 1), "outer", "operator")
+        clock.advance(1.0)
+        inner = tracer.begin(("box", 2), "inner", "operator")
+        clock.advance(2.0)
+        tracer.end(inner)
+        clock.advance(0.5)
+        tracer.end(outer)
+        spans = {s.key: s for s in tracer.roots}
+        parent = spans[("box", 1)]
+        assert parent.elapsed == pytest.approx(3.5)  # includes the child
+        assert parent.children[0].elapsed == pytest.approx(2.0)
+
+    def test_rows_in_and_out_accumulate(self, tracer):
+        frame = tracer.begin(("step", 1, 0), "hash join", "step", rows_in=10)
+        tracer.end(frame, rows_out=4)
+        frame = tracer.begin(("step", 1, 0), "hash join", "step", rows_in=6)
+        tracer.end(frame, rows_out=2)
+        span = tracer.roots[0]
+        assert (span.rows_in, span.rows_out) == (16, 6)
+
+
+class TestExclusiveDeltas:
+    def test_parent_delta_excludes_child_work(self, tracer):
+        metrics = tracer._metrics
+        outer = tracer.begin(("box", 1), "outer", "operator")
+        metrics.rows_scanned += 5
+        inner = tracer.begin(("box", 2), "inner", "operator")
+        metrics.rows_scanned += 7
+        metrics.rows_joined += 3
+        tracer.end(inner)
+        metrics.rows_scanned += 1
+        tracer.end(outer)
+        spans = {s.key: s for s in tracer.roots}
+        parent = spans[("box", 1)]
+        child = parent.children[0]
+        assert child.metrics["rows_scanned"] == 7
+        assert child.metrics["rows_joined"] == 3
+        assert parent.metrics["rows_scanned"] == 6  # 5 before + 1 after
+        assert parent.metrics["rows_joined"] == 0
+
+    def test_metric_totals_reproduce_the_metrics_object(self, tracer):
+        metrics = tracer._metrics
+        outer = tracer.begin(("box", 1), "outer", "operator")
+        metrics.rows_scanned += 5
+        inner = tracer.begin(("box", 2), "inner", "operator")
+        metrics.rows_grouped += 9
+        tracer.end(inner)
+        tracer.end(outer)
+        totals = tracer.metric_totals()
+        assert totals == {
+            name: getattr(metrics, name) for name in SUM_FIELD_NAMES
+        }
+
+    def test_grandchild_work_not_double_claimed(self, tracer):
+        metrics = tracer._metrics
+        a = tracer.begin(("box", 1), "a", "operator")
+        b = tracer.begin(("box", 2), "b", "operator")
+        c = tracer.begin(("box", 3), "c", "operator")
+        metrics.rows_scanned += 11
+        tracer.end(c)
+        tracer.end(b)
+        tracer.end(a)
+        totals = tracer.metric_totals()
+        assert totals["rows_scanned"] == 11
+
+    def test_unattached_tracer_collects_timing_only(self, clock):
+        tracer = Tracer(clock=clock)  # no attach(): snapshots are None
+        frame = tracer.begin(("box", 1), "scan", "operator")
+        clock.advance(1.0)
+        tracer.end(frame, rows_out=3)
+        span = tracer.roots[0]
+        assert span.elapsed == pytest.approx(1.0)
+        assert all(v == 0 for v in span.metrics.values())
+
+
+class TestCacheHitsAndRecord:
+    def test_cache_hit_counts_without_a_call(self, tracer):
+        frame = tracer.begin(("box", 4), "cse", "operator")
+        tracer.end(frame, rows_out=10)
+        tracer.cache_hit(("box", 4), "cse", "operator")
+        tracer.cache_hit(("box", 4), "cse", "operator")
+        span = tracer.roots[0]
+        assert span.calls == 1
+        assert span.cache_hits == 2
+
+    def test_record_appends_premeasured_span(self, tracer, clock):
+        outer = tracer.begin(("rewrite", "magic"), "rewrite", "rewrite")
+        mark = tracer.now()
+        clock.advance(0.25)
+        tracer.record(
+            ("rewrite-step", 0), "feed magic", "rewrite-step",
+            elapsed=tracer.now() - mark, attrs={"boxes_created": [10]},
+        )
+        tracer.end(outer)
+        root = tracer.roots[0]
+        assert root.children[0].elapsed == pytest.approx(0.25)
+        assert root.children[0].attrs == {"boxes_created": [10]}
+
+    def test_now_uses_the_injected_clock(self, tracer, clock):
+        before = tracer.now()
+        clock.advance(5.0)
+        assert tracer.now() - before == pytest.approx(5.0)
+
+
+class TestSummaries:
+    def _one_span(self, tracer, key, name, seconds, clock):
+        frame = tracer.begin(key, name, "operator")
+        clock.advance(seconds)
+        tracer.end(frame, rows_out=1)
+
+    def test_summaries_sorted_by_elapsed_and_filtered(self, tracer, clock):
+        rewrite = tracer.begin(("rewrite", "magic"), "rewrite", "rewrite")
+        tracer.end(rewrite)
+        self._one_span(tracer, ("box", 1), "fast", 0.1, clock)
+        self._one_span(tracer, ("box", 2), "slow", 0.9, clock)
+        rows = tracer.operator_summaries()
+        assert [r["name"] for r in rows] == ["slow", "fast"]
+        assert all(r["kind"] in ("operator", "step") for r in rows)
+        assert tracer.operator_summaries(top=1)[0]["name"] == "slow"
+
+    def test_summary_metrics_omit_zero_counters(self, tracer):
+        metrics = tracer._metrics
+        frame = tracer.begin(("box", 1), "scan t", "operator")
+        metrics.rows_scanned += 4
+        tracer.end(frame)
+        (row,) = tracer.operator_summaries()
+        assert row["metrics"] == {"rows_scanned": 4}
+
+
+class TestMerging:
+    def test_generic_name_strips_per_query_identifiers(self):
+        assert _generic_operator_name("groupby [719]") == "groupby"
+        assert _generic_operator_name("scan h1168") == "scan h"
+        assert _generic_operator_name("magic supplement (box 12)") == (
+            "magic supplement (box)"
+        )
+        assert _generic_operator_name("hash join") == "hash join"
+
+    def test_merge_coalesces_across_queries(self):
+        op = {
+            "key": ["box", 1], "kind": "operator", "calls": 1,
+            "rows_in": 0, "rows_out": 5, "elapsed_ms": 2.0,
+            "cache_hits": 0, "metrics": {"rows_scanned": 5},
+        }
+        traces = [
+            {"operators": [dict(op, name="groupby [719]")]},
+            {"operators": [dict(op, name="groupby [1187]", elapsed_ms=3.0)]},
+            {"operators": [dict(op, name="scan h42")]},
+        ]
+        merged = merge_operator_summaries(traces)
+        by_name = {e["name"]: e for e in merged}
+        assert set(by_name) == {"groupby", "scan h"}
+        assert by_name["groupby"]["calls"] == 2
+        assert by_name["groupby"]["elapsed_ms"] == pytest.approx(5.0)
+        assert by_name["groupby"]["metrics"] == {"rows_scanned": 10}
+        # Largest total elapsed first; ``top`` truncates.
+        assert merged[0]["name"] == "groupby"
+        assert len(merge_operator_summaries(traces, top=1)) == 1
+
+    def test_merge_of_traceless_summaries_is_empty(self):
+        assert merge_operator_summaries([{"query_id": 1}]) == []
