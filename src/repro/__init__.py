@@ -2,13 +2,15 @@
 
 Public entry points: Database, Strategy, Result, the execution guardrails
 (Limits, ExecutionGuard), the deterministic fault-injection registry
-(FaultRegistry), the concurrent query service (QueryService), and the
-span collector behind EXPLAIN ANALYZE (Tracer).
+(FaultRegistry), the concurrent query service (QueryService), the span
+collector behind EXPLAIN ANALYZE (Tracer), and the continuous
+observability surfaces (EventLog, SamplingProfiler, SlowQueryLog).
 """
 
 from .api import Database, Result, Strategy
 from .faults import FaultRegistry
 from .guard import ExecutionGuard, Limits
+from .obs import EventLog, RingSink, SamplingProfiler, SlowQueryLog
 from .serve import QueryService, ServiceStats
 from .trace import Tracer
 
@@ -23,5 +25,9 @@ __all__ = [
     "QueryService",
     "ServiceStats",
     "Tracer",
+    "EventLog",
+    "RingSink",
+    "SamplingProfiler",
+    "SlowQueryLog",
     "__version__",
 ]

@@ -158,6 +158,7 @@ def cmd_soak(args: argparse.Namespace) -> int:
     is armed for 3x the soak duration (+60 s), so a deadlocked service
     fails with thread stacks instead of hanging the runner.
     """
+    import contextlib
     import faulthandler
     import json
 
@@ -169,27 +170,97 @@ def cmd_soak(args: argparse.Namespace) -> int:
     faulthandler.dump_traceback_later(
         max(args.seconds * 3, 30.0) + 60.0, exit=True
     )
+    events_log = None
+    file_sink = None
+    ring = None
+    if args.events_out:
+        from .obs import EventLog, FileSink, RingSink, TeeSink
+
+        ring = RingSink(capacity=65536)
+        file_sink = FileSink(args.events_out)
+        events_log = EventLog(TeeSink(ring, file_sink))
+    profiler_ctx = contextlib.nullcontext(None)
+    if args.profile_out or args.profile_collapsed:
+        from .obs import profiling
+
+        # Operator attribution needs the tracer's span stack.
+        args.trace = True
+        profiler_ctx = profiling(interval=args.profile_interval)
     try:
         try:
-            report = run_soak(
-                workers=args.workers,
-                seconds=args.seconds,
-                seed=args.seed,
-                faults=args.faults,
-                scale=args.scale,
-                cancel_rate=args.cancel_rate,
-                tight_deadline_rate=args.tight_deadline_rate,
-                max_queue=args.max_queue,
-                breaker_threshold=args.breaker_threshold,
-                breaker_cooldown=args.breaker_cooldown,
-                fault_scope=args.fault_scope,
-                trace=args.trace,
-            )
+            with profiler_ctx as profiler:
+                report = run_soak(
+                    workers=args.workers,
+                    seconds=args.seconds,
+                    seed=args.seed,
+                    faults=args.faults,
+                    scale=args.scale,
+                    cancel_rate=args.cancel_rate,
+                    tight_deadline_rate=args.tight_deadline_rate,
+                    max_queue=args.max_queue,
+                    breaker_threshold=args.breaker_threshold,
+                    breaker_cooldown=args.breaker_cooldown,
+                    fault_scope=args.fault_scope,
+                    trace=args.trace,
+                    events=events_log,
+                    slow_query_ms=args.slow_ms,
+                )
         except ValueError as exc:
             print(f"soak: bad configuration: {exc}", file=sys.stderr)
             return 2
     finally:
         faulthandler.cancel_dump_traceback_later()
+        if file_sink is not None:
+            file_sink.close()
+
+    if ring is not None:
+        from .obs import validate_events
+
+        try:
+            count = validate_events(ring.events())
+        except ReproError as exc:
+            print(f"soak: event stream invalid: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.events_out} ({count} events)")
+    if profiler is not None:
+        if args.profile_out:
+            with open(args.profile_out, "w") as handle:
+                json.dump(profiler.speedscope("repro soak"), handle,
+                          sort_keys=True)
+                handle.write("\n")
+            print(
+                f"wrote {args.profile_out} "
+                f"({profiler.sample_count} samples)"
+            )
+        if args.profile_collapsed:
+            with open(args.profile_collapsed, "w") as handle:
+                handle.write(profiler.collapsed())
+            print(f"wrote {args.profile_collapsed}")
+        top = list(profiler.operator_samples().items())[:8]
+        if top:
+            print("  profiler operator samples (top 8):")
+            for name, samples in top:
+                print(f"    {name:<32} {samples:>6}")
+    if not args.no_history:
+        from .bench import history as bench_history
+        from .errors import HistoryError
+
+        try:
+            record = bench_history.record_from_soak(
+                report,
+                workers=args.workers,
+                seed=args.seed,
+                scale=args.scale,
+                faults=args.faults or "",
+            )
+            written = bench_history.append_record(
+                record, path=args.history
+            )
+        except HistoryError as exc:
+            print(f"soak: history not recorded: {exc}", file=sys.stderr)
+        else:
+            if written is not None:
+                print(f"appended history record to {written}")
 
     payload = report.as_dict()
     if args.json:
@@ -239,6 +310,16 @@ def cmd_soak(args: argparse.Namespace) -> int:
                 f"rows_out={op['rows_out']:>8} "
                 f"elapsed={op['elapsed_ms']:>10.3f}ms"
             )
+    if args.slow_ms is not None:
+        from .obs import render_slow_log
+
+        slow = report.stats.slow_queries
+        print(
+            f"  slow queries (> {args.slow_ms} ms): "
+            f"{report.stats.slow_total} total, showing {min(len(slow), 5)}"
+        )
+        if slow:
+            print(render_slow_log(slow[-5:], indent="    "))
     if not report.ok:
         for violation in report.violations:
             print(f"VIOLATION: {violation}", file=sys.stderr)
@@ -471,6 +552,200 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_events(args: argparse.Namespace) -> int:
+    """``repro events``: inspect a structured event-log JSONL file.
+
+    Validates the stream (schema version, strictly increasing sequence
+    numbers, known kinds) and prints the events one per line, optionally
+    filtered by kind or query id and limited to the newest ``--tail``.
+    ``--json`` prints the raw JSON lines instead; ``--check`` only
+    validates and prints per-kind counts. Exit 1 on an invalid stream.
+    """
+    import json
+
+    from .errors import EventLogError
+    from .obs import count_by_kind, load_events, render_event
+
+    try:
+        events = load_events(args.file)
+    except (OSError, EventLogError) as exc:
+        print(f"events: {exc}", file=sys.stderr)
+        return 1
+    selected = [
+        e for e in events
+        if (args.kind is None or e["kind"] == args.kind)
+        and (args.query_id is None or e["query_id"] == args.query_id)
+    ]
+    if args.tail is not None:
+        selected = selected[-args.tail:]
+    if args.check:
+        print(f"events: {args.file} OK ({len(events)} events, "
+              f"{len(selected)} selected)")
+        for kind, count in sorted(count_by_kind(selected).items()):
+            print(f"  {kind:<24} {count}")
+        return 0
+    for event in selected:
+        if args.json:
+            print(json.dumps(event, sort_keys=True))
+        else:
+            print(render_event(event))
+    return 0
+
+
+def cmd_slow(args: argparse.Namespace) -> int:
+    """``repro slow``: run the paper workload through the query service
+    with a slow-query threshold and print the captured slow-query log.
+
+    The workload matches ``repro stats`` (Q1/Q2/Q3 + EMP/DEPT across the
+    four strategies). Queries over ``--threshold-ms`` are captured with
+    their SQL, strategy, degradations, metrics and -- since the service
+    runs traced -- their top operators. ``--json`` dumps the raw records.
+    """
+    import json
+
+    from .serve.service import QueryService
+    from .obs import render_slow_log
+    from .tpcd import (
+        EMP_DEPT_QUERY, QUERY_1, QUERY_2, QUERY_3, load_empdept, load_tpcd,
+    )
+
+    catalog = load_tpcd(scale_factor=args.scale)
+    load_empdept(catalog=catalog)
+    db = Database(catalog=catalog)
+    queries = [QUERY_1, QUERY_2, QUERY_3, EMP_DEPT_QUERY]
+    strategies = ["ni", "kim", "dayal", "magic"]
+    with QueryService(
+        db, workers=args.workers, trace=True,
+        slow_query_ms=args.threshold_ms,
+    ) as service:
+        tickets = [
+            service.submit(sql, strategy=strategy)
+            for sql in queries for strategy in strategies
+        ]
+        for ticket in tickets:
+            ticket.wait(timeout=120)
+        service.drain(timeout=120)
+        records = service.slow_queries()
+        total = service.slow_log.total
+    print(
+        f"slow queries (> {args.threshold_ms} ms): {total} of "
+        f"{len(tickets)} submitted"
+    )
+    if args.json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+    elif records:
+        print(render_slow_log(records, indent="  "))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile``: run another repro command under the sampling
+    profiler and export its profile.
+
+    Example::
+
+        repro profile --speedscope-out soak.speedscope.json -- \\
+            soak --seconds 5 --trace
+
+    Tracers created by the wrapped command register automatically, so
+    samples taken while a traced query executes are attributed to its
+    plan operators (``op:`` frames at the flamegraph root).
+    """
+    import json
+
+    from .errors import EventLogError
+    from .obs import profiling
+
+    command = list(args.command)
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        print("profile: no command given (usage: repro profile "
+              "[options] -- <repro args>)", file=sys.stderr)
+        return 2
+    if command[0] == "profile":
+        print("profile: refusing to profile itself", file=sys.stderr)
+        return 2
+    try:
+        with profiling(interval=args.interval) as profiler:
+            code = main(command)
+    except EventLogError as exc:
+        print(f"profile: {exc}", file=sys.stderr)
+        return 2
+    if args.speedscope_out:
+        with open(args.speedscope_out, "w") as handle:
+            json.dump(
+                profiler.speedscope(" ".join(command)), handle, sort_keys=True
+            )
+            handle.write("\n")
+        print(f"wrote {args.speedscope_out} "
+              f"({profiler.sample_count} samples)")
+    if args.collapsed_out:
+        with open(args.collapsed_out, "w") as handle:
+            handle.write(profiler.collapsed())
+        print(f"wrote {args.collapsed_out}")
+    if not args.speedscope_out and not args.collapsed_out:
+        print(profiler.collapsed(), end="")
+    top = list(profiler.operator_samples().items())[:10]
+    if top:
+        print("profile: operator samples (top 10):")
+        for name, samples in top:
+            print(f"  {name:<32} {samples:>6}")
+    return code
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    """``repro bench-compare``: flag perf regressions against a baseline.
+
+    Compares the newest matching record of the perf history
+    (``BENCH_history.jsonl``) against a named baseline JSON
+    (``BENCH_service.json`` layout): throughput may drop and latencies
+    may rise at most ``--tolerance`` (fractional). Exit 0 within
+    tolerance, 1 on a regression (0 with ``--warn-only``), 2 on bad
+    configuration or malformed files.
+    """
+    import json
+
+    from .bench import history as bench_history
+    from .errors import HistoryError
+
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench-compare: cannot read baseline {args.baseline!r}: "
+              f"{exc}", file=sys.stderr)
+        return 2
+    history_path = args.history or bench_history.DEFAULT_HISTORY_PATH
+    try:
+        records = bench_history.load_history(history_path)
+        current = bench_history.latest(records, benchmark=args.benchmark)
+        problems = bench_history.compare(
+            current, baseline, tolerance=args.tolerance
+        )
+    except HistoryError as exc:
+        print(f"bench-compare: {exc}", file=sys.stderr)
+        return 2
+    sha = current.get("git_sha") or "?"
+    print(
+        f"bench-compare: {history_path} [{current['benchmark']} @ {sha}] "
+        f"vs {args.baseline} (tolerance {args.tolerance:.0%})"
+    )
+    for key, _ in bench_history.COMPARE_METRICS:
+        if key in current or key in baseline:
+            print(f"  {key:<18} current={current.get(key)!r:>12} "
+                  f"baseline={baseline.get(key)!r:>12}")
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        if args.warn_only:
+            print("bench-compare: regressions found (warn-only mode)")
+            return 0
+        return 1
+    print("bench-compare: within tolerance")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -539,6 +814,32 @@ def main(argv: list[str] | None = None) -> int:
                         dest="bench_out",
                         help="write a throughput/latency baseline JSON "
                              "(e.g. BENCH_service.json)")
+    p_soak.add_argument("--events-out", default=None, metavar="PATH",
+                        dest="events_out",
+                        help="stream structured lifecycle events as JSONL "
+                             "(validated after the run)")
+    p_soak.add_argument("--profile-out", default=None, metavar="PATH",
+                        dest="profile_out",
+                        help="write a speedscope JSON profile of the soak "
+                             "(implies --trace for operator attribution)")
+    p_soak.add_argument("--profile-collapsed", default=None, metavar="PATH",
+                        dest="profile_collapsed",
+                        help="write a collapsed-stack (flamegraph.pl) "
+                             "profile (implies --trace)")
+    p_soak.add_argument("--profile-interval", type=float, default=0.002,
+                        dest="profile_interval",
+                        help="profiler sampling interval in seconds")
+    p_soak.add_argument("--slow-ms", type=float, default=None,
+                        dest="slow_ms", metavar="MS",
+                        help="capture queries slower than this threshold "
+                             "on the service slow-query log")
+    p_soak.add_argument("--history", default=None, metavar="PATH",
+                        help="perf-history JSONL to append this run to "
+                             "(default BENCH_history.jsonl; "
+                             "REPRO_BENCH_HISTORY overrides)")
+    p_soak.add_argument("--no-history", action="store_true",
+                        dest="no_history",
+                        help="skip the perf-history append")
     p_soak.set_defaults(fn=cmd_soak)
 
     p_shell = sub.add_parser("shell", help="interactive SQL shell")
@@ -614,6 +915,78 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_trace.add_argument("file")
     p_trace.set_defaults(fn=cmd_trace_check)
+
+    p_events = sub.add_parser(
+        "events",
+        help="inspect/validate a structured event-log JSONL file",
+    )
+    p_events.add_argument("file")
+    p_events.add_argument("--kind", default=None,
+                          help="only events of this kind "
+                               "(e.g. query.finished)")
+    p_events.add_argument("--query-id", type=int, default=None,
+                          dest="query_id",
+                          help="only events attributed to this query id")
+    p_events.add_argument("--tail", type=int, default=None, metavar="N",
+                          help="only the newest N selected events")
+    p_events.add_argument("--json", action="store_true",
+                          help="print raw JSON lines instead of the "
+                               "rendered form")
+    p_events.add_argument("--check", action="store_true",
+                          help="validate only; print per-kind counts")
+    p_events.set_defaults(fn=cmd_events)
+
+    p_slow = sub.add_parser(
+        "slow",
+        help="run the paper workload with a slow-query threshold and "
+             "print the captured slow-query log",
+    )
+    p_slow.add_argument("--threshold-ms", type=float, default=50.0,
+                        dest="threshold_ms",
+                        help="capture queries slower than this (ms)")
+    p_slow.add_argument("--scale", type=float, default=0.005,
+                        help="TPC-D scale factor for the workload")
+    p_slow.add_argument("--workers", type=int, default=4)
+    p_slow.add_argument("--json", action="store_true",
+                        help="dump the raw slow-query records as JSON")
+    p_slow.set_defaults(fn=cmd_slow)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run another repro command under the sampling profiler",
+    )
+    p_profile.add_argument("--interval", type=float, default=0.002,
+                           help="sampling interval in seconds")
+    p_profile.add_argument("--speedscope-out", default=None, metavar="PATH",
+                           dest="speedscope_out",
+                           help="write a speedscope JSON profile")
+    p_profile.add_argument("--collapsed-out", default=None, metavar="PATH",
+                           dest="collapsed_out",
+                           help="write collapsed stacks (flamegraph.pl "
+                                "format)")
+    p_profile.add_argument("command", nargs=argparse.REMAINDER,
+                           help="the repro command to profile "
+                                "(after '--')")
+    p_profile.set_defaults(fn=cmd_profile)
+
+    p_compare = sub.add_parser(
+        "bench-compare",
+        help="flag perf regressions: newest history record vs a baseline",
+    )
+    p_compare.add_argument("--baseline", default="BENCH_service.json",
+                           help="baseline JSON (BENCH_service.json layout)")
+    p_compare.add_argument("--history", default=None, metavar="PATH",
+                           help="perf-history JSONL "
+                                "(default BENCH_history.jsonl)")
+    p_compare.add_argument("--benchmark", default=None,
+                           help="restrict to records of this benchmark name")
+    p_compare.add_argument("--tolerance", type=float, default=0.2,
+                           help="fractional regression tolerance "
+                                "(default 0.2)")
+    p_compare.add_argument("--warn-only", action="store_true",
+                           dest="warn_only",
+                           help="report regressions but exit 0")
+    p_compare.set_defaults(fn=cmd_bench_compare)
 
     p_report = sub.add_parser(
         "report", help="write the full evaluation as Markdown"

@@ -12,6 +12,7 @@ Typical use::
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Any, Optional, TYPE_CHECKING
 
@@ -100,6 +101,15 @@ class Database:
     ``faults`` is a deterministic fault-injection registry
     (:class:`repro.faults.FaultRegistry`); ``None`` defers to the
     ``REPRO_FAULTS`` environment variable (unset = no injection).
+
+    ``events`` (a :class:`repro.obs.events.EventLog`) turns on structured
+    lifecycle events: each query emits ``query.started`` and
+    ``query.finished`` (with its ``Metrics`` snapshot), and the rewrite
+    engine, guard and fault registry emit their own events into the same
+    log. ``slow_query_ms`` enables the slow-query log: any query (rewrite
+    + execution) slower than the threshold is captured in a bounded ring
+    on ``self.slow_log`` (pass ``slow_log=`` to share a ring across
+    facades instead). Both default to ``None`` -- the zero-overhead path.
     """
 
     def __init__(
@@ -107,14 +117,31 @@ class Database:
         catalog: Optional[Catalog] = None,
         validate: Optional[bool] = None,
         faults: Optional[FaultRegistry] = None,
+        events=None,
+        slow_query_ms: Optional[float] = None,
+        slow_log=None,
     ):
+        import itertools
+
         from ..rewrite import RewriteEngine
 
         self.catalog = catalog if catalog is not None else Catalog()
         self.faults = faults if faults is not None else FaultRegistry.from_env()
+        self.events = events
         self.engine = RewriteEngine(
-            self.catalog, validate=validate, faults=self.faults
+            self.catalog, validate=validate, faults=self.faults, events=events
         )
+        if events is not None and self.faults is not None:
+            self.faults.events = events
+        if slow_log is not None:
+            self.slow_log = slow_log
+        elif slow_query_ms is not None:
+            from ..obs.slowlog import SlowQueryLog
+
+            self.slow_log = SlowQueryLog(slow_query_ms, events=events)
+        else:
+            self.slow_log = None
+        self._query_ids = itertools.count(1)
 
     # -- DDL / DML -----------------------------------------------------------
 
@@ -281,6 +308,135 @@ class Database:
         )
 
     def _run_query(
+        self,
+        statement: ast.QueryBody,
+        strategy: Strategy,
+        cse_mode: str,
+        decorrelate_existential: bool = True,
+        limits: Optional[Limits] = None,
+        guard: Optional[ExecutionGuard] = None,
+        fallback: bool = False,
+        sql: Optional[str] = None,
+        disabled=None,
+        tracer: Optional["Tracer"] = None,
+    ) -> Result:
+        if self.events is None and self.slow_log is None:
+            return self._run_query_inner(
+                statement, strategy, cse_mode,
+                decorrelate_existential=decorrelate_existential,
+                limits=limits, guard=guard, fallback=fallback, sql=sql,
+                disabled=disabled, tracer=tracer,
+            )
+        return self._run_query_observed(
+            statement, strategy, cse_mode,
+            decorrelate_existential=decorrelate_existential,
+            limits=limits, guard=guard, fallback=fallback, sql=sql,
+            disabled=disabled, tracer=tracer,
+        )
+
+    def _run_query_observed(
+        self,
+        statement: ast.QueryBody,
+        strategy: Strategy,
+        cse_mode: str,
+        decorrelate_existential: bool = True,
+        limits: Optional[Limits] = None,
+        guard: Optional[ExecutionGuard] = None,
+        fallback: bool = False,
+        sql: Optional[str] = None,
+        disabled=None,
+        tracer: Optional["Tracer"] = None,
+    ) -> Result:
+        """The instrumented query path: lifecycle events + slow-query log.
+
+        Lifecycle events (``query.started`` / ``query.finished``) are
+        emitted only when no outer scope owns the query already -- the
+        query service binds its ticket id around ``execute()`` and emits
+        its own lifecycle, so facade databases contribute engine-level
+        events (degradations, faults, budget trips) without duplicating
+        the service's.
+        """
+        import time as _time
+
+        from ..errors import QueryCancelled
+
+        events = self.events
+        key = getattr(strategy, "value", strategy)
+        if sql is None:
+            sql = to_sql(statement)
+        if guard is None and limits is not None:
+            from ..guard import guard_for
+
+            guard = guard_for(limits)
+            limits = None
+        if events is not None and guard is not None:
+            guard.events = events
+        owns_lifecycle = (
+            events is not None and events.current_query_id() is None
+        )
+        if owns_lifecycle:
+            query_id: Optional[int] = next(self._query_ids)
+        elif events is not None:
+            query_id = events.current_query_id()
+        else:
+            query_id = None
+        outcome = "failed"
+        error_type: Optional[str] = None
+        result: Optional[Result] = None
+        scope = (
+            events.scope(query_id) if owns_lifecycle
+            else contextlib.nullcontext()
+        )
+        started = _time.perf_counter()
+        with scope:
+            if owns_lifecycle:
+                events.emit("query.started", strategy=key)
+            try:
+                result = self._run_query_inner(
+                    statement, strategy, cse_mode,
+                    decorrelate_existential=decorrelate_existential,
+                    limits=limits, guard=guard, fallback=fallback, sql=sql,
+                    disabled=disabled, tracer=tracer,
+                )
+                outcome = "completed"
+                return result
+            except QueryCancelled:
+                outcome, error_type = "cancelled", "QueryCancelled"
+                raise
+            except BaseException as exc:
+                error_type = type(exc).__name__
+                raise
+            finally:
+                latency_ms = (_time.perf_counter() - started) * 1000
+                if owns_lifecycle:
+                    if outcome == "cancelled":
+                        events.emit("query.cancelled")
+                    events.emit(
+                        "query.finished",
+                        outcome=outcome,
+                        strategy=key,
+                        latency_ms=round(latency_ms, 3),
+                        error_type=error_type,
+                        metrics=(
+                            result.metrics.as_dict()
+                            if result is not None else None
+                        ),
+                    )
+                if self.slow_log is not None:
+                    self.slow_log.observe(
+                        latency_ms,
+                        sql=sql,
+                        strategy=key,
+                        query_id=query_id,
+                        outcome=outcome,
+                        degradations=(
+                            result.degradations if result is not None else ()
+                        ),
+                        metrics=result.metrics if result is not None else None,
+                        tracer=tracer,
+                    )
+
+    def _run_query_inner(
         self,
         statement: ast.QueryBody,
         strategy: Strategy,

@@ -106,6 +106,17 @@ class TraceError(ReproError):
     """Raised for malformed trace payloads (:mod:`repro.trace` schema)."""
 
 
+class EventLogError(ReproError):
+    """Raised for malformed event streams (:mod:`repro.obs.events` schema)
+    and misconfigured event-log components (bad sink, bad capacity)."""
+
+
+class HistoryError(ReproError):
+    """Raised for malformed benchmark-history records
+    (:mod:`repro.bench.history` schema) and bench-compare configuration
+    problems (missing baseline, unknown metric)."""
+
+
 class GuardrailError(ExecutionError):
     """Base class for execution-governance trips (budgets, cancellation).
 

@@ -116,6 +116,9 @@ class FaultRegistry:
         self._lock = threading.Lock()
         #: Every fault fired so far, in firing order.
         self.injected: list[InjectedFault] = []
+        #: Optional :class:`repro.obs.events.EventLog`: every fired fault
+        #: emits a ``fault.fired`` event. ``None`` adds no overhead.
+        self.events = None
 
     # -- construction ------------------------------------------------------
 
@@ -171,7 +174,9 @@ class FaultRegistry:
     def replica(self) -> "FaultRegistry":
         """A fresh registry with the same seed and rules (zeroed counters):
         replaying the same execution path reproduces the same faults."""
-        return FaultRegistry(self.seed, self.rules)
+        copy = FaultRegistry(self.seed, self.rules)
+        copy.events = self.events
+        return copy
 
     # -- decisions ---------------------------------------------------------
 
@@ -202,7 +207,16 @@ class FaultRegistry:
                 return None
             fault = InjectedFault(site, sequence, detail)
             self.injected.append(fault)
-            return fault
+        # Emitted outside the registry lock: the event log has its own
+        # lock and nothing about the decision depends on emission order.
+        if self.events is not None:
+            self.events.emit(
+                "fault.fired",
+                site=fault.site,
+                sequence=fault.sequence,
+                detail=fault.detail,
+            )
+        return fault
 
     def trigger(self, site: str, detail: str = "") -> None:
         """A *hard* fault point: raise

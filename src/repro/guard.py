@@ -82,6 +82,10 @@ class ExecutionGuard:
         self._cancelled = False
         #: The error this guard tripped with, if any (set by ``check``).
         self.tripped = None
+        #: Optional :class:`repro.obs.events.EventLog`: a budget trip emits
+        #: a ``guard.budget_exceeded`` event (attributed to the executing
+        #: thread's query scope). ``None`` adds no overhead.
+        self.events = None
 
     # -- wiring ------------------------------------------------------------
 
@@ -117,6 +121,13 @@ class ExecutionGuard:
 
     def _trip(self, error) -> None:
         self.tripped = error
+        if self.events is not None and isinstance(error, BudgetExceeded):
+            self.events.emit(
+                "guard.budget_exceeded",
+                budget=error.budget,
+                limit=error.limit,
+                observed=error.observed,
+            )
         raise error
 
     def check(self) -> None:

@@ -1,0 +1,56 @@
+"""Continuous observability: event log, sampling profiler, slow-query log.
+
+PR 4's tracer (:mod:`repro.trace`) answers "where does the time go?" for a
+*single* query; this package answers it *continuously* -- for a soak run, a
+service under load, or a sequence of benchmark commits:
+
+* :mod:`repro.obs.events` -- a schema-versioned (v1) structured event
+  stream of query-lifecycle events (submitted/admitted/rejected/started/
+  degraded/cancelled/finished, breaker transitions, budget trips, fired
+  faults) with pluggable sinks (bounded in-memory ring, append-to-file
+  JSONL) and a ``validate_events`` checker;
+* :mod:`repro.obs.profiler` -- a background-thread wall-clock sampling
+  profiler over ``sys._current_frames()`` that attributes samples to plan
+  operators via the tracer's active-span context and exports
+  collapsed-stack text (flamegraph.pl format) and speedscope JSON;
+* :mod:`repro.obs.slowlog` -- threshold-based slow-query capture (SQL,
+  strategy, degradations, top operators, ``Metrics`` snapshot) in a
+  bounded ring.
+
+All three follow the ``limits=None`` / ``tracer=None`` zero-overhead
+pattern: an unconfigured component costs one ``is None`` test.
+"""
+
+from .events import (
+    EVENT_KINDS,
+    EVENTS_VERSION,
+    EventLog,
+    FileSink,
+    RingSink,
+    TeeSink,
+    count_by_kind,
+    events_round_trip,
+    load_events,
+    render_event,
+    validate_events,
+)
+from .profiler import SamplingProfiler, profiling
+from .slowlog import SlowQueryLog, render_slow_log
+
+__all__ = [
+    "EVENT_KINDS",
+    "EVENTS_VERSION",
+    "EventLog",
+    "FileSink",
+    "RingSink",
+    "TeeSink",
+    "count_by_kind",
+    "events_round_trip",
+    "load_events",
+    "render_event",
+    "validate_events",
+    "SamplingProfiler",
+    "profiling",
+    "SlowQueryLog",
+    "render_slow_log",
+]

@@ -84,12 +84,17 @@ class RewriteEngine:
         validate: Optional[bool] = None,
         on_step: Optional[StepHook] = None,
         faults: Optional["FaultRegistry"] = None,
+        events=None,
     ):
         self.catalog = catalog
         self.validate = env_validate_default() if validate is None else validate
         self._user_hook = on_step
         #: Deterministic fault-injection registry (site "rewrite.strategy").
         self.faults = faults
+        #: Optional :class:`repro.obs.events.EventLog`: every step down the
+        #: fallback chain emits a ``query.degraded`` event. ``None`` adds
+        #: no overhead.
+        self.events = events
         #: Step descriptions recorded during the most recent rewrite.
         self.steps: list[str] = []
         #: Active span collector (set for the duration of a traced rewrite).
@@ -222,6 +227,20 @@ class RewriteEngine:
 
     # -- graceful degradation ---------------------------------------------------
 
+    def _record_degradation(
+        self, events: list[DegradationEvent], event: DegradationEvent
+    ) -> None:
+        events.append(event)
+        if self.events is not None:
+            self.events.emit(
+                "query.degraded",
+                requested=event.requested,
+                attempted=event.attempted,
+                fallback=event.fallback,
+                error_type=event.error_type,
+                message=event.message,
+            )
+
     def rewrite_with_fallback(
         self,
         build: Callable[[], QueryGraph],
@@ -267,14 +286,15 @@ class RewriteEngine:
                     fallback = (
                         chain[position + 1] if position + 1 < len(chain) else ""
                     )
-                    events.append(
+                    self._record_degradation(
+                        events,
                         DegradationEvent(
                             requested=requested,
                             attempted=key,
                             fallback=fallback,
                             error_type="CircuitBreakerOpen",
                             message=reason,
-                        )
+                        ),
                     )
                     if not fallback:
                         raise RewriteError(
@@ -295,14 +315,15 @@ class RewriteEngine:
                 fallback = (
                     chain[position + 1] if position + 1 < len(chain) else ""
                 )
-                events.append(
+                self._record_degradation(
+                    events,
                     DegradationEvent(
                         requested=requested,
                         attempted=key,
                         fallback=fallback,
                         error_type=type(exc).__name__,
                         message=str(exc),
-                    )
+                    ),
                 )
                 if not fallback:
                     raise

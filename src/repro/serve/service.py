@@ -132,6 +132,24 @@ LATENCY_BUCKETS: tuple[float, ...] = (
 QUEUE_DEPTH_BUCKETS: tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64)
 
 
+def _check_buckets(name: str, buckets) -> tuple[float, ...]:
+    """Validate user-supplied histogram bounds: non-empty, numeric,
+    strictly increasing. Returns them as a tuple."""
+    bounds = tuple(buckets)
+    if not bounds:
+        raise ValueError(f"{name} must be non-empty")
+    for value in bounds:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(
+                f"{name} entries must be numbers, got {value!r}"
+            )
+    if any(b <= a for a, b in zip(bounds, bounds[1:])):
+        raise ValueError(
+            f"{name} must be strictly increasing, got {list(bounds)}"
+        )
+    return bounds
+
+
 def _histogram(values, buckets) -> dict:
     """Cumulative-bucket histogram (Prometheus layout): ``buckets`` maps
     each upper bound to the count of observations <= it; ``count``/``sum``
@@ -180,6 +198,11 @@ class ServiceStats:
     #: Bounded ring of per-query trace summaries (newest last); populated
     #: only when the service runs with ``trace=True``.
     recent_traces: list = field(default_factory=list)
+    #: Bounded ring of slow-query records (insertion order); populated
+    #: only when the service runs with ``slow_query_ms``/``slow_log``.
+    slow_queries: list = field(default_factory=list)
+    #: Total queries over the slow threshold (may exceed the ring size).
+    slow_total: int = 0
 
     def reconciles(self) -> bool:
         """Does every submission have exactly one recorded outcome (only
@@ -229,6 +252,8 @@ class ServiceStats:
                 },
             },
             "recent_traces": self.recent_traces,
+            "slow_queries": self.slow_queries,
+            "slow_total": self.slow_total,
         }
 
     # -- export -------------------------------------------------------------
@@ -266,6 +291,12 @@ class ServiceStats:
             lines.append(f"# HELP {metric} {help_text}")
             lines.append(f"# TYPE {metric} counter")
             lines.append(f"{metric} {getattr(self, name)}")
+        metric = "repro_slow_queries_total"
+        lines.append(
+            f"# HELP {metric} Queries over the slow-query threshold"
+        )
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {self.slow_total}")
         for name, help_text in self._GAUGE_HELP.items():
             metric = f"repro_{name}"
             lines.append(f"# HELP {metric} {help_text}")
@@ -350,6 +381,30 @@ class QueryService:
         per-query trace summaries (operator breakdown, metrics, latency)
         in a bounded ring buffer, surfaced on
         :attr:`ServiceStats.recent_traces` and :meth:`recent_traces`.
+    events:
+        A :class:`repro.obs.events.EventLog`: the service emits one
+        structured event per lifecycle edge (``query.submitted`` /
+        ``query.admitted`` / ``query.rejected`` / ``query.started`` /
+        ``query.cancelled`` / ``query.finished`` plus
+        ``breaker.transition``), each attributed to its query id, and
+        worker facades feed engine-level events (degradations, faults,
+        budget trips) into the same log under the ticket's id. Per-kind
+        event counts reconcile *exactly* with :class:`ServiceStats`
+        counters (emissions share the counters' critical section).
+        ``None`` (default) adds no overhead.
+    slow_query_ms / slow_log:
+        Slow-query capture: any query whose submission-to-completion
+        latency exceeds ``slow_query_ms`` is recorded (SQL, strategy,
+        outcome, degradations, metrics, top operators when traced) in a
+        bounded ring surfaced on :attr:`ServiceStats.slow_queries` and
+        :meth:`slow_queries`. ``slow_log`` passes a pre-built
+        :class:`repro.obs.slowlog.SlowQueryLog` instead (e.g. shared
+        with a facade). ``None`` (default) adds no overhead.
+    latency_buckets / queue_depth_buckets:
+        Histogram bucket upper bounds for the exported latency and
+        queue-depth histograms; default to :data:`LATENCY_BUCKETS` /
+        :data:`QUEUE_DEPTH_BUCKETS`. Must be non-empty and strictly
+        increasing.
 
     Use as a context manager; ``close()`` drains by default.
     """
@@ -367,6 +422,11 @@ class QueryService:
         clock: Callable[[], float] = time.monotonic,
         trace: bool = False,
         trace_history: int = 64,
+        events=None,
+        slow_query_ms: Optional[float] = None,
+        slow_log=None,
+        latency_buckets=None,
+        queue_depth_buckets=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -405,6 +465,24 @@ class QueryService:
             raise ValueError("trace_history must be >= 1")
         self._trace_history: deque[dict] = deque(maxlen=trace_history)
         self._queue_depth_samples: list[int] = []
+        self._latency_buckets = (
+            LATENCY_BUCKETS if latency_buckets is None
+            else _check_buckets("latency_buckets", latency_buckets)
+        )
+        self._queue_depth_buckets = (
+            QUEUE_DEPTH_BUCKETS if queue_depth_buckets is None
+            else _check_buckets("queue_depth_buckets", queue_depth_buckets)
+        )
+        # observability: structured events + slow-query capture
+        self.events = events
+        if slow_log is not None:
+            self.slow_log = slow_log
+        elif slow_query_ms is not None:
+            from ..obs.slowlog import SlowQueryLog
+
+            self.slow_log = SlowQueryLog(slow_query_ms, events=events)
+        else:
+            self.slow_log = None
         # breakers
         self._breaker_threshold = breaker_threshold
         self._breaker_cooldown = breaker_cooldown
@@ -447,10 +525,25 @@ class QueryService:
         )
         merged = self._merge_limits(limits, deadline)
         guard = ExecutionGuard(merged, clock=self._clock)
+        events = self.events
+        if events is not None:
+            guard.events = events
         with self._lock:
+            # Every submission gets an id -- rejected ones included, so
+            # their events carry an identity.
+            query_id = next(self._ids)
             self._submitted += 1
+            if events is not None:
+                events.emit(
+                    "query.submitted", query_id=query_id, strategy=key
+                )
             if self._closed:
                 self._rejected += 1
+                if events is not None:
+                    events.emit(
+                        "query.rejected", query_id=query_id,
+                        reason="service closed",
+                    )
                 raise AdmissionRejected(
                     "service closed", len(self._queue), self.max_queue,
                     in_flight=self._in_flight,
@@ -463,15 +556,25 @@ class QueryService:
                 >= self.workers + self.max_queue
             ):
                 self._rejected += 1
+                if events is not None:
+                    events.emit(
+                        "query.rejected", query_id=query_id,
+                        reason="queue full", queue_depth=len(self._queue),
+                    )
                 raise AdmissionRejected(
                     "queue full", len(self._queue), self.max_queue,
                     in_flight=self._in_flight,
                 )
             ticket = Ticket(
-                next(self._ids), sql, key, guard, self._clock(),
+                query_id, sql, key, guard, self._clock(),
                 cse_mode=cse_mode,
             )
             self._admitted += 1
+            if events is not None:
+                events.emit(
+                    "query.admitted", query_id=query_id,
+                    queue_depth=len(self._queue),
+                )
             self._tickets[ticket.query_id] = ticket
             self._queue_depth_samples.append(len(self._queue))
             self._queue.append(ticket)
@@ -532,6 +635,12 @@ class QueryService:
                     if self.fault_scope == "worker"
                     else self._db.faults
                 )
+            if self.events is not None:
+                # Engine-level events (degradations, faults, budget trips)
+                # flow into the service's log; lifecycle events stay with
+                # the service (the worker runs inside the ticket's scope,
+                # so the facade never claims the lifecycle itself).
+                kwargs["events"] = self.events
             db = Database(
                 catalog=self._db.catalog,
                 validate=self._db.engine.validate,
@@ -557,8 +666,18 @@ class QueryService:
     def _record_transition(self, event: BreakerTransition) -> None:
         # Called with the breaker's lock held; appending to a list is
         # atomic, so no extra lock here (and taking self._lock could
-        # deadlock against _breaker()).
+        # deadlock against _breaker()). The event log's lock is a leaf
+        # (it never takes another lock), so emitting under the breaker
+        # lock is safe.
         self._transitions.append(event)
+        if self.events is not None:
+            self.events.emit(
+                "breaker.transition",
+                strategy=event.strategy,
+                from_state=event.from_state,
+                to_state=event.to_state,
+                reason=event.reason,
+            )
 
     def _worker_loop(self) -> None:
         while True:
@@ -579,6 +698,18 @@ class QueryService:
                     self._idle.notify_all()
 
     def _run_ticket(self, ticket: Ticket) -> None:
+        events = self.events
+        if events is None:
+            self._run_ticket_inner(ticket)
+            return
+        # Bind the ticket id to this thread for the whole execution, so
+        # engine-level emissions (degradations, faults, budget trips) from
+        # the worker facade are attributed to this query without plumbing.
+        with events.scope(ticket.query_id):
+            events.emit("query.started", strategy=ticket.strategy)
+            self._run_ticket_inner(ticket)
+
+    def _run_ticket_inner(self, ticket: Ticket) -> None:
         db = self._worker_db()
         claimed: dict[str, bool] = {}  # strategy -> probe claimed
         resolved: set[str] = set()
@@ -688,6 +819,40 @@ class QueryService:
             self._latencies.append(latency)
             if summary is not None:
                 self._trace_history.append(summary)
+            if self.events is not None:
+                # Emitted in the counters' critical section so per-kind
+                # event counts reconcile exactly with ServiceStats.
+                if outcome == CANCELLED:
+                    self.events.emit(
+                        "query.cancelled", query_id=ticket.query_id
+                    )
+                self.events.emit(
+                    "query.finished",
+                    query_id=ticket.query_id,
+                    outcome=outcome,
+                    strategy=ticket.strategy,
+                    latency_ms=round(latency * 1000, 3),
+                    error_type=(
+                        type(error).__name__ if error is not None else None
+                    ),
+                    metrics=(
+                        result.metrics.as_dict()
+                        if result is not None else None
+                    ),
+                )
+        if self.slow_log is not None:
+            self.slow_log.observe(
+                latency * 1000,
+                sql=ticket.sql,
+                strategy=ticket.strategy,
+                query_id=ticket.query_id,
+                outcome=outcome,
+                degradations=(
+                    result.degradations if result is not None else ()
+                ),
+                metrics=result.metrics if result is not None else None,
+                tracer=tracer,
+            )
         ticket._result = result
         ticket._error = error
         ticket._event.set()
@@ -745,6 +910,13 @@ class QueryService:
         with self._lock:
             return list(self._trace_history)
 
+    def slow_queries(self) -> list[dict]:
+        """The bounded ring of slow-query records (insertion order);
+        empty unless the service runs with ``slow_query_ms``/``slow_log``."""
+        if self.slow_log is None:
+            return []
+        return self.slow_log.records()
+
     def stats(self) -> ServiceStats:
         """A consistent snapshot of all service counters (see
         :class:`ServiceStats` for the conservation law)."""
@@ -774,9 +946,18 @@ class QueryService:
                     for key, breaker in self._breakers.items()
                 },
                 breaker_transitions=list(self._transitions),
-                latency_histogram=_histogram(latencies, LATENCY_BUCKETS),
+                latency_histogram=_histogram(
+                    latencies, self._latency_buckets
+                ),
                 queue_depth_histogram=_histogram(
-                    self._queue_depth_samples, QUEUE_DEPTH_BUCKETS
+                    self._queue_depth_samples, self._queue_depth_buckets
                 ),
                 recent_traces=list(self._trace_history),
+                slow_queries=(
+                    self.slow_log.records()
+                    if self.slow_log is not None else []
+                ),
+                slow_total=(
+                    self.slow_log.total if self.slow_log is not None else 0
+                ),
             )

@@ -210,6 +210,8 @@ def run_soak(
     default_limits: Optional[Limits] = None,
     trace: bool = False,
     trace_history: int = 256,
+    events=None,
+    slow_query_ms: Optional[float] = None,
 ) -> SoakReport:
     """Run the chaos soak and verify every invariant (see module doc).
 
@@ -219,7 +221,11 @@ def run_soak(
     fraction of submissions given a deadline of a few milliseconds.
     ``trace=True`` runs every query under a tracer and reports merged
     per-operator totals (``SoakReport.operator_totals``) from the last
-    ``trace_history`` queries.
+    ``trace_history`` queries. ``events`` (a
+    :class:`repro.obs.events.EventLog`) streams the service's structured
+    lifecycle events; ``slow_query_ms`` captures queries over the
+    threshold on the service's slow-query log (both surface through the
+    returned report's ``stats``).
     """
     rng = random.Random(seed)
     catalog = build_soak_catalog(scale=scale, seed=seed)
@@ -242,6 +248,8 @@ def run_soak(
         fault_scope=fault_scope,
         trace=trace,
         trace_history=trace_history,
+        events=events,
+        slow_query_ms=slow_query_ms,
     )
     submitted: list[tuple] = []  # (ticket, workload key)
     cancels = [0]

@@ -1,0 +1,266 @@
+"""The structured event log: sinks, scoping, validation, emission sites."""
+
+import json
+import threading
+
+import pytest
+
+from repro import Database, Strategy
+from repro.errors import EventLogError, FaultInjectedError
+from repro.faults import FaultRegistry, FaultRule
+from repro.guard import Limits
+from repro.obs import (
+    EVENT_KINDS,
+    EVENTS_VERSION,
+    EventLog,
+    FileSink,
+    RingSink,
+    TeeSink,
+    count_by_kind,
+    load_events,
+    render_event,
+    validate_events,
+)
+
+QUERY = (
+    "SELECT name FROM dept D WHERE D.budget < 10000 AND D.num_emps > "
+    "(SELECT count(*) FROM emp E WHERE E.building = D.building)"
+)
+
+
+def _log(capacity: int = 4096):
+    sink = RingSink(capacity=capacity)
+    return EventLog(sink), sink
+
+
+class TestEventLog:
+    def test_no_sink_is_a_no_op(self):
+        log = EventLog()
+        log.emit("query.started")  # must not raise
+        with pytest.raises(EventLogError):
+            log.events()
+
+    def test_seq_is_strictly_increasing_and_envelope_complete(self):
+        log, sink = _log()
+        log.emit("query.started", query_id=1)
+        log.emit("query.finished", query_id=1, outcome="completed")
+        events = sink.events()
+        assert [e["seq"] for e in events] == [1, 2]
+        for event in events:
+            assert event["v"] == EVENTS_VERSION
+            assert event["ts"] >= 0
+        assert validate_events(events) == 2
+
+    def test_scope_binds_and_restores_query_id(self):
+        log, sink = _log()
+        assert log.current_query_id() is None
+        with log.scope(7):
+            assert log.current_query_id() == 7
+            log.emit("query.degraded")
+            with log.scope(8):
+                log.emit("fault.fired")
+            log.emit("guard.budget_exceeded")
+        assert log.current_query_id() is None
+        assert [e["query_id"] for e in sink.events()] == [7, 8, 7]
+
+    def test_explicit_query_id_beats_scope(self):
+        log, sink = _log()
+        with log.scope(7):
+            log.emit("query.finished", query_id=9)
+            log.emit("breaker.transition", query_id=None)
+        assert [e["query_id"] for e in sink.events()] == [9, None]
+
+    def test_concurrent_emission_keeps_seq_dense(self):
+        log, sink = _log(capacity=10_000)
+
+        def worker(n):
+            for _ in range(100):
+                log.emit("query.degraded", query_id=n)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        seqs = [e["seq"] for e in sink.events()]
+        assert seqs == list(range(1, 801))
+
+    def test_ring_sink_bounds_retention(self):
+        log, sink = _log(capacity=3)
+        for i in range(10):
+            log.emit("query.started", query_id=i)
+        assert sink.total == 10
+        assert [e["query_id"] for e in sink.events()] == [7, 8, 9]
+
+    def test_ring_sink_rejects_bad_capacity(self):
+        with pytest.raises(EventLogError):
+            RingSink(capacity=0)
+
+    def test_tee_and_file_sink_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        ring = RingSink()
+        log = EventLog(TeeSink(ring, FileSink(str(path))))
+        log.emit("query.started", query_id=1)
+        log.emit("query.finished", query_id=1, outcome="completed")
+        log.close()
+        assert load_events(str(path)) == ring.events()
+
+    def test_events_finds_ring_inside_tee(self, tmp_path):
+        ring = RingSink()
+        log = EventLog(
+            TeeSink(FileSink(str(tmp_path / "e.jsonl")), ring)
+        )
+        log.emit("fault.fired")
+        assert log.events() == ring.events()
+        log.close()
+
+
+class TestValidation:
+    def _event(self, **overrides):
+        event = {
+            "v": EVENTS_VERSION, "seq": 1, "ts": 1.0,
+            "kind": "query.started", "query_id": 1,
+        }
+        event.update(overrides)
+        return event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(EventLogError, match="unknown kind"):
+            validate_events([self._event(kind="query.imaginary")])
+
+    def test_every_declared_kind_is_accepted(self):
+        events = [
+            self._event(seq=i + 1, kind=kind)
+            for i, kind in enumerate(EVENT_KINDS)
+        ]
+        assert validate_events(events) == len(EVENT_KINDS)
+
+    def test_missing_envelope_field_rejected(self):
+        event = self._event()
+        del event["ts"]
+        with pytest.raises(EventLogError, match="missing envelope"):
+            validate_events([event])
+
+    def test_non_increasing_seq_rejected(self):
+        with pytest.raises(EventLogError, match="strictly increasing"):
+            validate_events([self._event(seq=2), self._event(seq=2)])
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(EventLogError, match="v must be"):
+            validate_events([self._event(v=99)])
+
+    def test_boolean_query_id_rejected(self):
+        with pytest.raises(EventLogError, match="query_id"):
+            validate_events([self._event(query_id=True)])
+
+    def test_non_object_rejected(self):
+        with pytest.raises(EventLogError, match="must be an object"):
+            validate_events(["not an event"])
+
+    def test_malformed_jsonl_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"v": 1, "seq": 1\nnot json\n')
+        with pytest.raises(EventLogError, match="malformed JSON"):
+            load_events(str(path))
+
+
+class TestHelpers:
+    def test_count_by_kind(self):
+        log, sink = _log()
+        log.emit("query.started", query_id=1)
+        log.emit("query.started", query_id=2)
+        log.emit("query.finished", query_id=1)
+        assert count_by_kind(sink.events()) == {
+            "query.started": 2, "query.finished": 1,
+        }
+
+    def test_render_event_is_one_line(self):
+        log, sink = _log()
+        log.emit("query.finished", query_id=3, outcome="completed",
+                 latency_ms=1.5)
+        line = render_event(sink.events()[0])
+        assert "\n" not in line
+        assert "query.finished" in line and "q3" in line
+        assert "outcome='completed'" in line
+
+
+class TestDatabaseEmission:
+    def test_lifecycle_events_for_a_facade_query(self, empdept_catalog):
+        log, sink = _log()
+        db = Database(empdept_catalog, events=log)
+        result = db.execute(QUERY, strategy=Strategy.MAGIC)
+        assert result.rows
+        kinds = [e["kind"] for e in sink.events()]
+        assert kinds == ["query.started", "query.finished"]
+        finished = sink.events()[-1]
+        assert finished["outcome"] == "completed"
+        assert finished["strategy"] == "magic"
+        assert finished["metrics"]["rows_output"] == len(result.rows)
+        assert finished["query_id"] == sink.events()[0]["query_id"]
+        assert validate_events(sink.events()) == 2
+
+    def test_query_ids_are_distinct_per_query(self, empdept_catalog):
+        log, sink = _log()
+        db = Database(empdept_catalog, events=log)
+        db.execute(QUERY, strategy=Strategy.MAGIC)
+        db.execute(QUERY, strategy=Strategy.NESTED_ITERATION)
+        ids = {e["query_id"] for e in sink.events()}
+        assert len(ids) == 2
+
+    def test_failed_query_records_error_type(self, empdept_catalog):
+        log, sink = _log()
+        db = Database(empdept_catalog, events=log)
+        with pytest.raises(Exception):
+            db.execute("SELECT nope FROM dept", strategy=Strategy.MAGIC)
+        finished = sink.events()[-1]
+        assert finished["kind"] == "query.finished"
+        assert finished["outcome"] == "failed"
+        assert finished["error_type"]
+
+    def test_degradation_emits_query_degraded(self, empdept_catalog):
+        faults = FaultRegistry(0, (FaultRule("rewrite.strategy", 1.0),))
+        log, sink = _log()
+        db = Database(empdept_catalog, events=log, faults=faults)
+        # Every rewrite attempt faults; the chain ends at NI which is
+        # applied without a rewrite fault only if its trigger misses --
+        # with rate 1.0 even NI faults, so the query fails after a full
+        # chain of degradations.
+        with pytest.raises(FaultInjectedError):
+            db.execute(QUERY, strategy=Strategy.MAGIC, fallback=True)
+        kinds = count_by_kind(sink.events())
+        assert kinds.get("query.degraded", 0) >= 1
+        assert kinds.get("fault.fired", 0) >= 1
+        degraded = [
+            e for e in sink.events() if e["kind"] == "query.degraded"
+        ]
+        assert degraded[0]["requested"] == "magic"
+        # Engine-level events carry the same query id as the lifecycle.
+        qid = sink.events()[0]["query_id"]
+        assert all(e["query_id"] == qid for e in sink.events())
+
+    def test_budget_trip_emits_guard_event(self, empdept_catalog):
+        log, sink = _log()
+        db = Database(empdept_catalog, events=log)
+        from repro.errors import BudgetExceeded
+
+        with pytest.raises(BudgetExceeded):
+            db.execute(
+                QUERY, strategy=Strategy.NESTED_ITERATION,
+                limits=Limits(max_rows_scanned=1),
+            )
+        kinds = count_by_kind(sink.events())
+        assert kinds.get("guard.budget_exceeded") == 1
+        trip = [
+            e for e in sink.events() if e["kind"] == "guard.budget_exceeded"
+        ][0]
+        assert trip["budget"] == "max_rows_scanned"
+        assert trip["query_id"] == sink.events()[0]["query_id"]
+
+    def test_events_export_is_json_serialisable(self, empdept_catalog):
+        log, sink = _log()
+        db = Database(empdept_catalog, events=log)
+        db.execute(QUERY, strategy=Strategy.MAGIC)
+        for event in sink.events():
+            assert json.loads(json.dumps(event)) == event

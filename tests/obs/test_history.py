@@ -1,0 +1,169 @@
+"""Perf-regression history: records, persistence, comparison."""
+
+import json
+
+import pytest
+
+from repro.bench.history import (
+    DEFAULT_HISTORY_PATH,
+    HISTORY_ENV,
+    HISTORY_VERSION,
+    append_record,
+    compare,
+    latest,
+    load_history,
+    make_record,
+    resolve_path,
+    validate_record,
+)
+from repro.errors import HistoryError
+
+
+def _record(**fields):
+    fields.setdefault("ts", 1000.0)
+    fields.setdefault("git_sha", "abc1234")
+    return make_record(fields.pop("benchmark", "service_soak"), **fields)
+
+
+class TestRecords:
+    def test_make_record_envelope(self):
+        record = _record(throughput_qps=120.5, seed=7)
+        assert record["version"] == HISTORY_VERSION
+        assert record["benchmark"] == "service_soak"
+        assert record["ts"] == 1000.0
+        assert record["git_sha"] == "abc1234"
+        assert record["throughput_qps"] == 120.5
+        assert record["seed"] == 7
+
+    def test_make_record_defaults_ts(self):
+        record = make_record("bench", git_sha="x")
+        assert record["ts"] > 0
+
+    def test_validate_rejects_missing_keys(self):
+        with pytest.raises(HistoryError, match="missing"):
+            validate_record({"version": HISTORY_VERSION, "ts": 1.0})
+
+    def test_validate_rejects_wrong_version(self):
+        bad = _record()
+        bad["version"] = 99
+        with pytest.raises(HistoryError, match="version"):
+            validate_record(bad)
+
+    def test_validate_rejects_bad_types(self):
+        for key, value in (
+            ("ts", -1.0), ("ts", True), ("benchmark", ""), ("benchmark", 3),
+        ):
+            bad = dict(_record())
+            bad[key] = value
+            with pytest.raises(HistoryError):
+                validate_record(bad)
+
+    def test_validate_rejects_unserialisable(self):
+        bad = dict(_record())
+        bad["payload"] = object()
+        with pytest.raises(HistoryError, match="JSON"):
+            validate_record(bad)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(HistoryError, match="object"):
+            validate_record(["not", "a", "record"])
+
+
+class TestPersistence:
+    def test_resolve_path_precedence(self, monkeypatch):
+        monkeypatch.delenv(HISTORY_ENV, raising=False)
+        assert resolve_path() == DEFAULT_HISTORY_PATH
+        assert resolve_path("explicit.jsonl") == "explicit.jsonl"
+        monkeypatch.setenv(HISTORY_ENV, "from-env.jsonl")
+        assert resolve_path() == "from-env.jsonl"
+        assert resolve_path("explicit.jsonl") == "explicit.jsonl"
+        monkeypatch.setenv(HISTORY_ENV, "")
+        assert resolve_path() is None
+
+    def test_append_disabled_via_env(self, monkeypatch):
+        monkeypatch.setenv(HISTORY_ENV, "")
+        assert append_record(_record()) is None
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        first = _record(throughput_qps=100.0)
+        second = _record(ts=2000.0, throughput_qps=110.0)
+        assert append_record(first, path) == path
+        assert append_record(second, path) == path
+        assert load_history(path) == [first, second]
+        # One sorted-keys JSON object per line, stable for diffing.
+        lines = (tmp_path / "history.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        keys = list(json.loads(lines[0]))
+        assert keys == sorted(keys)
+
+    def test_load_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(_record()) + "\nnot json\n")
+        with pytest.raises(HistoryError, match="bad.jsonl:2"):
+            load_history(str(path))
+
+    def test_load_rejects_invalid_record(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"version": 1, "ts": 1.0}\n')
+        with pytest.raises(HistoryError, match="bad.jsonl:1"):
+            load_history(str(path))
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(HistoryError, match="cannot read"):
+            load_history(str(tmp_path / "absent.jsonl"))
+
+    def test_latest_filters_by_benchmark(self):
+        records = [
+            _record(benchmark="a", ts=1.0),
+            _record(benchmark="b", ts=2.0),
+            _record(benchmark="a", ts=3.0),
+        ]
+        assert latest(records)["ts"] == 3.0
+        assert latest(records, "a")["ts"] == 3.0
+        assert latest(records, "b")["ts"] == 2.0
+        with pytest.raises(HistoryError, match="no history records"):
+            latest(records, "missing")
+
+
+class TestCompare:
+    BASE = {"throughput_qps": 100.0, "latency_p50_ms": 10.0,
+            "latency_p95_ms": 50.0}
+
+    def test_within_tolerance_is_clean(self):
+        current = {"throughput_qps": 85.0, "latency_p50_ms": 11.5,
+                   "latency_p95_ms": 59.0}
+        assert compare(current, self.BASE, tolerance=0.2) == []
+
+    def test_throughput_drop_flagged(self):
+        current = dict(self.BASE, throughput_qps=70.0)
+        [problem] = compare(current, self.BASE, tolerance=0.2)
+        assert "throughput_qps" in problem
+
+    def test_latency_rise_flagged(self):
+        current = dict(self.BASE, latency_p95_ms=61.0)
+        [problem] = compare(current, self.BASE, tolerance=0.2)
+        assert "latency_p95_ms" in problem
+
+    def test_missing_metrics_skipped(self):
+        assert compare({"throughput_qps": 1.0}, {}, tolerance=0.0) == []
+        assert compare({}, self.BASE, tolerance=0.0) == []
+
+    def test_non_numeric_metric_rejected(self):
+        with pytest.raises(HistoryError, match="must be a number"):
+            compare({"throughput_qps": "fast"}, self.BASE)
+        with pytest.raises(HistoryError, match="must be a number"):
+            compare(self.BASE, {"throughput_qps": True})
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(HistoryError, match="tolerance"):
+            compare(self.BASE, self.BASE, tolerance=-0.1)
+
+    def test_against_the_repo_baseline_shape(self):
+        """BENCH_service.json (the named baseline) must expose the compare
+        metrics so bench-compare can actually gate on it."""
+        with open("/root/repo/BENCH_service.json") as handle:
+            baseline = json.load(handle)
+        for key in ("throughput_qps", "latency_p50_ms", "latency_p95_ms"):
+            assert isinstance(baseline[key], (int, float))
+        assert compare(baseline, baseline, tolerance=0.0) == []
