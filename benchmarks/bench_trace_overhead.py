@@ -124,6 +124,50 @@ def test_disabled_events_overhead_within_tolerance(db):
     )
 
 
+def test_unvalidated_path_never_touches_the_plan_verifier(db, monkeypatch):
+    """Structural zero overhead for the static plan verifier: with
+    ``REPRO_VALIDATE`` off the pre-execution gate must never import or
+    call :mod:`repro.analyze.plans` -- booby-trap its entry points and
+    run a plain query."""
+    from repro.analyze import plans
+
+    def boom(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError(
+            "plan verifier reached with validation disabled"
+        )
+
+    monkeypatch.setattr(plans, "verify_pre_execution", boom)
+    monkeypatch.setattr(plans, "verify_query_plan", boom)
+    monkeypatch.setattr(plans, "check_interfaces", boom)
+    unvalidated_db = Database(catalog=db.catalog, validate=False)
+    result = unvalidated_db.execute(QUERY_2, strategy=Strategy.MAGIC)
+    assert result.rows
+
+
+def test_disabled_validation_overhead_within_tolerance(db):
+    """Timing zero overhead for the verifier: a validation-off database
+    must not regress to more than ``OVERHEAD_TOLERANCE`` of one running
+    the full per-step lint plus pre-execution plan verification."""
+    plain_db = Database(catalog=db.catalog, validate=False)
+    validated_db = Database(catalog=db.catalog, validate=True)
+
+    def plain():
+        plain_db.execute(QUERY_2, strategy=Strategy.MAGIC)
+
+    def validated():
+        validated_db.execute(QUERY_2, strategy=Strategy.MAGIC)
+
+    plain()  # warm caches outside the measurement
+    validated()
+    plain_median = _median_seconds(plain)
+    validated_median = _median_seconds(validated)
+    assert plain_median <= validated_median * OVERHEAD_TOLERANCE, (
+        f"plain median {plain_median * 1000:.3f}ms exceeds "
+        f"{OVERHEAD_TOLERANCE}x validated median "
+        f"{validated_median * 1000:.3f}ms"
+    )
+
+
 @pytest.mark.benchmark(group="trace-overhead")
 def test_bench_untraced(db, benchmark):
     run_once(benchmark, lambda: db.execute(QUERY_2, strategy=Strategy.MAGIC))

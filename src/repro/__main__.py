@@ -15,6 +15,7 @@ QGM before each query.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import Database, Strategy
@@ -500,40 +501,123 @@ def cmd_trace_check(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_lint(args: argparse.Namespace) -> int:
-    """``repro lint``: static analysis of a query (or a whole script).
+def _lint_units(args: argparse.Namespace) -> list[tuple[str, str]]:
+    """Expand the lint targets into ``(kind, payload)`` work units.
 
-    Prints coded diagnostics with caret underlining, the correlation
-    patterns found, and per-strategy applicability verdicts. Exit code 1
-    when any error-level diagnostic was reported."""
+    ``kind`` is ``"sql"`` (payload: SQL text) or ``"py"`` (payload: a
+    Python file or directory for the concurrency lint). A target that
+    names an existing directory or ``.py`` file is concurrency-linted;
+    a ``.sql`` file is split into statements; anything else is SQL text.
+    """
+    from .sql.splitter import split_statements
+
+    units: list[tuple[str, str]] = []
+    for target in args.targets:
+        if os.path.isdir(target) or (
+            target.endswith(".py") and os.path.isfile(target)
+        ):
+            units.append(("py", target))
+        elif target.endswith(".sql") and os.path.isfile(target):
+            with open(target) as handle:
+                units.extend(("sql", s) for s in split_statements(handle.read()))
+        else:
+            units.append(("sql", target))
+    if args.script:
+        with open(args.script) as handle:
+            units.extend(("sql", s) for s in split_statements(handle.read()))
+    return units
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: static analysis of queries, scripts and modules.
+
+    Each positional target may be SQL text, a ``.sql`` script (split into
+    statements), or a Python file/directory (run through the concurrency
+    lint, :mod:`repro.analyze.conc`). ``--json`` emits one machine-readable
+    report instead of human output.
+
+    Exit codes (stable, scriptable):
+
+    * ``0`` -- every target linted, no error-level diagnostics;
+    * ``1`` -- at least one error-level diagnostic was reported;
+    * ``2`` -- usage or I/O error (no target, unreadable file/schema).
+    """
+    import json
+
+    from .analyze import Severity
+
+    if not args.targets and not args.script:
+        print("error: no lint target (pass SQL text, a .sql/.py file, "
+              "a directory, or --script)", file=sys.stderr)
+        return 2
     db = Database()
     try:
         if args.db:
             with open(args.db) as handle:
                 db.execute_script(handle.read())
-        if args.query is not None:
-            sources = [args.query]
-        else:
-            from .sql.splitter import split_statements
-
-            with open(args.script) as handle:
-                sources = split_statements(handle.read())
+        units = _lint_units(args)
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except ReproError as exc:
         print(f"error in --db script: {exc}", file=sys.stderr)
         return 2
+
     failed = False
-    for i, sql in enumerate(sources):
-        if len(sources) > 1:
-            print(f"-- statement {i + 1} " + "-" * 40)
-        report = db.analyze(sql)
-        print(report.render(show_analysis=not args.quiet))
-        if len(sources) > 1:
-            print()
-        failed = failed or not report.ok
+    json_diags: list[dict] = []
+    n_sql = sum(1 for kind, _ in units if kind == "sql")
+    statement_no = 0
+    for kind, payload in units:
+        if kind == "py":
+            from .analyze.conc import lint_paths
+
+            diagnostics = lint_paths([payload])
+            failed = failed or any(
+                d.severity is Severity.ERROR for d in diagnostics
+            )
+            if args.json:
+                json_diags.extend(
+                    _diag_json(d, target=payload) for d in diagnostics
+                )
+            else:
+                for d in diagnostics:
+                    print(str(d))
+                print(f"{payload}: {len(diagnostics)} concurrency finding(s)")
+        else:
+            statement_no += 1
+            report = db.analyze(payload)
+            failed = failed or not report.ok
+            if args.json:
+                json_diags.extend(
+                    _diag_json(d, target=payload) for d in report.diagnostics
+                )
+            else:
+                if n_sql > 1:
+                    print(f"-- statement {statement_no} " + "-" * 40)
+                print(report.render(show_analysis=not args.quiet))
+                if n_sql > 1:
+                    print()
+    if args.json:
+        print(json.dumps({
+            "version": 1,
+            "diagnostics": json_diags,
+            "errors": sum(1 for d in json_diags if d["severity"] == "error"),
+            "warnings": sum(
+                1 for d in json_diags if d["severity"] == "warning"
+            ),
+        }, indent=2, sort_keys=True))
     return 1 if failed else 0
+
+
+def _diag_json(diagnostic, target: str) -> dict:
+    """One diagnostic as a flat JSON-ready object (``--json`` output)."""
+    return {
+        "code": diagnostic.code,
+        "severity": diagnostic.severity.value,
+        "message": diagnostic.message,
+        "hint": diagnostic.hint,
+        "target": target,
+    }
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -857,14 +941,21 @@ def main(argv: list[str] | None = None) -> int:
     p_fig.set_defaults(fn=cmd_figures)
 
     p_lint = sub.add_parser(
-        "lint", help="static analysis: diagnostics, patterns, applicability"
+        "lint", help="static analysis: diagnostics, patterns, applicability, "
+                     "and the concurrency lint for Python modules"
     )
-    group = p_lint.add_mutually_exclusive_group(required=True)
-    group.add_argument("query", nargs="?", help="SQL text to analyze")
-    group.add_argument("--script", help="lint every statement of a script")
+    p_lint.add_argument(
+        "targets", nargs="*",
+        help="SQL text, .sql scripts, or Python files/directories "
+             "(the latter run the concurrency lint); exit 0 clean, "
+             "1 on errors, 2 on usage/I-O problems",
+    )
+    p_lint.add_argument("--script", help="lint every statement of a script")
     p_lint.add_argument("--db", help="SQL script creating the schema")
     p_lint.add_argument("--quiet", action="store_true",
                         help="diagnostics only (no pattern/strategy report)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable report on stdout")
     p_lint.set_defaults(fn=cmd_lint)
 
     p_explain = sub.add_parser(

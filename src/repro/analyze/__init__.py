@@ -122,6 +122,23 @@ class AnalysisReport:
         return "\n\n".join(sections)
 
 
+#: Step-level verifier codes (the interface-level PLN codes already arrive
+#: through the registered lint rules; reporting both would double up).
+_PLAN_STEP_CODES = frozenset(
+    {"PLN002", "PLN003", "PLN004", "PLN008", "PLN009", "PLN010"}
+)
+
+
+def _plan_step_diagnostics(graph, catalog: Catalog) -> list[Diagnostic]:
+    """Physical-plan verification for the report: plan every SPJ box and
+    keep the step-level findings. Planner refusals surface as ``PLN008``
+    via :func:`~repro.analyze.plans.verify_query_plan`."""
+    from .plans import verify_query_plan
+
+    diagnostics, _ = verify_query_plan(catalog, graph)
+    return [d for d in diagnostics if d.code in _PLAN_STEP_CODES]
+
+
 def analyze_sql(sql: str, catalog: Catalog) -> AnalysisReport:
     """Run the full analysis pipeline over one SQL statement."""
     report = AnalysisReport(sql)
@@ -163,6 +180,7 @@ def analyze_sql(sql: str, catalog: Catalog) -> AnalysisReport:
         return report
 
     report.diagnostics.extend(lint_graph(graph, catalog))
+    report.diagnostics.extend(_plan_step_diagnostics(graph, catalog))
     report.patterns = classify_patterns(graph)
     report.verdicts = strategy_verdicts(graph, catalog)
     report.diagnostics.extend(pattern_diagnostics(report.patterns))

@@ -94,6 +94,25 @@ DEC003 = register_code("DEC003", "Dayal's method applicability")
 DEC004 = register_code("DEC004", "Ganski/Wong applicability")
 DEC005 = register_code("DEC005", "magic decorrelation applicability")
 
+# -- plan contracts (PLN): typed physical-plan verification ------------------
+# Emitted by repro.analyze.plans: the static verifier over box output
+# contracts and the planner's step lists (see DESIGN section 12).
+PLN001 = register_code("PLN001", "column reference does not resolve in the producing box's contract")
+PLN002 = register_code("PLN002", "step reads a quantifier before its access step binds it")
+PLN003 = register_code("PLN003", "index lookup does not match any index on the base table")
+PLN004 = register_code("PLN004", "correlated_to_self marking disagrees with the subtree's references")
+PLN005 = register_code("PLN005", "ill-typed aggregate input (SUM/AVG over a non-numeric column)")
+PLN006 = register_code("PLN006", "COUNT-derived nullable column consumed null-rejectingly without COALESCE")
+PLN007 = register_code("PLN007", "grouped COUNT consumed through an inner join (empty groups dropped)")
+PLN008 = register_code("PLN008", "plan infeasible or cardinality bound violated")
+PLN009 = register_code("PLN009", "step arity mismatch (join keys / null-safe flags)")
+PLN010 = register_code("PLN010", "plan access steps do not cover the box's quantifiers exactly once")
+
+# -- concurrency lint (CONC): the DESIGN section-9 contract, machine-checked -
+CONC001 = register_code("CONC001", "lock acquisition violates the declared lock order")
+CONC002 = register_code("CONC002", "shared attribute mutated outside its guarding lock")
+CONC003 = register_code("CONC003", "acquisition of an undeclared lock attribute")
+
 
 @dataclass(frozen=True)
 class Diagnostic:

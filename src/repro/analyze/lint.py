@@ -426,3 +426,12 @@ def verdict_diagnostics(verdicts: list[StrategyVerdict]) -> list[Diagnostic]:
         if code is not None:
             result.append(Diagnostic(code, Severity.INFO, verdict.describe()))
     return result
+
+
+# The plan-contract rules (PLN001/PLN005/PLN006/PLN007) live in
+# repro.analyze.plans and register themselves on import; importing the
+# module here guarantees they are in LINT_RULES whenever lint_graph runs
+# (in particular inside RewriteEngine.check, which re-verifies typed
+# interfaces after every rewrite step). The import sits at the bottom so
+# plans.py can import register_rule from this module without a cycle.
+from . import plans  # noqa: E402,F401  (registration side effect)

@@ -464,6 +464,15 @@ class Database:
                 decorrelate_existential=decorrelate_existential,
                 tracer=tracer,
             )
+        if self.engine.validate:
+            # REPRO_VALIDATE gates the static plan verifier: every plan the
+            # executor is about to run is checked against the inferred box
+            # contracts (repro.analyze.plans). Off means not even imported.
+            from ..analyze.plans import verify_pre_execution
+
+            contract_summary = verify_pre_execution(self.catalog, graph)
+            if self.events is not None:
+                self.events.emit("plan.verified", **contract_summary)
         rows, metrics = execute_graph(
             graph, self.catalog, cse_mode=cse_mode,
             limits=limits, guard=guard, faults=self.faults, tracer=tracer,

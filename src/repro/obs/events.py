@@ -61,6 +61,7 @@ EVENT_KINDS: tuple[str, ...] = (
     "guard.budget_exceeded",  # a resource budget tripped
     "breaker.transition",     # a circuit breaker changed state
     "fault.fired",            # a deterministic fault injection fired
+    "plan.verified",          # the static plan verifier passed (contract summary)
 )
 
 _KIND_SET = frozenset(EVENT_KINDS)

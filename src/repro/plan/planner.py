@@ -31,7 +31,7 @@ from ..qgm.expr import (
     ColumnRef,
     walk_expr,
 )
-from ..qgm.model import BaseTableBox, Box, SelectBox
+from ..qgm.model import BaseTableBox, Box, Quantifier, SelectBox
 from ..sql import ast
 from ..storage.catalog import Catalog
 from .cost import estimate_box_rows, predicate_selectivity
@@ -45,7 +45,7 @@ class ScanStep:
     and is re-executed (and counted as a subquery invocation) per env row.
     """
 
-    quantifier: object
+    quantifier: Quantifier
     correlated_to_self: bool = False
 
 
@@ -53,7 +53,7 @@ class ScanStep:
 class IndexLookupStep:
     """Probe a base-table index with key expressions over bound values."""
 
-    quantifier: object
+    quantifier: Quantifier
     index_name: str
     key_columns: tuple[str, ...]
     key_exprs: tuple[ast.Expr, ...]
@@ -67,7 +67,7 @@ class HashJoinStep:
     matches NULL) instead of being dropped as ordinary equality requires.
     """
 
-    quantifier: object
+    quantifier: Quantifier
     build_exprs: tuple[ast.Expr, ...]  # over the new quantifier
     probe_exprs: tuple[ast.Expr, ...]  # over already-bound quantifiers/outer
     null_safe: tuple[bool, ...] = ()
@@ -116,7 +116,7 @@ class SelectPlan:
     #: the magic decorrelation rewrite to form the supplementary table.
     scalar_placement: dict[int, int] = field(default_factory=dict)
     #: Quantifiers in chosen join order (barrier i binds order[i-1]).
-    join_order: list[object] = field(default_factory=list)
+    join_order: list[Quantifier] = field(default_factory=list)
 
 
 def _own_refs(box: SelectBox, expr: ast.Expr) -> set[int]:

@@ -1,0 +1,80 @@
+"""The concurrency lint against the real service/storage code: the
+DESIGN section-9 contract must hold in CI, not just in prose."""
+
+import os
+
+from repro.analyze.conc import (
+    CLASS_LOCKS,
+    GUARDED_ATTRS,
+    LOCK_FREE_BY_DESIGN,
+    LOCK_ORDER,
+    default_targets,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+
+
+def test_serve_and_storage_satisfy_the_contract():
+    findings = lint_paths(default_targets())
+    assert findings == [], [str(d) for d in findings]
+
+
+def test_default_targets_exist_and_contain_modules():
+    targets = default_targets()
+    assert all(os.path.isdir(t) for t in targets)
+    files = list(iter_python_files(targets))
+    names = {os.path.basename(f) for f in files}
+    assert "service.py" in names      # the query service
+    assert "catalog.py" in names      # the storage layer
+
+
+def test_lock_order_is_total_and_covers_every_declared_lock():
+    ranks = [spec.rank for spec in LOCK_ORDER.values()]
+    assert len(ranks) == len(set(ranks)), "order must be total"
+    for locks in CLASS_LOCKS.values():
+        for key in locks.values():
+            assert key in LOCK_ORDER
+
+
+def test_guarded_classes_declare_their_lock():
+    for owner in GUARDED_ATTRS:
+        assert owner in CLASS_LOCKS, (
+            f"{owner} has guarded attributes but no declared lock"
+        )
+
+
+def test_lock_free_exceptions_do_not_overlap_guarded_attrs():
+    for owner, attrs in LOCK_FREE_BY_DESIGN.items():
+        assert not attrs & GUARDED_ATTRS.get(owner, frozenset())
+
+
+def test_unparsable_module_reports_instead_of_crashing():
+    findings = lint_source("def broken(:\n", "bad.py")
+    assert len(findings) == 1
+    assert findings[0].code == "CONC003"
+    assert "cannot parse" in findings[0].message
+
+
+def test_receiver_noun_resolution_catches_cross_object_order():
+    source = '''
+class StatsCache:
+    def rebuild(self, catalog, table):
+        with table._lock:
+            with catalog._lock:
+                pass
+'''
+    codes = {d.code for d in lint_source(source, "fixture.py")}
+    assert codes == {"CONC001"}
+
+
+def test_service_then_breaker_then_events_is_legal():
+    source = '''
+class QueryService:
+    def _finish(self, breaker, event_log):
+        with self._lock:
+            with breaker._lock:
+                with event_log._lock:
+                    pass
+'''
+    assert lint_source(source, "fixture.py") == []

@@ -1,0 +1,430 @@
+"""Mutation self-tests: corrupt plans, graphs and lock code on purpose and
+assert each analyzer fires with the *right* code.
+
+A verifier that never fires is indistinguishable from one that always
+passes; every diagnostic code gets at least one seeded defect here, plus
+an assertion that the pristine artifact was clean before the mutation
+(so each test demonstrates detection, not noise)."""
+
+import pytest
+
+from repro.analyze.conc import lint_source
+from repro.analyze.diagnostics import Severity
+from repro.analyze.plans import (
+    check_interfaces,
+    interface_diagnostics,
+    verify_query_plan,
+    verify_select_plan,
+)
+from repro.api.strategies import Strategy
+from repro.plan.planner import (
+    HashJoinStep,
+    IndexLookupStep,
+    PredicateStep,
+    ScanStep,
+    plan_select_box,
+)
+from repro.qgm import build_qgm
+from repro.qgm.analysis import iter_boxes
+from repro.qgm.expr import ColumnRef
+from repro.qgm.model import SelectBox
+from repro.rewrite import RewriteEngine
+from repro.sql.parser import parse_statement
+from repro.storage import Catalog, Column, Schema
+from repro.types import SQLType
+
+CORRELATED_COUNT = (
+    "SELECT d.name FROM dept d WHERE d.num_emps > "
+    "(SELECT count(*) FROM emp e WHERE e.building = d.building)"
+)
+INDEX_JOIN = (
+    "SELECT d.name, e.name FROM dept d, emp e "
+    "WHERE d.building = e.building"
+)
+HASH_JOIN = "SELECT d.name FROM dept d, emp e WHERE d.budget = e.salary"
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    cat = Catalog()
+    dept = cat.create_table(
+        "dept",
+        Schema(
+            [
+                Column("name", SQLType.STR, nullable=False),
+                Column("budget", SQLType.FLOAT),
+                Column("num_emps", SQLType.INT),
+                Column("building", SQLType.STR),
+            ],
+            primary_key=["name"],
+        ),
+    )
+    emp = cat.create_table(
+        "emp",
+        Schema(
+            [
+                Column("empno", SQLType.INT, nullable=False),
+                Column("name", SQLType.STR),
+                Column("building", SQLType.STR),
+                Column("salary", SQLType.FLOAT),
+            ],
+            primary_key=["empno"],
+        ),
+    )
+    for i in range(50):
+        emp.insert((i, f"e{i}", f"B{i % 5}", 100.0 + i))
+    for i in range(10):
+        dept.insert((f"d{i}", 100.0 + i, i, f"B{i % 5}"))
+    emp.create_index("emp_building", ["building"])
+    return cat
+
+
+def _root_plan(catalog, sql):
+    graph = build_qgm(parse_statement(sql), catalog)
+    return graph, plan_select_box(catalog, graph.root)
+
+
+def _codes(diags):
+    return {d.code for d in diags}
+
+
+def _assert_fires(catalog, plan, code):
+    diags = verify_select_plan(catalog, plan)
+    assert code in _codes(diags), (
+        f"expected {code}, got {sorted(_codes(diags))}"
+    )
+
+
+def _assert_clean(catalog, plan):
+    diags = verify_select_plan(catalog, plan)
+    errors = [d for d in diags if d.severity is Severity.ERROR]
+    assert not errors, [str(d) for d in errors]
+
+
+# -- plan mutations (PLN001-PLN004, PLN008-PLN010) -----------------------------
+
+
+def test_pln001_dangling_column_reference(catalog):
+    graph, plan = _root_plan(catalog, INDEX_JOIN)
+    _assert_clean(catalog, plan)
+    predicate = next(
+        s for s in plan.steps if isinstance(s, PredicateStep)
+    )
+    ref = next(
+        n for n in [predicate.predicate] + list(predicate.predicate.children())
+        if isinstance(n, ColumnRef)
+    )
+    object.__setattr__(ref, "column", "ghost_column")
+    _assert_fires(catalog, plan, "PLN001")
+
+
+def test_pln002_predicate_before_access_step(catalog):
+    graph, plan = _root_plan(catalog, INDEX_JOIN)
+    _assert_clean(catalog, plan)
+    predicate = next(
+        s for s in plan.steps if isinstance(s, PredicateStep)
+    )
+    plan.steps.remove(predicate)
+    plan.steps.insert(0, predicate)  # reads quantifiers before they bind
+    _assert_fires(catalog, plan, "PLN002")
+
+
+def test_pln002_subquery_eval_before_correlation_binds(catalog):
+    graph, plan = _root_plan(catalog, CORRELATED_COUNT)
+    _assert_clean(catalog, plan)
+    # Move the scalar-subquery evaluation ahead of the scan that binds
+    # its correlation quantifier.
+    eval_step = plan.steps.pop(1)
+    plan.steps.insert(0, eval_step)
+    _assert_fires(catalog, plan, "PLN002")
+
+
+def test_pln003_wrong_index_name(catalog):
+    graph, plan = _root_plan(catalog, INDEX_JOIN)
+    lookup = next(
+        s for s in plan.steps if isinstance(s, IndexLookupStep)
+    )
+    lookup.index_name = "no_such_index"
+    _assert_fires(catalog, plan, "PLN003")
+
+
+def test_pln003_keys_matching_no_index(catalog):
+    graph, plan = _root_plan(catalog, INDEX_JOIN)
+    lookup = next(
+        s for s in plan.steps if isinstance(s, IndexLookupStep)
+    )
+    lookup.key_columns = ("salary",)
+    _assert_fires(catalog, plan, "PLN003")
+
+
+def test_pln004_scan_falsely_marked_correlated(catalog):
+    graph, plan = _root_plan(catalog, INDEX_JOIN)
+    scan = next(s for s in plan.steps if isinstance(s, ScanStep))
+    scan.correlated_to_self = True
+    _assert_fires(catalog, plan, "PLN004")
+
+
+def test_pln004_correlated_scan_unmarked(catalog):
+    graph = build_qgm(parse_statement(CORRELATED_COUNT), catalog)
+    # The subquery's emp access is correlated to the *outer* box, not to
+    # its own; build a self-correlated shape instead: plan the outer box
+    # of a query whose FROM ranges over a derived table referencing a
+    # sibling -- simplest seeded form: take the clean plan of the outer
+    # box and falsely clear a marking the planner set. The NI plan of the
+    # outer box has no correlated scan, so mutate the *verifier's* input:
+    # claim the subquery scan is uncorrelated by planning the inner box
+    # and flipping.
+    inner = next(
+        b for b in iter_boxes(graph.root)
+        if isinstance(b, SelectBox) and b is not graph.root
+    )
+    plan = plan_select_box(catalog, inner)
+    _assert_clean(catalog, plan)
+    # The inner box's index lookup binds e; degrade it to a scan wrongly
+    # marked uncorrelated *after* making its subtree self-referential:
+    # flipping correlated_to_self on a scan whose subtree the verifier
+    # recomputes is exactly the disagreement PLN004 encodes.
+    steps = [s for s in plan.steps if isinstance(s, (ScanStep,))]
+    if not steps:  # index lookup plan: replace with a mismarked scan
+        lookup = next(
+            s for s in plan.steps if isinstance(s, IndexLookupStep)
+        )
+        plan.steps[plan.steps.index(lookup)] = ScanStep(
+            lookup.quantifier, correlated_to_self=True
+        )
+    else:
+        steps[0].correlated_to_self = True
+    _assert_fires(catalog, plan, "PLN004")
+
+
+def test_pln008_negative_cardinality(catalog):
+    graph, plan = _root_plan(catalog, INDEX_JOIN)
+    plan.estimated_rows = -4.0
+    _assert_fires(catalog, plan, "PLN008")
+
+
+def test_pln008_nan_cardinality(catalog):
+    graph, plan = _root_plan(catalog, INDEX_JOIN)
+    plan.estimated_rows = float("nan")
+    _assert_fires(catalog, plan, "PLN008")
+
+
+def test_pln009_hash_join_arity_mismatch(catalog):
+    graph, plan = _root_plan(catalog, HASH_JOIN)
+    _assert_clean(catalog, plan)
+    join = next(s for s in plan.steps if isinstance(s, HashJoinStep))
+    join.null_safe = (False,) * (len(join.build_exprs) + 1)
+    _assert_fires(catalog, plan, "PLN009")
+
+
+def test_pln009_index_key_arity_mismatch(catalog):
+    graph, plan = _root_plan(catalog, INDEX_JOIN)
+    lookup = next(
+        s for s in plan.steps if isinstance(s, IndexLookupStep)
+    )
+    lookup.key_exprs = lookup.key_exprs + lookup.key_exprs
+    _assert_fires(catalog, plan, "PLN009")
+
+
+def test_pln010_dropped_access_step(catalog):
+    graph, plan = _root_plan(catalog, INDEX_JOIN)
+    access = next(
+        s for s in plan.steps
+        if isinstance(s, (ScanStep, IndexLookupStep, HashJoinStep))
+    )
+    plan.steps.remove(access)
+    _assert_fires(catalog, plan, "PLN010")
+
+
+def test_pln010_duplicated_access_step(catalog):
+    graph, plan = _root_plan(catalog, INDEX_JOIN)
+    scan = next(s for s in plan.steps if isinstance(s, ScanStep))
+    plan.steps.append(ScanStep(scan.quantifier))
+    _assert_fires(catalog, plan, "PLN010")
+
+
+# -- graph mutations (PLN001, PLN005-PLN007) -----------------------------------
+
+
+def test_pln001_renamed_producer_output(catalog):
+    graph = build_qgm(parse_statement(CORRELATED_COUNT), catalog)
+    engine = RewriteEngine(catalog, validate=False)
+    graph = engine.rewrite(graph, Strategy("magic"))
+    assert not [
+        d for d in interface_diagnostics(graph, catalog)
+        if d.severity is Severity.ERROR
+    ]
+    victim_box = graph.root.quantifiers[0].box
+    victim_box.outputs[0].name = "renamed_away"
+    codes = _codes(interface_diagnostics(graph, catalog))
+    assert "PLN001" in codes
+
+
+def test_pln005_sum_over_string(catalog):
+    graph = build_qgm(parse_statement(
+        "SELECT d.name FROM dept d WHERE d.budget > "
+        "(SELECT sum(e.name) FROM emp e WHERE e.building = d.building)"
+    ), catalog)
+    assert "PLN005" in _codes(interface_diagnostics(graph, catalog))
+
+
+def test_pln006_stripped_coalesce_guard(catalog):
+    # Ganski/Wong without its COALESCE fix: the grouped COUNT flows
+    # through the outer join raw, so empty groups yield NULL where the
+    # original query produced 0 -- the nullable face of the COUNT bug.
+    from repro.qgm.model import OuterJoinBox
+
+    graph = build_qgm(parse_statement(CORRELATED_COUNT), catalog)
+    engine = RewriteEngine(catalog, validate=False)
+    graph = engine.rewrite(graph, Strategy("ganski_wong"))
+    assert not [
+        d for d in interface_diagnostics(graph, catalog)
+        if d.code in ("PLN006", "PLN007")
+    ]
+    outer = next(
+        b for b in iter_boxes(graph.root) if isinstance(b, OuterJoinBox)
+    )
+    for output in outer.outputs:
+        expr = output.expr
+        if getattr(expr, "name", "").lower() == "coalesce":
+            output.expr = expr.args[0]  # strip the guard
+    assert "PLN006" in _codes(interface_diagnostics(graph, catalog))
+
+
+def test_pln007_kim_rewrite_count_bug(catalog):
+    # Not a synthetic mutation: Kim's actual rewrite output IS the seeded
+    # defect -- the analyzer proves the paper's section 2.1 claim.
+    graph = build_qgm(parse_statement(CORRELATED_COUNT), catalog)
+    engine = RewriteEngine(catalog, validate=False)
+    graph = engine.rewrite(graph, Strategy("kim"))
+    assert "PLN007" in _codes(interface_diagnostics(graph, catalog))
+
+
+def test_mutation_coverage_is_at_least_ten_distinct_codes():
+    """The acceptance bar: this suite seeds >= 10 distinct diagnostics."""
+    import inspect
+    import sys
+
+    module = sys.modules[__name__]
+    source = inspect.getsource(module)
+    seeded = {
+        code for code in (
+            [f"PLN{i:03d}" for i in range(1, 11)]
+            + ["CONC001", "CONC002", "CONC003"]
+        )
+        if f'"{code}"' in source
+    }
+    assert len(seeded) >= 10, sorted(seeded)
+
+
+# -- concurrency-lint mutations (CONC001-CONC003) ------------------------------
+
+SERVICE_OK = '''
+import threading
+
+class QueryService:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queue = []
+
+    def submit(self, item):
+        with self._lock:
+            self._queue.append(item)
+'''
+
+SERVICE_UNGUARDED = SERVICE_OK.replace(
+    "        with self._lock:\n            self._queue.append(item)",
+    "        self._queue.append(item)",
+)
+
+ORDER_VIOLATION = '''
+class Table:
+    def refresh(self, catalog):
+        with self._lock:
+            with catalog._lock:
+                pass
+'''
+
+SELF_DEADLOCK = '''
+class Table:
+    def grow(self):
+        with self._lock:
+            with self._lock:
+                pass
+'''
+
+REENTRANT_OK = '''
+class Catalog:
+    def create(self, table):
+        with self._lock:
+            with self._lock:
+                self._tables["x"] = table
+'''
+
+UNDECLARED_LOCK = '''
+import threading
+
+class Table:
+    def audit(self):
+        with self._stats_lock:
+            pass
+'''
+
+CALLER_HOLDS_EXEMPT = '''
+class CircuitBreaker:
+    def _transition(self, to_state):
+        """Move to ``to_state`` (caller holds the lock)."""
+        self._state = to_state
+'''
+
+
+def test_conc_clean_fixture_has_no_findings():
+    assert lint_source(SERVICE_OK, "fixture.py") == []
+
+
+def test_conc002_unguarded_mutation():
+    codes = _codes(lint_source(SERVICE_UNGUARDED, "fixture.py"))
+    assert codes == {"CONC002"}
+
+
+def test_conc001_lock_order_violation():
+    codes = _codes(lint_source(ORDER_VIOLATION, "fixture.py"))
+    assert codes == {"CONC001"}
+
+
+def test_conc001_self_deadlock():
+    codes = _codes(lint_source(SELF_DEADLOCK, "fixture.py"))
+    assert codes == {"CONC001"}
+
+
+def test_conc001_reentrant_lock_may_nest():
+    assert lint_source(REENTRANT_OK, "fixture.py") == []
+
+
+def test_conc003_undeclared_lock():
+    codes = _codes(lint_source(UNDECLARED_LOCK, "fixture.py"))
+    assert codes == {"CONC003"}
+
+
+def test_conc002_caller_holds_docstring_exempts():
+    assert lint_source(CALLER_HOLDS_EXEMPT, "fixture.py") == []
+
+
+def test_whole_graph_verifier_catches_plan_mutation_via_query_plan(catalog):
+    # verify_query_plan plans fresh step lists, so graph-level corruption
+    # is what reaches it: rename an output column its consumer (the AVG
+    # aggregate above the inner select) references by name.
+    graph = build_qgm(parse_statement(
+        "SELECT d.name FROM dept d WHERE d.budget > "
+        "(SELECT avg(e.salary) FROM emp e WHERE e.building = d.building)"
+    ), catalog)
+    diags, summary = verify_query_plan(catalog, graph)
+    assert summary["errors"] == 0
+    inner = next(
+        b for b in iter_boxes(graph.root)
+        if isinstance(b, SelectBox) and b is not graph.root
+    )
+    inner.outputs[0].name = "gone"
+    diags, summary = verify_query_plan(catalog, graph)
+    assert summary["errors"] > 0
+    assert "PLN001" in _codes(diags)

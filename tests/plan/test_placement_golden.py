@@ -1,0 +1,154 @@
+"""Golden plan shapes: cost-based subquery placement on the paper's
+TPC-D queries (section 7), pinned per strategy.
+
+The interesting decision is *where* the planner parks a correlated
+scalar subquery among the join barriers:
+
+* Query 1's subquery (a three-way join probe) is expensive, so it runs
+  last -- after ``p``, ``s`` and ``ps`` are all bound;
+* Query 2's subquery depends only on ``p`` and is cheap (indexed), so it
+  runs immediately after ``p`` binds, *before* the big ``lineitem``
+  quantifier is even joined;
+* Query 3's correlated table expression becomes a correlated scan, after
+  the supplier quantifier that feeds it.
+
+Quantifier names carry a global freshness counter, so shapes are
+normalized (trailing digits stripped) to stay stable under any test
+ordering."""
+
+import re
+
+import pytest
+
+from repro.api.strategies import Strategy
+from repro.plan.planner import (
+    HashJoinStep,
+    IndexLookupStep,
+    PredicateStep,
+    ScanStep,
+    SubqueryEvalStep,
+    plan_select_box,
+)
+from repro.qgm import build_qgm
+from repro.qgm.analysis import iter_boxes
+from repro.qgm.model import SelectBox
+from repro.rewrite import RewriteEngine
+from repro.sql.parser import parse_statement
+from repro.tpcd import QUERY_1, QUERY_2, QUERY_3, load_tpcd
+
+
+@pytest.fixture(scope="module")
+def tpcd_catalog():
+    return load_tpcd(scale_factor=0.01)
+
+
+def _shape(plan):
+    tokens = []
+    for step in plan.steps:
+        if isinstance(step, ScanStep):
+            name = re.sub(r"\d+$", "", step.quantifier.name)
+            tokens.append(
+                f"scan:{name}+corr" if step.correlated_to_self
+                else f"scan:{name}"
+            )
+        elif isinstance(step, IndexLookupStep):
+            name = re.sub(r"\d+$", "", step.quantifier.name)
+            tokens.append(f"index:{name}:{step.index_name}")
+        elif isinstance(step, HashJoinStep):
+            tokens.append("hash:" + re.sub(r"\d+$", "", step.quantifier.name))
+        elif isinstance(step, PredicateStep):
+            tokens.append("filter")
+        elif isinstance(step, SubqueryEvalStep):
+            tokens.append("subquery")
+    return tokens
+
+
+def _plans(catalog, sql, strategy):
+    graph = build_qgm(parse_statement(sql), catalog)
+    engine = RewriteEngine(catalog, validate=False)
+    graph = engine.rewrite(graph, Strategy(strategy))
+    shapes = {}
+    for box in iter_boxes(graph.root):
+        if isinstance(box, SelectBox):
+            plan = plan_select_box(catalog, box)
+            shapes[box] = (_shape(plan), box is graph.root)
+    return shapes
+
+
+def _root_shape(catalog, sql, strategy):
+    shapes = _plans(catalog, sql, strategy)
+    return next(s for s, is_root in shapes.values() if is_root)
+
+
+def _subquery_shape(catalog, sql, strategy):
+    shapes = _plans(catalog, sql, strategy)
+    return next(s for s, _ in shapes.values() if "subquery" in s)
+
+
+# -- Query 1: expensive subquery runs after every join -------------------------
+
+
+def test_q1_ni_places_subquery_after_all_joins(tpcd_catalog):
+    assert _root_shape(tpcd_catalog, QUERY_1, "ni") == [
+        "index:s:s_nation_idx", "filter",
+        "index:ps:ps_suppkey_idx", "filter",
+        "index:p:parts_pkey", "filter",
+        "filter", "filter",
+        "subquery", "filter",
+    ]
+
+
+def test_q1_kim_decorrelates_into_hash_join(tpcd_catalog):
+    shape = _root_shape(tpcd_catalog, QUERY_1, "kim")
+    assert "subquery" not in shape
+    assert "hash:kim" in shape
+
+
+def test_q1_dayal_collapses_to_derived_scan(tpcd_catalog):
+    assert _root_shape(tpcd_catalog, QUERY_1, "dayal") == [
+        "scan:dtop", "filter",
+    ]
+
+
+def test_q1_magic_joins_supplementary_tables(tpcd_catalog):
+    assert _root_shape(tpcd_catalog, QUERY_1, "magic") == [
+        "scan:supp", "scan:dco", "filter", "filter",
+    ]
+
+
+# -- Query 2: cheap keyed subquery runs as early as its dependency allows -----
+
+
+def test_q2_ni_places_subquery_before_lineitem_joins(tpcd_catalog):
+    shape = _subquery_shape(tpcd_catalog, QUERY_2, "ni")
+    assert shape == [
+        "index:p:p_brand_idx", "filter", "filter",
+        "subquery",
+        "index:l:l_partkey_idx", "filter", "filter",
+    ]
+    # The pin that matters: the subquery depends only on p, and the cost
+    # model schedules it before the (much larger) lineitem quantifier.
+    assert shape.index("subquery") < shape.index("index:l:l_partkey_idx")
+
+
+@pytest.mark.parametrize("strategy", ["kim", "dayal", "magic"])
+def test_q2_decorrelated_strategies_have_no_subquery_step(
+    tpcd_catalog, strategy
+):
+    shapes = _plans(tpcd_catalog, QUERY_2, strategy)
+    assert all("subquery" not in s for s, _ in shapes.values())
+
+
+# -- Query 3: non-linear query -> correlated scan, magic -> hash join ---------
+
+
+def test_q3_ni_uses_correlated_scan_after_supplier(tpcd_catalog):
+    assert _root_shape(tpcd_catalog, QUERY_3, "ni") == [
+        "index:s:s_region_idx", "filter", "scan:dt+corr",
+    ]
+
+
+def test_q3_magic_replaces_correlated_scan_with_hash_join(tpcd_catalog):
+    assert _root_shape(tpcd_catalog, QUERY_3, "magic") == [
+        "scan:supp", "hash:dt", "filter",
+    ]
