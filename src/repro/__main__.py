@@ -147,6 +147,122 @@ def cmd_shell(args: argparse.Namespace) -> int:
             print(f"error: {exc}")
 
 
+def _cmd_worker_soak(args: argparse.Namespace) -> int:
+    """The ``repro soak --real-workers`` path: chaos-soak the real
+    shared-nothing executor.
+
+    Each epoch runs one full section-6 query on a fresh pool of real
+    worker processes, SIGKILLs one worker mid-query (unless ``--no-kill``)
+    and injects any ``--faults`` process-level sites on top. Exit ``0``
+    when every epoch produced the reference answer (directly or via a
+    recorded degradation) or a typed error AND the ``worker.*`` event
+    counts reconcile with the pool counters; ``1`` on any violation;
+    ``2`` on bad configuration.
+    """
+    import faulthandler
+    import json
+
+    from .serve.soak import run_worker_soak
+
+    # Worker recovery is bounded by task_timeout * attempts per epoch; a
+    # minute per epoch is a generous hang watchdog. A replaced stderr
+    # (in-process test capture) has no fileno -- run unguarded then.
+    watchdog = True
+    try:
+        faulthandler.enable()
+        faulthandler.dump_traceback_later(
+            args.epochs * 60.0 + 120.0, exit=True
+        )
+    except (OSError, RuntimeError):
+        watchdog = False
+    events_log = None
+    file_sink = None
+    ring = None
+    if args.events_out:
+        from .obs import EventLog, FileSink, RingSink, TeeSink
+
+        ring = RingSink(capacity=65536)
+        file_sink = FileSink(args.events_out)
+        events_log = EventLog(TeeSink(ring, file_sink))
+    try:
+        try:
+            report = run_worker_soak(
+                epochs=args.epochs,
+                n_workers=args.workers,
+                seed=args.seed,
+                faults=args.faults,
+                kill_per_epoch=not args.no_kill,
+                events=events_log,
+                # The tee log is fresh, so forcing reconciliation is safe.
+                reconcile=True if events_log is not None else None,
+            )
+        except ValueError as exc:
+            print(f"soak: bad configuration: {exc}", file=sys.stderr)
+            return 2
+    finally:
+        if watchdog:
+            faulthandler.cancel_dump_traceback_later()
+        if file_sink is not None:
+            file_sink.close()
+    if ring is not None:
+        from .obs import validate_events
+
+        try:
+            count = validate_events(ring.events())
+        except ReproError as exc:
+            print(f"soak: event stream invalid: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.events_out} ({count} events)")
+    if not args.no_history:
+        from .bench import history as bench_history
+        from .errors import HistoryError
+
+        try:
+            record = bench_history.make_record(
+                "worker_soak",
+                epochs=report.epochs,
+                n_workers=report.n_workers,
+                seconds=round(report.seconds, 3),
+                kills=report.kills,
+                workers_lost=report.workers_lost,
+                retries=report.retries,
+                recovery_time_s=round(report.recovery_time, 6),
+                messages=report.messages,
+                ok=report.ok,
+                seed=args.seed,
+                faults=args.faults or "",
+            )
+            written = bench_history.append_record(record, path=args.history)
+        except HistoryError as exc:
+            print(f"soak: history not recorded: {exc}", file=sys.stderr)
+        else:
+            if written is not None:
+                print(f"appended history record to {written}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    outcomes = ", ".join(
+        f"{k}={v}" for k, v in sorted(report.outcomes.items())
+    )
+    print(
+        f"worker soak: {report.epochs} epochs x {report.n_workers} workers "
+        f"in {report.seconds:.2f}s -- {outcomes or 'no epochs'}; "
+        f"{report.kills} kills, {report.workers_lost} workers lost, "
+        f"{report.retries} retries, recovery {report.recovery_time:.3f}s, "
+        f"{report.messages} messages"
+    )
+    for kind, n in sorted(report.event_counts.items()):
+        print(f"  {kind:<18} {n}")
+    if not report.ok:
+        for violation in report.violations:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    print("worker soak: all invariants held")
+    return 0
+
+
 def cmd_soak(args: argparse.Namespace) -> int:
     """``repro soak``: the chaos soak harness for the query service.
 
@@ -165,6 +281,8 @@ def cmd_soak(args: argparse.Namespace) -> int:
 
     from .serve.soak import run_soak
 
+    if args.real_workers:
+        return _cmd_worker_soak(args)
     faulthandler.enable()
     # A hard watchdog: if the soak (including drain) wedges, dump every
     # thread's stack and kill the process rather than hang CI.
@@ -327,6 +445,80 @@ def cmd_soak(args: argparse.Namespace) -> int:
         return 1
     print("soak: all invariants held")
     return 0
+
+
+def cmd_parallel(args: argparse.Namespace) -> int:
+    """``repro parallel``: the section-6 shared-nothing comparison.
+
+    By default prices NI vs the decorrelated plan in the cost simulator
+    at the given cluster size. ``--real`` additionally executes both
+    plans on real worker processes (the measured run), prints the
+    measured-vs-simulated calibration report and appends the measured
+    rows plus a calibration record to the perf history
+    (``BENCH_history.jsonl``). ``--faults`` injects the process-level
+    sites (``worker.crash``/``worker.stall``/``exchange.drop``) into the
+    measured runs only.
+
+    Exit ``0`` when all four answers agree (and, fault-free, measured
+    message counts exactly match the simulator); ``1`` otherwise.
+    """
+    import json
+
+    from .faults import FaultRegistry
+    from .parallel import simulate_decorrelated, simulate_nested_iteration
+    from .tpcd import load_empdept
+
+    try:
+        faults = FaultRegistry.parse(args.faults) if args.faults else None
+    except ValueError as exc:
+        raise SystemExit(f"--faults: {exc}")
+    catalog = load_empdept(
+        n_depts=args.depts, n_emps=args.emps, n_buildings=8, seed=args.seed
+    )
+    dept_rows = list(catalog.table("dept").rows)
+    emp_rows = list(catalog.table("emp").rows)
+
+    if not args.real:
+        sim_ni = simulate_nested_iteration(dept_rows, emp_rows, args.workers)
+        sim_mag = simulate_decorrelated(dept_rows, emp_rows, args.workers)
+        print(
+            f"simulated section 6 @ {args.workers} nodes "
+            f"({args.depts} dept x {args.emps} emp):"
+        )
+        for name, m in (("ni", sim_ni), ("decorrelated", sim_mag)):
+            print(
+                f"  {name:<14} makespan={m.makespan:>10.1f} "
+                f"messages={m.messages:>6} fragments={m.fragments:>6}"
+            )
+        if sim_mag.makespan > 0:
+            print(
+                f"  NI/decorrelated makespan ratio: "
+                f"{sim_ni.makespan / sim_mag.makespan:.2f}x"
+            )
+        return 0
+
+    from .bench.calibration import render_calibration, run_calibration
+
+    report = run_calibration(
+        dept_rows,
+        emp_rows,
+        n_workers=args.workers,
+        faults=faults,
+        history_path=args.history,
+        record_history=not args.no_history,
+    )
+    print(render_calibration(report))
+    if not args.no_history:
+        print("appended measured + calibration records to perf history")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    ok = report["answers_agree"] and (
+        report["faulty"] or report["calibration"]["messages_exact"]
+    )
+    return 0 if ok else 1
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -924,7 +1116,47 @@ def main(argv: list[str] | None = None) -> int:
     p_soak.add_argument("--no-history", action="store_true",
                         dest="no_history",
                         help="skip the perf-history append")
+    p_soak.add_argument("--real-workers", action="store_true",
+                        dest="real_workers",
+                        help="chaos-soak the real worker-process executor "
+                             "instead of the query service (--workers then "
+                             "counts processes; one is SIGKILLed per epoch)")
+    p_soak.add_argument("--epochs", type=int, default=4,
+                        help="query epochs for --real-workers")
+    p_soak.add_argument("--no-kill", action="store_true", dest="no_kill",
+                        help="with --real-workers, skip the per-epoch "
+                             "SIGKILL (fault spec only)")
     p_soak.set_defaults(fn=cmd_soak)
+
+    p_par = sub.add_parser(
+        "parallel",
+        help="section-6 shared-nothing comparison: simulator, or --real "
+             "worker processes with measured-vs-simulated calibration",
+    )
+    p_par.add_argument("--workers", "--nodes", type=int, default=4,
+                       dest="workers",
+                       help="cluster size (simulator nodes / real processes)")
+    p_par.add_argument("--depts", type=int, default=40,
+                       help="DEPT rows to generate")
+    p_par.add_argument("--emps", type=int, default=300,
+                       help="EMP rows to generate")
+    p_par.add_argument("--seed", type=int, default=2,
+                       help="data-generator seed")
+    p_par.add_argument("--real", action="store_true",
+                       help="also execute on real worker processes and "
+                            "print the calibration report")
+    p_par.add_argument("--faults", default=None, metavar="SEED:SPEC",
+                       help="process-level fault injection for the measured "
+                            "runs, e.g. '7:worker.crash=0.05'")
+    p_par.add_argument("--history", default=None, metavar="PATH",
+                       help="perf-history JSONL to append measured rows to "
+                            "(default BENCH_history.jsonl)")
+    p_par.add_argument("--no-history", action="store_true",
+                       dest="no_history",
+                       help="skip the perf-history append")
+    p_par.add_argument("--json", default=None, metavar="PATH",
+                       help="write the calibration report as JSON")
+    p_par.set_defaults(fn=cmd_parallel)
 
     p_shell = sub.add_parser("shell", help="interactive SQL shell")
     p_shell.add_argument("--strategy", default="ni")

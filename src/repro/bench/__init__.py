@@ -16,6 +16,11 @@ from .figures import (
     figure9,
     table1,
 )
+from .calibration import (
+    qerror,
+    render_calibration,
+    run_calibration,
+)
 
 __all__ = [
     "BenchResult",
@@ -30,4 +35,7 @@ __all__ = [
     "figure7",
     "figure8",
     "figure9",
+    "qerror",
+    "render_calibration",
+    "run_calibration",
 ]

@@ -1,0 +1,215 @@
+"""Measured-vs-simulated calibration of the section-6 parallel claim.
+
+The simulator (:mod:`repro.parallel.simulate`) prices the paper's
+shared-nothing execution strategies in abstract cost units; the real
+executor (:mod:`repro.parallel.workers`) measures them in seconds on
+worker processes. This module runs both over the same data and the same
+cluster size and reports how well the simulation predicts reality.
+
+Two comparisons, deliberately different in strength:
+
+* **Messages** are directly comparable: both sides count point-to-point
+  messages under the same batching and the same crc32 placement, so in a
+  fault-free run the measured count must *equal* the simulated count --
+  a closed-loop check that the executor implements exactly the exchange
+  plan the simulator priced (``messages_exact``).
+* **Makespans** live in different units (cost units vs. seconds), so the
+  comparison is unit-free: the *advantage ratio* ``NI makespan /
+  decorrelated makespan`` from each side, scored with the q-error
+  ``max(a/b, b/a)`` familiar from cardinality-estimation work -- a
+  q-error of 1.0 means the simulator predicts the measured speedup
+  perfectly; 2.0 means it is off by at most 2x in either direction.
+
+:func:`run_calibration` produces the report and (optionally) appends one
+``parallel_section6`` record per strategy plus one ``parallel_calibration``
+record to ``BENCH_history.jsonl`` -- the measured rows the acceptance
+criterion asks for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..parallel import (
+    run_real_decorrelated,
+    run_real_nested_iteration,
+    simulate_decorrelated,
+    simulate_nested_iteration,
+)
+from .history import append_record, make_record
+
+
+def qerror(a: float, b: float) -> float:
+    """The symmetric ratio error ``max(a/b, b/a)`` (1.0 = perfect); inf
+    when exactly one side is zero, 1.0 when both are."""
+    if a == b:
+        return 1.0
+    if a <= 0 or b <= 0:
+        return float("inf")
+    return max(a / b, b / a)
+
+
+def run_calibration(
+    dept_rows: list,
+    emp_rows: list,
+    n_workers: int = 4,
+    budget_limit: float = 10000.0,
+    faults=None,
+    events=None,
+    history_path: Optional[str] = None,
+    record_history: bool = True,
+    **pool_kwargs,
+) -> dict:
+    """Run NI and the decorrelated plan both simulated and measured.
+
+    Returns the calibration report (see module docstring); with
+    ``record_history=True`` also appends the per-strategy measured rows
+    and the calibration summary to the benchmark history. ``faults`` (a
+    :class:`~repro.faults.FaultRegistry`) applies to the *measured* runs
+    only -- the simulated side stays fault-free as the prediction being
+    tested; with faults injected, ``messages_exact`` is expected to be
+    False (recovery traffic is real) and is reported, not asserted.
+    """
+    sim_ni = simulate_nested_iteration(
+        dept_rows, emp_rows, n_workers, budget_limit=budget_limit
+    )
+    sim_mag = simulate_decorrelated(
+        dept_rows, emp_rows, n_workers, budget_limit=budget_limit
+    )
+    real_ni = run_real_nested_iteration(
+        dept_rows, emp_rows, n_workers, budget_limit=budget_limit,
+        faults=faults.replica() if faults is not None else None,
+        events=events, **pool_kwargs,
+    )
+    real_mag = run_real_decorrelated(
+        dept_rows, emp_rows, n_workers, budget_limit=budget_limit,
+        faults=faults.replica() if faults is not None else None,
+        events=events, **pool_kwargs,
+    )
+
+    answers_agree = (
+        sorted(sim_ni.answer) == sorted(sim_mag.answer)
+        == real_ni.answer == real_mag.answer
+    )
+    sim_advantage = (
+        sim_ni.makespan / sim_mag.makespan if sim_mag.makespan > 0 else 0.0
+    )
+    measured_advantage = (
+        real_ni.makespan / real_mag.makespan
+        if real_mag.makespan > 0 else 0.0
+    )
+    report = {
+        "n_workers": n_workers,
+        "dept_rows": len(dept_rows),
+        "emp_rows": len(emp_rows),
+        "faulty": faults is not None,
+        "answers_agree": answers_agree,
+        "simulated": {
+            "ni": {"makespan": sim_ni.makespan,
+                   "messages": sim_ni.messages,
+                   "fragments": sim_ni.fragments},
+            "decorrelated": {"makespan": sim_mag.makespan,
+                             "messages": sim_mag.messages,
+                             "fragments": sim_mag.fragments},
+            "advantage": round(sim_advantage, 4),
+        },
+        "measured": {
+            "ni": _measured_dict(real_ni),
+            "decorrelated": _measured_dict(real_mag),
+            "advantage": round(measured_advantage, 4),
+        },
+        "calibration": {
+            # Message counts must match exactly in a fault-free run.
+            "messages_exact": (
+                real_ni.messages == sim_ni.messages
+                and real_mag.messages == sim_mag.messages
+            ),
+            "ni_message_qerror": qerror(real_ni.messages, sim_ni.messages),
+            "decorrelated_message_qerror": qerror(
+                real_mag.messages, sim_mag.messages
+            ),
+            # Unit-free: does the simulator predict the measured speedup?
+            "advantage_qerror": round(
+                qerror(measured_advantage, sim_advantage), 4
+            ),
+        },
+    }
+    if record_history:
+        for run in (real_ni, real_mag):
+            append_record(
+                make_record(
+                    "parallel_section6",
+                    strategy=run.strategy,
+                    n_workers=run.n_workers,
+                    makespan_s=round(run.makespan, 6),
+                    messages=run.messages,
+                    fragments=run.fragments,
+                    rows_processed=run.rows_processed,
+                    retries=run.retries,
+                    workers_lost=run.workers_lost,
+                    recovery_time_s=round(run.recovery_time, 6),
+                    degraded=run.degraded,
+                    faulty=faults is not None,
+                ),
+                path=history_path,
+            )
+        append_record(
+            make_record(
+                "parallel_calibration",
+                n_workers=n_workers,
+                answers_agree=answers_agree,
+                simulated_advantage=round(sim_advantage, 4),
+                measured_advantage=round(measured_advantage, 4),
+                advantage_qerror=report["calibration"]["advantage_qerror"],
+                messages_exact=report["calibration"]["messages_exact"],
+                faulty=faults is not None,
+            ),
+            path=history_path,
+        )
+    return report
+
+
+def _measured_dict(run) -> dict:
+    return {
+        "makespan": round(run.makespan, 6),
+        "messages": run.messages,
+        "fragments": run.fragments,
+        "retries": run.retries,
+        "workers_lost": run.workers_lost,
+        "recovery_time": round(run.recovery_time, 6),
+        "degraded": run.degraded,
+    }
+
+
+def render_calibration(report: dict) -> str:
+    """The calibration report as a small human-readable table."""
+    sim, real, cal = (
+        report["simulated"], report["measured"], report["calibration"]
+    )
+    lines = [
+        f"section-6 calibration @ {report['n_workers']} workers "
+        f"({report['dept_rows']} dept x {report['emp_rows']} emp"
+        f"{', faults injected' if report['faulty'] else ''})",
+        f"{'':>22} {'simulated':>14} {'measured':>14}",
+    ]
+    for strategy in ("ni", "decorrelated"):
+        lines.append(
+            f"{strategy + ' makespan':>22} "
+            f"{sim[strategy]['makespan']:>14.3f} "
+            f"{real[strategy]['makespan']:>14.6f}"
+        )
+        lines.append(
+            f"{strategy + ' messages':>22} "
+            f"{sim[strategy]['messages']:>14} "
+            f"{real[strategy]['messages']:>14}"
+        )
+    lines.append(
+        f"{'NI/decorr ratio':>22} {sim['advantage']:>14.3f} "
+        f"{real['advantage']:>14.3f}"
+    )
+    lines.append(
+        f"messages exact: {cal['messages_exact']}   "
+        f"advantage q-error: {cal['advantage_qerror']:.3f}   "
+        f"answers agree: {report['answers_agree']}"
+    )
+    return "\n".join(lines)

@@ -165,6 +165,12 @@ class AdmissionRejected(ReproError):
     error. ``queue_depth``/``max_queue`` describe the wait queue at
     rejection time, ``in_flight`` the number of queries then executing;
     ``reason`` is ``"queue full"`` or ``"service closed"``.
+
+    ``retry_after_hint`` is the service's estimate, in seconds, of how
+    long the client should back off before resubmitting (``None`` when
+    retrying cannot help, e.g. the service is closed). Clients honouring
+    the hint avoid the hot-loop resubmission storm a blind
+    reject-and-retry produces.
     """
 
     def __init__(
@@ -173,15 +179,52 @@ class AdmissionRejected(ReproError):
         queue_depth: int,
         max_queue: int,
         in_flight: int = 0,
+        retry_after_hint: Optional[float] = None,
     ):
+        hint = (
+            f", retry after ~{retry_after_hint * 1000:.1f}ms"
+            if retry_after_hint is not None
+            else ""
+        )
         super().__init__(
             f"admission rejected ({reason}): queue depth {queue_depth}"
-            f"/{max_queue}, {in_flight} in flight"
+            f"/{max_queue}, {in_flight} in flight{hint}"
         )
         self.reason = reason
         self.queue_depth = queue_depth
         self.max_queue = max_queue
         self.in_flight = in_flight
+        self.retry_after_hint = retry_after_hint
+
+
+class WorkerError(ExecutionError):
+    """Base class for errors of the real shared-nothing executor
+    (:mod:`repro.parallel.workers`)."""
+
+
+class WorkerTaskError(WorkerError):
+    """A single task failed terminally on a worker: its retry budget is
+    exhausted (``attempts`` made) or the worker reported a non-retryable
+    error. ``task_id`` names the plan fragment."""
+
+    def __init__(self, task_id: str, attempts: int, message: str):
+        super().__init__(
+            f"worker task {task_id!r} failed after {attempts} attempt(s): "
+            f"{message}"
+        )
+        self.task_id = task_id
+        self.attempts = attempts
+
+
+class WorkerPoolError(WorkerError):
+    """The worker pool itself is unhealthy: too few live workers remain to
+    host every partition, or the pool was asked to run after :meth:`close`.
+    ``live``/``requested`` describe pool membership at failure time."""
+
+    def __init__(self, message: str, live: int = 0, requested: int = 0):
+        super().__init__(message)
+        self.live = live
+        self.requested = requested
 
 
 class FaultInjectedError(ReproError):

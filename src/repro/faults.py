@@ -57,6 +57,9 @@ FAULT_SITES: tuple[str, ...] = (
     "rewrite.strategy",      # decorrelation strategy application
     "cluster.deliver",       # parallel-simulator message delivery
     "cluster.node",          # parallel-simulator node processing step
+    "worker.crash",          # real worker process dies mid-task (os._exit)
+    "worker.stall",          # real worker stops heartbeating for a while
+    "exchange.drop",         # real worker drops a result message send
 )
 
 

@@ -93,6 +93,28 @@ class ExecutionGuard:
         """Bind the live metrics object counters are read from."""
         self.metrics = metrics
 
+    def absorb(self, delta: Optional[Metrics]) -> None:
+        """Fold a remote worker's :class:`Metrics` delta into the attached
+        metrics and re-check every budget.
+
+        The real shared-nothing executor accumulates work on *worker
+        processes*; the coordinator's guard only learns about it when a
+        result message arrives. ``absorb`` merges the delta with
+        ``Metrics.__add__`` (sums for counters, max for peaks) while
+        keeping the attached object's identity -- anything else holding a
+        reference to it (an execution context, a stats exporter) sees the
+        merged totals -- then runs :meth:`check` so a budget crossed by
+        remote work trips within one exchange round.
+        """
+        if delta is None:
+            return
+        if self.metrics is None:
+            self.attach(Metrics())
+        merged = self.metrics + delta
+        for field in dataclasses.fields(merged):
+            setattr(self.metrics, field.name, getattr(merged, field.name))
+        self.check()
+
     def cancel(self) -> None:
         """Request cooperative cancellation; the running query observes it
         at its next ``check()`` (one executor step at most)."""

@@ -62,6 +62,10 @@ EVENT_KINDS: tuple[str, ...] = (
     "breaker.transition",     # a circuit breaker changed state
     "fault.fired",            # a deterministic fault injection fired
     "plan.verified",          # the static plan verifier passed (contract summary)
+    "worker.spawned",         # a real worker process joined the pool
+    "worker.lost",            # a worker died or missed its heartbeats
+    "worker.retry",           # a lost task was re-dispatched (with backoff)
+    "worker.degraded",        # the pool fell back to single-process execution
 )
 
 _KIND_SET = frozenset(EVENT_KINDS)

@@ -1,19 +1,47 @@
-"""Shared-nothing parallel execution simulator (section 6 of the paper)."""
+"""Shared-nothing parallel execution (section 6 of the paper): the cost
+simulator (:mod:`.simulate`) and the real worker-process executor with
+crash recovery (:mod:`.workers`)."""
 
-from .cluster import Cluster, Node, hash_partition
+from .cluster import (
+    MEASURED_RETRY_POLICY,
+    SIMULATED_RETRY_POLICY,
+    Cluster,
+    Node,
+    RetryPolicy,
+    hash_partition,
+    partition_owner,
+)
 from .simulate import (
     ParallelMetrics,
     simulate_decorrelated,
     simulate_nested_iteration,
     sweep_nodes,
 )
+from .workers import (
+    WorkerPool,
+    WorkerRunMetrics,
+    local_reference,
+    run_real,
+    run_real_decorrelated,
+    run_real_nested_iteration,
+)
 
 __all__ = [
     "Cluster",
     "Node",
+    "RetryPolicy",
+    "SIMULATED_RETRY_POLICY",
+    "MEASURED_RETRY_POLICY",
     "hash_partition",
+    "partition_owner",
     "ParallelMetrics",
     "simulate_nested_iteration",
     "simulate_decorrelated",
     "sweep_nodes",
+    "WorkerPool",
+    "WorkerRunMetrics",
+    "local_reference",
+    "run_real",
+    "run_real_decorrelated",
+    "run_real_nested_iteration",
 ]

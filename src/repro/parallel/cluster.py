@@ -12,9 +12,12 @@ Failure model: with a :class:`repro.faults.FaultRegistry` attached, the
 soft fault sites ``cluster.node`` (a node crashes mid-step and the step is
 re-run after recovery) and ``cluster.deliver`` (a message is lost and
 re-sent after a timeout) fire deterministically from the registry seed.
-Each retry doubles the affected work/traffic and adds
-:data:`RETRY_BACKOFF` time units to the node, folded into its busy time
-and therefore the makespan -- answers are never affected, only cost.
+Each retry doubles the affected work/traffic and adds the cluster's
+:class:`RetryPolicy` delay for that attempt to the node, folded into its
+busy time and therefore the makespan -- answers are never affected, only
+cost. The default policy is flat at :data:`RETRY_BACKOFF` per retry; the
+real executor (:mod:`repro.parallel.workers`) accepts the same policy
+object so simulated and measured recovery share one schedule.
 """
 
 from __future__ import annotations
@@ -27,9 +30,65 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
     from ..faults import FaultRegistry
 
-#: Simulated recovery/timeout penalty per retry (same arbitrary time units
-#: as the row/message costs of :mod:`repro.parallel.simulate`).
+#: Base recovery/timeout penalty per retry (same arbitrary time units as
+#: the row/message costs of :mod:`repro.parallel.simulate`); the default
+#: :class:`RetryPolicy` of the simulator is flat at this value.
 RETRY_BACKOFF = 25.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    One policy object is shared by the cost simulator and the real worker
+    executor (:mod:`repro.parallel.workers`), so simulated and measured
+    recovery follow the same schedule -- only the unit differs (abstract
+    cost units in the simulator, seconds on real processes).
+
+    ``delay(attempt)`` is ``base_delay * multiplier**attempt``, stretched
+    by up to ``jitter`` (a fraction in ``[0, 1]``) using a crc32 draw on
+    ``(seed, attempt)`` -- no ``random`` module, so a seeded run replays
+    identically. ``max_attempts`` bounds the total tries of one task
+    (first attempt included); ``allows(attempt)`` says whether attempt
+    number ``attempt`` (0-based) may still run.
+    """
+
+    base_delay: float = RETRY_BACKOFF
+    multiplier: float = 1.0
+    jitter: float = 0.0
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0:
+            raise ValueError("retry base_delay must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("retry multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("retry jitter must be in [0, 1]")
+        if self.max_attempts < 1:
+            raise ValueError("retry max_attempts must be >= 1")
+
+    def allows(self, attempt: int) -> bool:
+        """May attempt number ``attempt`` (0-based) still run?"""
+        return attempt < self.max_attempts
+
+    def delay(self, attempt: int, seed: int = 0) -> float:
+        """The backoff before retry number ``attempt`` (0-based)."""
+        delay = self.base_delay * self.multiplier ** attempt
+        if self.jitter:
+            draw = zlib.crc32(f"{seed}:retry:{attempt}".encode()) / 2**32
+            delay *= 1.0 + self.jitter * draw
+        return delay
+
+
+#: The simulator's default: a flat RETRY_BACKOFF per retry, preserving the
+#: historical ``backoff_time == retries * RETRY_BACKOFF`` accounting.
+SIMULATED_RETRY_POLICY = RetryPolicy()
+
+#: The real executor's default (seconds): exponential with jitter, bounded.
+MEASURED_RETRY_POLICY = RetryPolicy(
+    base_delay=0.05, multiplier=2.0, jitter=0.25, max_attempts=4
+)
 
 
 @dataclass
@@ -54,14 +113,35 @@ class Node:
         )
 
 
+def partition_owner(key: Any, n_nodes: int) -> int:
+    """The node owning ``key`` under hash partitioning (NULL -> node 0).
+
+    Uses a stable hash (CRC32 of the repr) so placements -- and therefore
+    message counts, simulated or measured -- are reproducible across
+    processes regardless of PYTHONHASHSEED. Shared by the simulator and
+    the real worker executor so both ship exactly the same rows.
+    """
+    if key is None:
+        return 0
+    return zlib.crc32(repr(key).encode()) % n_nodes
+
+
 class Cluster:
     """A set of nodes plus hash-partitioned table storage."""
 
-    def __init__(self, n_nodes: int, faults: Optional["FaultRegistry"] = None):
+    def __init__(
+        self,
+        n_nodes: int,
+        faults: Optional["FaultRegistry"] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         if n_nodes < 1:
             raise ValueError("cluster needs at least one node")
         self.nodes = [Node(i) for i in range(n_nodes)]
         self.faults = faults
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else SIMULATED_RETRY_POLICY
+        )
         #: table name -> list of per-node row lists
         self.partitions: dict[str, list[list[tuple]]] = {}
 
@@ -71,15 +151,8 @@ class Cluster:
         return len(self.nodes)
 
     def owner(self, key: Any) -> int:
-        """The node owning ``key`` under hash partitioning (NULL -> node 0).
-
-        Uses a stable hash (CRC32 of the repr) so placements -- and
-        therefore simulated message counts -- are reproducible across
-        processes regardless of PYTHONHASHSEED.
-        """
-        if key is None:
-            return 0
-        return zlib.crc32(repr(key).encode()) % self.n_nodes
+        """The node owning ``key`` (see :func:`partition_owner`)."""
+        return partition_owner(key, self.n_nodes)
 
     def load_partitioned(
         self, name: str, rows: Iterable[tuple], key: Callable[[tuple], Any]
@@ -101,7 +174,8 @@ class Cluster:
 
         With faults attached, a fired ``cluster.deliver`` models one lost
         delivery: the batch is re-sent after a timeout, doubling its traffic
-        and charging the sender :data:`RETRY_BACKOFF`.
+        and charging the sender the :class:`RetryPolicy` delay for this
+        retry attempt.
         """
         if sender == receiver:
             return
@@ -109,8 +183,9 @@ class Cluster:
             "cluster.deliver", detail=f"{sender}->{receiver}"
         ):
             node = self.nodes[sender]
+            attempt = node.retries
             node.retries += 1
-            node.backoff_time += RETRY_BACKOFF
+            node.backoff_time += self.retry_policy.delay(attempt, seed=sender)
             n_messages *= 2
         self.nodes[sender].messages_sent += n_messages
         self.nodes[receiver].messages_received += n_messages
@@ -125,7 +200,8 @@ class Cluster:
 
         With faults attached, a fired ``cluster.node`` models the node
         crashing mid-step: after recovery the step re-runs from scratch
-        (doubled rows) plus :data:`RETRY_BACKOFF` recovery time.
+        (doubled rows) plus the :class:`RetryPolicy` delay for this retry
+        attempt as recovery time.
         """
         node = self.nodes[node_id]
         if (
@@ -134,8 +210,9 @@ class Cluster:
             and self.faults.should_fire("cluster.node", detail=f"node {node_id}")
         ):
             node.failures += 1
+            attempt = node.retries
             node.retries += 1
-            node.backoff_time += RETRY_BACKOFF
+            node.backoff_time += self.retry_policy.delay(attempt, seed=node_id)
             n_rows *= 2
         node.rows_processed += n_rows
 

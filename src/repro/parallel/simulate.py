@@ -34,7 +34,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..exec.metrics import Metrics
 from ..guard import guard_for
-from .cluster import Cluster, hash_partition
+from .cluster import Cluster, RetryPolicy, hash_partition
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
     from ..faults import FaultRegistry
@@ -121,9 +121,10 @@ def simulate_nested_iteration(
     budget_limit: float = 10000.0,
     faults: Optional["FaultRegistry"] = None,
     limits: Optional["Limits"] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> ParallelMetrics:
     """Section 6.1: broadcast-per-tuple nested iteration."""
-    cluster = Cluster(n_nodes, faults=faults)
+    cluster = Cluster(n_nodes, faults=faults, retry_policy=retry_policy)
     guard = guard_for(limits)
     if guard is not None:
         guard.attach(Metrics())
@@ -163,9 +164,10 @@ def simulate_decorrelated(
     budget_limit: float = 10000.0,
     faults: Optional["FaultRegistry"] = None,
     limits: Optional["Limits"] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> ParallelMetrics:
     """Section 6.2: the magic-decorrelated plan, fully partition-parallel."""
-    cluster = Cluster(n_nodes, faults=faults)
+    cluster = Cluster(n_nodes, faults=faults, retry_policy=retry_policy)
     guard = guard_for(limits)
     if guard is not None:
         guard.attach(Metrics())

@@ -1,0 +1,894 @@
+"""Real shared-nothing execution: worker processes with crash recovery.
+
+Where :mod:`repro.parallel.simulate` *prices* the paper's section-6
+execution strategies under a cost model, this module *runs* them: base
+tables are hash-partitioned across real ``multiprocessing`` worker
+processes, plan fragments execute inside each worker through the ordinary
+:class:`repro.Database` facade (parser, rewriter, iterator executor), and
+the coordinator merges partial results. The same strategies are measured:
+
+* ``nested_iteration`` -- per qualifying DEPT binding, a COUNT probe is
+  dispatched to every EMP partition (the O(n^2)-fragment pathology);
+* ``magic_decorrelated`` -- SUPP and EMP are repartitioned once on the
+  correlation attribute and the decorrelated query runs locally per
+  partition (the engine's MAGIC strategy inside each worker).
+
+Message accounting is *point-to-point parity* with the simulator: the
+coordinator mediates every exchange over queues, but messages are counted
+as if partitions shipped rows directly (loopback free, bulk rows batched
+``ROWS_PER_MESSAGE`` per message, the same crc32 :func:`partition_owner`
+placement), so a fault-free measured run reports exactly the simulator's
+message count -- the calibration hook of :mod:`repro.bench.calibration`.
+
+Robustness contract (the part the simulator only priced):
+
+* **Liveness.** Workers heartbeat on their result queue; the coordinator
+  timestamps arrivals with its own injectable clock. A worker is *lost*
+  when its process is dead or its last heartbeat is older than
+  ``heartbeat_timeout``. Lost is permanent -- a stalled worker that wakes
+  up is never re-admitted, only drained.
+* **Recovery.** The coordinator retains every partition it shipped, so
+  losing a worker re-ships only the lost partitions (under their
+  partition-scoped names, e.g. ``emp_p3``, which coexist on the
+  replacement) and re-dispatches only the orphaned tasks, with the
+  bounded exponential backoff of :class:`repro.parallel.cluster.RetryPolicy`.
+* **No partial results.** Every task carries an ``(task_id, attempt)``
+  epoch; marking a worker lost bumps the attempt of its in-flight tasks
+  *before* any further message is drained, so a late result from a
+  presumed-dead worker can never match and is dropped as stale. A merge
+  therefore sees each partition exactly once or the query fails typed.
+* **Degradation.** When a task exhausts its retry budget or the pool has
+  no live workers, the run degrades to single-process execution and
+  records a :class:`repro.rewrite.engine.DegradationEvent` -- the same
+  structure as the strategy-fallback chain.
+
+Fault injection: each worker builds its own :class:`FaultRegistry`
+(seed ``base_seed + worker_id``) and honours three process-level sites --
+``worker.crash`` (``os._exit`` before executing a task), ``worker.stall``
+(sleep through several heartbeat windows) and ``exchange.drop`` (compute a
+result, never send it; the coordinator recovers via the task timeout).
+
+Transport note: worker-to-coordinator messages (heartbeats, counts,
+qualifying-row lists) stay far below Linux's ``PIPE_BUF`` (4096 bytes is
+the portable floor; 64KiB in practice), so a SIGKILL mid-send cannot leave
+a torn frame on the per-worker result queue; bulk data only ever flows
+coordinator-to-workers, and the coordinator is never killed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+import zlib
+from dataclasses import dataclass, field
+from queue import Empty
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
+
+from ..errors import WorkerPoolError, WorkerTaskError
+from ..exec.metrics import Metrics
+from ..guard import guard_for
+from ..rewrite.engine import DegradationEvent
+from .cluster import (
+    MEASURED_RETRY_POLICY,
+    ROWS_PER_MESSAGE,
+    RetryPolicy,
+    partition_owner,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..faults import FaultRegistry
+    from ..guard import Limits
+
+#: Column specs shipped to workers: (name, SQLType member name, nullable).
+DEPT_COLUMNS: tuple = (
+    ("name", "STR", False),
+    ("budget", "FLOAT", True),
+    ("num_emps", "INT", True),
+    ("building", "STR", True),
+)
+EMP_COLUMNS: tuple = (
+    ("empno", "INT", False),
+    ("name", "STR", True),
+    ("building", "STR", True),
+    ("salary", "FLOAT", True),
+)
+
+#: The worker-side fault sites this executor honours.
+WORKER_FAULT_SITES = ("worker.crash", "worker.stall", "exchange.drop")
+
+
+def _row_key(row: Sequence) -> tuple:
+    """A total order over rows that may contain NULLs (None sorts first
+    within a column; the placeholder is only compared between two Nones)."""
+    return tuple((v is None, "" if v is None else v) for v in row)
+
+
+def _sql_literal(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return repr(value)
+
+
+# -- worker process side -------------------------------------------------------
+
+def _worker_main(worker_id: int, config: dict, task_queue, result_queue) -> None:
+    """The worker loop: heartbeat, load partitions, execute plan fragments.
+
+    Runs in a child process. Every fragment executes through a
+    worker-local :class:`repro.Database` (full parse -> rewrite -> iterate
+    pipeline); results go back as ``(kind, worker_id, ...)`` tuples on the
+    per-worker result queue.
+    """
+    from ..api import Database, Strategy
+    from ..faults import FaultRegistry
+    from ..storage import Catalog, Column, Schema
+    from ..types import SQLType
+
+    faults = (
+        FaultRegistry.parse(config["fault_spec"])
+        if config.get("fault_spec")
+        else None
+    )
+    heartbeat_interval = config["heartbeat_interval"]
+    stall_seconds = config["stall_seconds"]
+    catalog = Catalog()
+    # An explicit empty registry: the worker must not pick engine-level
+    # faults out of REPRO_FAULTS -- process-level sites are injected here,
+    # engine-level sites belong to the single-node fault tests.
+    db = Database(catalog, faults=FaultRegistry(0, []))
+
+    def heartbeat() -> None:
+        result_queue.put(("heartbeat", worker_id))
+
+    def execute(task_id: str, attempt: int, op: str, payload: tuple) -> None:
+        if faults is not None and faults.should_fire(
+            "worker.crash", detail=f"w{worker_id}:{task_id}"
+        ):
+            os._exit(1)
+        if faults is not None and faults.should_fire(
+            "worker.stall", detail=f"w{worker_id}:{task_id}"
+        ):
+            time.sleep(stall_seconds)  # no heartbeats while stalled
+        try:
+            if op == "sql":
+                sql, strategy_value = payload
+                result = db.execute(sql, strategy=Strategy(strategy_value))
+                rows = sorted(result.rows, key=_row_key)
+                outcome: Any = rows
+                metrics = result.metrics
+            elif op == "count":
+                table, column, value = payload
+                if value is None:
+                    # SQL equality with NULL matches nothing: the count is
+                    # 0 by definition, no scan needed.
+                    outcome, metrics = 0, Metrics()
+                else:
+                    result = db.execute(
+                        f"Select Count(*) From {table} "
+                        f"Where {column} = {_sql_literal(value)}"
+                    )
+                    outcome, metrics = result.scalar(), result.metrics
+            else:
+                raise ValueError(f"unknown worker op {op!r}")
+        except Exception as exc:  # typed reply; the coordinator re-raises
+            result_queue.put(
+                ("error", worker_id, task_id, attempt,
+                 type(exc).__name__, str(exc))
+            )
+            return
+        if faults is not None and faults.should_fire(
+            "exchange.drop", detail=f"w{worker_id}:{task_id}"
+        ):
+            return  # the result evaporates; recovery is the task timeout
+        result_queue.put(
+            ("result", worker_id, task_id, attempt, outcome, metrics)
+        )
+
+    heartbeat()
+    try:
+        while True:
+            try:
+                message = task_queue.get(timeout=heartbeat_interval)
+            except Empty:
+                heartbeat()
+                continue
+            if message is None:
+                break
+            kind = message[0]
+            if kind == "load":
+                _, name, columns, primary_key, rows = message
+                if catalog.has_table(name):
+                    catalog.drop_table(name)
+                catalog.create_table(
+                    name,
+                    Schema(
+                        [
+                            Column(cname, SQLType[tname], nullable)
+                            for cname, tname, nullable in columns
+                        ],
+                        primary_key=primary_key,
+                    ),
+                )
+                catalog.table(name).insert_many(rows)
+                catalog.invalidate_stats(name)
+            elif kind == "task":
+                _, task_id, attempt, op, payload = message
+                execute(task_id, attempt, op, payload)
+            heartbeat()
+    except (KeyboardInterrupt, EOFError, OSError):  # pragma: no cover
+        pass
+
+
+# -- coordinator side ----------------------------------------------------------
+
+@dataclass
+class Task:
+    """One plan fragment addressed to a partition (not a worker: the
+    host mapping may change when workers are lost)."""
+
+    task_id: str
+    partition: int
+    op: str
+    payload: tuple
+    #: Messages charged on *every* dispatch of this task (a retried probe
+    #: doubles its traffic, exactly like the simulator's fault paths).
+    message_cost: int = 0
+    attempt: int = 0
+    worker_id: int = -1
+    dispatched_at: float = 0.0
+    done: bool = False
+    result: Any = None
+
+
+@dataclass
+class _TableSpec:
+    """A partitioned table the coordinator retains for re-hosting."""
+
+    columns: tuple
+    primary_key: tuple
+    partitions: list
+
+
+@dataclass
+class _WorkerState:
+    worker_id: int
+    process: Any
+    task_queue: Any
+    result_queue: Any
+    last_seen: float
+    lost: bool = False
+
+
+@dataclass
+class WorkerRunMetrics:
+    """Outcome of one measured parallel execution (the real-process
+    counterpart of :class:`repro.parallel.simulate.ParallelMetrics`)."""
+
+    strategy: str
+    n_workers: int
+    answer: list
+    fragments: int
+    messages: int
+    makespan: float           # wall-clock seconds, dispatch -> final merge
+    rows_processed: int       # rows scanned across all workers
+    retries: int
+    workers_lost: int
+    recovery_time: float      # summed retry backoff (seconds)
+    degraded: bool = False
+    degradations: list = field(default_factory=list)
+
+
+class WorkerPool:
+    """A coordinator over ``n_workers`` real worker processes.
+
+    The pool owns the task ledger (see the module docstring for the
+    liveness/recovery contract), the partition -> worker host map, and the
+    point-to-point message accounting. ``clock``/``sleep`` are injectable
+    for deterministic liveness tests; ``events`` (an
+    :class:`repro.obs.events.EventLog`) receives ``worker.*`` lifecycle
+    events; ``guard`` (an :class:`repro.guard.ExecutionGuard`) absorbs
+    every accepted result's :class:`Metrics`, so remote work counts
+    against the coordinator's budgets.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        faults: Optional["FaultRegistry"] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        heartbeat_interval: float = 0.05,
+        heartbeat_timeout: float = 0.5,
+        task_timeout: float = 5.0,
+        events=None,
+        guard=None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if n_workers < 1:
+            raise WorkerPoolError(
+                "worker pool needs at least one worker", 0, n_workers
+            )
+        self.n_workers = n_workers
+        self.faults = faults
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else MEASURED_RETRY_POLICY
+        )
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.task_timeout = task_timeout
+        self.events = events
+        self.guard = guard
+        self._clock = clock
+        self._sleep = sleep
+        self._poll_interval = min(heartbeat_interval, 0.01)
+        self._ctx = multiprocessing.get_context("fork")
+        self._workers: list[_WorkerState] = []
+        self._hosts = list(range(n_workers))  # partition index -> worker id
+        self._tables: dict[str, _TableSpec] = {}
+        self._pending: dict[str, Task] = {}
+        self._started = False
+        self._closed = False
+        # -- counters (the measured analogue of the simulator's Node sums)
+        self.messages = 0
+        self.rows_processed = 0
+        self.retries = 0
+        self.workers_lost = 0
+        self.recovery_time = 0.0
+        self.stale_results = 0
+        self.tasks_dispatched = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _worker_fault_spec(self, worker_id: int) -> Optional[str]:
+        """Each worker replays its own deterministic schedule: same rules,
+        seed offset by worker id (so a 2-worker and a 4-worker run draw
+        independently, like :meth:`FaultRegistry.replica` per stream)."""
+        if self.faults is None:
+            return None
+        rules = ",".join(f"{r.site}={r.rate}" for r in self.faults.rules)
+        return f"{self.faults.seed + worker_id}:{rules}"
+
+    def start(self) -> None:
+        """Spawn the worker processes (idempotent until :meth:`close`)."""
+        if self._closed:
+            raise WorkerPoolError("worker pool is closed", 0, self.n_workers)
+        if self._started:
+            return
+        for worker_id in range(self.n_workers):
+            task_queue = self._ctx.Queue()
+            result_queue = self._ctx.Queue()
+            config = {
+                "fault_spec": self._worker_fault_spec(worker_id),
+                "heartbeat_interval": self.heartbeat_interval,
+                # Long enough that a stall is always detected as lost.
+                "stall_seconds": self.heartbeat_timeout * 3.0,
+            }
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(worker_id, config, task_queue, result_queue),
+                daemon=True,
+            )
+            process.start()
+            self._workers.append(
+                _WorkerState(
+                    worker_id, process, task_queue, result_queue,
+                    last_seen=self._clock(),
+                )
+            )
+            self._emit("worker.spawned", worker=worker_id, pid=process.pid)
+        self._started = True
+
+    def close(self) -> None:
+        """Shut every worker down (graceful, then escalating)."""
+        if self._closed:
+            return
+        self._closed = True
+        for state in self._workers:
+            if state.process.is_alive():
+                try:
+                    state.task_queue.put(None)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+        for state in self._workers:
+            state.process.join(timeout=1.0)
+            if state.process.is_alive():
+                state.process.terminate()
+                state.process.join(timeout=0.5)
+            if state.process.is_alive():  # pragma: no cover - last resort
+                state.process.kill()
+                state.process.join(timeout=0.5)
+            for q in (state.task_queue, state.result_queue):
+                q.cancel_join_thread()
+                q.close()
+
+    def __enter__(self) -> "WorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Chaos hook: SIGKILL one worker (the soak's guaranteed kill).
+        Detection and recovery then run through the ordinary liveness
+        machinery -- nothing is special-cased for an explicit kill."""
+        state = self._workers[worker_id]
+        if state.process.is_alive():
+            os.kill(state.process.pid, signal.SIGKILL)
+
+    @property
+    def live_workers(self) -> list[int]:
+        """Worker ids not (yet) marked lost."""
+        return [w.worker_id for w in self._workers if not w.lost]
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self.events is not None:
+            self.events.emit(kind, **fields)
+
+    # -- data placement ----------------------------------------------------
+
+    def _send_load(
+        self, worker_id: int, name: str, columns: tuple,
+        primary_key: tuple, rows: list,
+    ) -> None:
+        self._workers[worker_id].task_queue.put(
+            ("load", name, columns, primary_key, rows)
+        )
+
+    def load_partitioned(
+        self,
+        name: str,
+        columns: tuple,
+        primary_key: tuple,
+        rows: list,
+        key: Callable[[tuple], Any],
+    ) -> None:
+        """Hash-partition ``rows`` on ``key`` and ship partition ``p`` to
+        its host as table ``{name}_p{p}``. Initial placement is free of
+        message charges, exactly like the simulator's ``load_partitioned``;
+        the rows are retained for re-hosting after a worker loss."""
+        self._require_started()
+        partitions: list[list] = [[] for _ in range(self.n_workers)]
+        for row in rows:
+            partitions[partition_owner(key(row), self.n_workers)].append(row)
+        self._tables[name] = _TableSpec(columns, primary_key, partitions)
+        for p, part_rows in enumerate(partitions):
+            self._send_load(
+                self._hosts[p], f"{name}_p{p}", columns, primary_key, part_rows
+            )
+
+    def exchange(
+        self,
+        name: str,
+        columns: tuple,
+        primary_key: tuple,
+        row_sources: list,
+        key: Callable[[tuple], Any],
+    ) -> None:
+        """Hash-repartition rows on a *new* key -- the set-oriented
+        exchange of the decorrelated plan. ``row_sources[p]`` are the rows
+        whose current home is partition ``p``; messages are charged
+        point-to-point and batched (:data:`ROWS_PER_MESSAGE` rows per
+        message, loopback free), mirroring the simulator's
+        :func:`~repro.parallel.cluster.hash_partition`."""
+        self._require_started()
+        partitions: list[list] = [[] for _ in range(self.n_workers)]
+        shipped: dict[tuple, int] = {}
+        for source, rows in enumerate(row_sources):
+            for row in rows:
+                target = partition_owner(key(row), self.n_workers)
+                if source != target:
+                    shipped[(source, target)] = shipped.get(
+                        (source, target), 0
+                    ) + 1
+                partitions[target].append(row)
+        for n_rows in shipped.values():
+            self.messages += -(-n_rows // ROWS_PER_MESSAGE)  # ceil
+        self._tables[name] = _TableSpec(columns, primary_key, partitions)
+        for p, part_rows in enumerate(partitions):
+            self._send_load(
+                self._hosts[p], f"{name}_p{p}", columns, primary_key, part_rows
+            )
+
+    def table_partitions(self, name: str) -> list:
+        """The retained per-partition row lists of a loaded table."""
+        return self._tables[name].partitions
+
+    # -- the task ledger ---------------------------------------------------
+
+    def _require_started(self) -> None:
+        if not self._started or self._closed:
+            raise WorkerPoolError(
+                "worker pool is not running (start() it, and not after "
+                "close())",
+                len(self.live_workers),
+                self.n_workers,
+            )
+
+    def _dispatch(self, task: Task) -> None:
+        worker_id = self._hosts[task.partition]
+        state = self._workers[worker_id]
+        task.worker_id = worker_id
+        task.dispatched_at = self._clock()
+        self._pending[task.task_id] = task
+        self.messages += task.message_cost
+        self.tasks_dispatched += 1
+        state.task_queue.put(
+            ("task", task.task_id, task.attempt, task.op, task.payload)
+        )
+
+    def _retry(self, task: Task, reason: str) -> None:
+        """Bump the task epoch (stale-proofing any in-flight result),
+        back off per the :class:`RetryPolicy`, and re-dispatch to the
+        partition's current host."""
+        task.attempt += 1
+        if not self.retry_policy.allows(task.attempt):
+            raise WorkerTaskError(task.task_id, task.attempt, reason)
+        delay = self.retry_policy.delay(
+            task.attempt - 1, seed=zlib.crc32(task.task_id.encode())
+        )
+        self.retries += 1
+        self.recovery_time += delay
+        self._emit(
+            "worker.retry",
+            task=task.task_id, attempt=task.attempt,
+            delay=round(delay, 6), reason=reason,
+        )
+        self._sleep(delay)
+        self._dispatch(task)
+
+    def _mark_lost(self, state: _WorkerState, reason: str) -> None:
+        """Permanent exile: re-host the worker's partitions from retained
+        rows, then retry its orphaned tasks (attempt bumped *first*, so a
+        late result from this worker can never merge)."""
+        state.lost = True
+        self.workers_lost += 1
+        self._emit("worker.lost", worker=state.worker_id, reason=reason)
+        live = [w for w in self._workers if not w.lost]
+        if not live:
+            raise WorkerPoolError(
+                "no live workers remain", 0, self.n_workers
+            )
+        for p in range(self.n_workers):
+            if self._hosts[p] != state.worker_id:
+                continue
+            replacement = live[p % len(live)].worker_id
+            self._hosts[p] = replacement
+            for name, spec in self._tables.items():
+                rows = spec.partitions[p]
+                if rows:
+                    # Re-hosting is real recovery traffic, charged batched.
+                    self.messages += -(-len(rows) // ROWS_PER_MESSAGE)
+                self._send_load(
+                    replacement, f"{name}_p{p}",
+                    spec.columns, spec.primary_key, rows,
+                )
+        for task in list(self._pending.values()):
+            if task.worker_id == state.worker_id and not task.done:
+                self._retry(task, reason)
+
+    def _handle(self, state: _WorkerState, message: tuple) -> None:
+        kind = message[0]
+        if state.lost:
+            # Drained, never trusted: heartbeats do not resurrect, results
+            # are checked against the (already bumped) task epoch below.
+            if kind == "heartbeat":
+                return
+        else:
+            state.last_seen = self._clock()
+        if kind == "heartbeat":
+            return
+        if kind == "result":
+            _, worker_id, task_id, attempt, outcome, metrics = message
+            task = self._pending.get(task_id)
+            if task is None or task.done or task.attempt != attempt:
+                self.stale_results += 1
+                return
+            task.result = outcome
+            task.done = True
+            del self._pending[task_id]
+            if isinstance(metrics, Metrics):
+                self.rows_processed += metrics.rows_scanned
+                if self.guard is not None:
+                    self.guard.absorb(metrics)
+            return
+        if kind == "error":
+            _, worker_id, task_id, attempt, error_type, text = message
+            task = self._pending.get(task_id)
+            if task is None or task.done or task.attempt != attempt:
+                self.stale_results += 1
+                return
+            # Deterministic engine errors would fail again on retry:
+            # surface them typed instead of burning the retry budget.
+            raise WorkerTaskError(
+                task_id, attempt + 1, f"{error_type}: {text}"
+            )
+
+    def _drain(self) -> bool:
+        progressed = False
+        for state in self._workers:
+            if state.lost and not state.process.is_alive():
+                continue  # nothing further can arrive; skip the dead queue
+            while True:
+                try:
+                    message = state.result_queue.get_nowait()
+                except Empty:
+                    break
+                except (EOFError, OSError):  # pragma: no cover
+                    break
+                progressed = True
+                self._handle(state, message)
+        return progressed
+
+    def _check_liveness(self) -> None:
+        now = self._clock()
+        for state in self._workers:
+            if state.lost:
+                continue
+            if not state.process.is_alive():
+                self._mark_lost(state, "process died")
+            elif now - state.last_seen > self.heartbeat_timeout:
+                self._mark_lost(
+                    state,
+                    f"missed heartbeats for "
+                    f"{now - state.last_seen:.3f}s",
+                )
+
+    def _check_timeouts(self) -> None:
+        now = self._clock()
+        for task in list(self._pending.values()):
+            if not task.done and now - task.dispatched_at > self.task_timeout:
+                self._retry(task, "task timeout")
+
+    def run_tasks(self, tasks: list) -> dict:
+        """Dispatch ``tasks`` and drive the ledger until every one has a
+        result. Returns ``{task_id: result}``. Raises
+        :class:`~repro.errors.WorkerTaskError` (retry budget exhausted or
+        a typed worker error) or :class:`~repro.errors.WorkerPoolError`
+        (no live workers) -- never a silent partial result."""
+        self._require_started()
+        tasks = list(tasks)
+        for task in tasks:
+            self._dispatch(task)
+        while self._pending:
+            progressed = self._drain()
+            self._check_liveness()
+            self._check_timeouts()
+            if not progressed and self._pending:
+                self._sleep(self._poll_interval)
+        return {task.task_id: task.result for task in tasks}
+
+
+# -- the section-6 strategies on real processes --------------------------------
+
+def _scan_sql(partition: int, budget_limit: float) -> str:
+    return (
+        f"Select name, budget, num_emps, building From dept_p{partition} "
+        f"Where budget < {budget_limit!r}"
+    )
+
+
+def _ni_plan(pool: WorkerPool, budget_limit: float) -> tuple:
+    """Nested iteration: qualifying bindings probe every EMP partition."""
+    n = pool.n_workers
+    scans = [
+        Task(f"ni.scan.{p}", p, "sql", (_scan_sql(p, budget_limit), "ni"))
+        for p in range(n)
+    ]
+    supp_by_home = pool.run_tasks(scans)
+    fragments: set = set()
+    probes: list[Task] = []
+    bindings: list[tuple] = []
+    for p in range(n):
+        for i, (name, _budget, num_emps, building) in enumerate(
+            supp_by_home[f"ni.scan.{p}"]
+        ):
+            probe_ids = []
+            for q in range(n):
+                fragments.add((p, q))
+                task_id = f"ni.count.{p}.{i}.{q}"
+                probes.append(
+                    Task(
+                        task_id, q, "count",
+                        (f"emp_p{q}", "building", building),
+                        # Request + reply, loopback free -- the simulator's
+                        # broadcast/reply accounting per remote partition.
+                        message_cost=0 if q == p else 2,
+                    )
+                )
+                probe_ids.append(task_id)
+            bindings.append((name, num_emps, probe_ids))
+    counts = pool.run_tasks(probes)
+    answer = sorted(
+        (name,)
+        for name, num_emps, probe_ids in bindings
+        if num_emps is not None
+        and num_emps > sum(counts[t] for t in probe_ids)
+    )
+    return answer, len(fragments)
+
+
+def _decorrelated_plan(pool: WorkerPool, budget_limit: float) -> tuple:
+    """Magic decorrelation: repartition once on the correlation attribute,
+    then one fully local decorrelated query per partition."""
+    n = pool.n_workers
+    scans = [
+        Task(f"mag.scan.{p}", p, "sql", (_scan_sql(p, budget_limit), "ni"))
+        for p in range(n)
+    ]
+    supp_by_home = pool.run_tasks(scans)
+    pool.exchange(
+        "supp", DEPT_COLUMNS, ("name",),
+        [supp_by_home[f"mag.scan.{p}"] for p in range(n)],
+        key=lambda row: row[3],
+    )
+    pool.exchange(
+        "empb", EMP_COLUMNS, ("empno",),
+        pool.table_partitions("emp"),
+        key=lambda row: row[2],
+    )
+    finals = [
+        Task(
+            f"mag.local.{j}", j, "sql",
+            (
+                f"Select D.name From supp_p{j} D Where D.num_emps > "
+                f"(Select Count(*) From empb_p{j} E "
+                f"Where D.building = E.building)",
+                "magic",
+            ),
+        )
+        for j in range(n)
+    ]
+    locals_ = pool.run_tasks(finals)
+    answer = sorted(
+        row for j in range(n) for row in locals_[f"mag.local.{j}"]
+    )
+    return answer, n
+
+
+def local_reference(
+    dept_rows: list, emp_rows: list, budget_limit: float = 10000.0
+) -> list:
+    """The single-process answer (also the degradation fallback): the
+    section-2 query over full tables through the ordinary engine."""
+    from ..api import Database, Strategy
+    from ..storage import Catalog
+    from ..tpcd.empdept import create_empdept_schema
+
+    catalog = Catalog()
+    create_empdept_schema(catalog, with_indexes=False)
+    catalog.table("dept").insert_many(dept_rows)
+    catalog.table("emp").insert_many(emp_rows)
+    result = Database(catalog).execute(
+        f"Select D.name From Dept D Where D.budget < {budget_limit!r} "
+        f"and D.num_emps > (Select Count(*) From Emp E "
+        f"Where D.building = E.building)",
+        strategy=Strategy.MAGIC,
+    )
+    return sorted(result.rows)
+
+
+_PLANS = {
+    "nested_iteration": _ni_plan,
+    "magic_decorrelated": _decorrelated_plan,
+}
+
+
+def run_real(
+    strategy: str,
+    dept_rows: list,
+    emp_rows: list,
+    n_workers: int,
+    budget_limit: float = 10000.0,
+    faults: Optional["FaultRegistry"] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    limits: Optional["Limits"] = None,
+    events=None,
+    degrade: bool = True,
+    on_pool: Optional[Callable[[WorkerPool], None]] = None,
+    **pool_kwargs,
+) -> WorkerRunMetrics:
+    """Measure one strategy on real worker processes.
+
+    ``on_pool`` runs after the pool is started and loaded (the chaos
+    soak's kill hook). ``degrade=True`` converts an exhausted retry budget
+    or a dead pool into single-process execution with a recorded
+    :class:`DegradationEvent` (and a ``worker.degraded`` event);
+    ``degrade=False`` lets the typed :class:`~repro.errors.WorkerError`
+    propagate. Budget trips (:class:`~repro.errors.BudgetExceeded`) always
+    propagate -- governance is not an infrastructure failure.
+    """
+    if strategy not in _PLANS:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {sorted(_PLANS)}"
+        )
+    guard = guard_for(limits)
+    if guard is not None:
+        guard.attach(Metrics())
+    pool = WorkerPool(
+        n_workers,
+        faults=faults,
+        retry_policy=retry_policy,
+        events=events,
+        guard=guard,
+        **pool_kwargs,
+    )
+    started = pool._clock()
+    try:
+        pool.start()
+        pool.load_partitioned(
+            "dept", DEPT_COLUMNS, ("name",), dept_rows, key=lambda r: r[0]
+        )
+        pool.load_partitioned(
+            "emp", EMP_COLUMNS, ("empno",), emp_rows, key=lambda r: r[0]
+        )
+        if on_pool is not None:
+            on_pool(pool)
+        t0 = pool._clock()
+        answer, fragments = _PLANS[strategy](pool, budget_limit)
+        return WorkerRunMetrics(
+            strategy=strategy,
+            n_workers=n_workers,
+            answer=answer,
+            fragments=fragments,
+            messages=pool.messages,
+            makespan=pool._clock() - t0,
+            rows_processed=pool.rows_processed,
+            retries=pool.retries,
+            workers_lost=pool.workers_lost,
+            recovery_time=pool.recovery_time,
+        )
+    except (WorkerTaskError, WorkerPoolError) as exc:
+        if not degrade:
+            raise
+        event = DegradationEvent(
+            requested=f"real:{strategy}",
+            attempted="workers",
+            fallback="local",
+            error_type=type(exc).__name__,
+            message=str(exc),
+        )
+        if events is not None:
+            events.emit(
+                "worker.degraded",
+                strategy=strategy,
+                error_type=event.error_type,
+                message=event.message,
+            )
+        answer = local_reference(dept_rows, emp_rows, budget_limit)
+        return WorkerRunMetrics(
+            strategy=strategy,
+            n_workers=n_workers,
+            answer=answer,
+            fragments=1,
+            messages=pool.messages,
+            makespan=pool._clock() - started,
+            rows_processed=pool.rows_processed,
+            retries=pool.retries,
+            workers_lost=pool.workers_lost,
+            recovery_time=pool.recovery_time,
+            degraded=True,
+            degradations=[event],
+        )
+    finally:
+        pool.close()
+
+
+def run_real_nested_iteration(
+    dept_rows: list, emp_rows: list, n_workers: int, **kwargs
+) -> WorkerRunMetrics:
+    """Section 6.1 on real processes: broadcast-per-tuple nested iteration."""
+    return run_real("nested_iteration", dept_rows, emp_rows, n_workers, **kwargs)
+
+
+def run_real_decorrelated(
+    dept_rows: list, emp_rows: list, n_workers: int, **kwargs
+) -> WorkerRunMetrics:
+    """Section 6.2 on real processes: the magic-decorrelated plan."""
+    return run_real(
+        "magic_decorrelated", dept_rows, emp_rows, n_workers, **kwargs
+    )

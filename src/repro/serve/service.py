@@ -180,6 +180,9 @@ class ServiceStats:
     submitted: int = 0
     admitted: int = 0
     rejected: int = 0
+    #: Rejections that carried a ``retry_after_hint`` (a backoff estimate
+    #: the client can honour instead of hot-looping); always <= rejected.
+    rejected_with_hint: int = 0
     completed: int = 0
     failed: int = 0
     cancelled: int = 0
@@ -219,6 +222,7 @@ class ServiceStats:
             "submitted": self.submitted,
             "admitted": self.admitted,
             "rejected": self.rejected,
+            "rejected_with_hint": self.rejected_with_hint,
             "completed": self.completed,
             "failed": self.failed,
             "cancelled": self.cancelled,
@@ -273,6 +277,9 @@ class ServiceStats:
         "submitted": "Queries submitted (admitted + rejected)",
         "admitted": "Queries admitted into the service",
         "rejected": "Submissions rejected by admission control",
+        "rejected_with_hint": (
+            "Rejections carrying a retry_after_hint backoff estimate"
+        ),
         "completed": "Queries that produced a result",
         "failed": "Queries that raised a typed error",
         "cancelled": "Queries cancelled cooperatively",
@@ -458,7 +465,12 @@ class QueryService:
         self._failed = 0
         self._cancelled = 0
         self._in_flight = 0
+        self._rejected_with_hint = 0
         self._latencies: list[float] = []
+        #: Exponentially-weighted mean query latency (seconds); drives the
+        #: ``retry_after_hint`` on queue-full rejections. None until the
+        #: first completion -- with no data, rejections carry no hint.
+        self._latency_ema: Optional[float] = None
         # tracing: bounded ring of per-query summaries + depth samples
         self.trace = trace
         if trace_history < 1:
@@ -556,14 +568,18 @@ class QueryService:
                 >= self.workers + self.max_queue
             ):
                 self._rejected += 1
+                hint = self._retry_hint_locked()
+                if hint is not None:
+                    self._rejected_with_hint += 1
                 if events is not None:
                     events.emit(
                         "query.rejected", query_id=query_id,
                         reason="queue full", queue_depth=len(self._queue),
+                        retry_after_hint=hint,
                     )
                 raise AdmissionRejected(
                     "queue full", len(self._queue), self.max_queue,
-                    in_flight=self._in_flight,
+                    in_flight=self._in_flight, retry_after_hint=hint,
                 )
             ticket = Ticket(
                 query_id, sql, key, guard, self._clock(),
@@ -580,6 +596,22 @@ class QueryService:
             self._queue.append(ticket)
             self._not_empty.notify()
             return ticket
+
+    def _retry_hint_locked(self) -> Optional[float]:
+        """The backoff estimate attached to a queue-full rejection (called
+        with the lock held).
+
+        A full service clears roughly ``workers`` queries per mean
+        latency, so one slot frees after about ``ema * (depth + 1) /
+        workers`` seconds. Deliberately rough -- the point is to replace a
+        client's blind hot-loop with a back-off on the right order of
+        magnitude. ``None`` before the first completion (no data, no
+        hint)."""
+        if self._latency_ema is None:
+            return None
+        return round(
+            self._latency_ema * (len(self._queue) + 1) / self.workers, 6
+        )
 
     @staticmethod
     def _merge_limits(
@@ -817,6 +849,10 @@ class QueryService:
             else:
                 self._failed += 1
             self._latencies.append(latency)
+            self._latency_ema = (
+                latency if self._latency_ema is None
+                else 0.2 * latency + 0.8 * self._latency_ema
+            )
             if summary is not None:
                 self._trace_history.append(summary)
             if self.events is not None:
@@ -926,6 +962,7 @@ class QueryService:
                 submitted=self._submitted,
                 admitted=self._admitted,
                 rejected=self._rejected,
+                rejected_with_hint=self._rejected_with_hint,
                 completed=self._completed,
                 failed=self._failed,
                 cancelled=self._cancelled,

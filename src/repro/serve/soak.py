@@ -282,10 +282,13 @@ def run_soak(
                 ticket = service.submit(sql, strategy=strategy,
                                         deadline=deadline)
                 submitted.append((ticket, name))
-            except AdmissionRejected:
-                # Counted by the service; back off a little so the queue
-                # can drain instead of hammering the admission check.
-                time.sleep(0.001)
+            except AdmissionRejected as exc:
+                # Counted by the service. Honour the service's backoff
+                # hint when it offers one (capped -- this thread is also
+                # the clock of the soak), else a token pause: the point
+                # is to let the queue drain, not hammer admission.
+                hint = exc.retry_after_hint
+                time.sleep(min(hint, 0.05) if hint else 0.001)
         service.drain(timeout=max(30.0, seconds))
     finally:
         stop.set()
@@ -352,4 +355,182 @@ def run_soak(
                 f" + rejected={stats.rejected}",
             )
         )
+    return report
+
+
+# -- the real-worker chaos soak ------------------------------------------------
+
+@dataclass
+class WorkerSoakReport:
+    """Outcome of one real-worker chaos soak (see :func:`run_worker_soak`).
+
+    The metamorphic invariant is the process-level version of the PR-2
+    property: with workers being killed mid-query, every epoch must end in
+    the fault-free reference answer (directly, or via recorded
+    degradation to local execution) or a typed engine error -- never a
+    wrong answer, never a hang, never a raw traceback.
+    """
+
+    epochs: int
+    n_workers: int
+    seconds: float
+    outcomes: dict = field(default_factory=dict)  # "ok"/"degraded"/error name
+    violations: list = field(default_factory=list)
+    kills: int = 0
+    workers_lost: int = 0
+    retries: int = 0
+    recovery_time: float = 0.0
+    messages: int = 0
+    #: Per-kind ``worker.*`` event counts from the run's event log.
+    event_counts: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "epochs": self.epochs,
+            "n_workers": self.n_workers,
+            "seconds": round(self.seconds, 3),
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "violations": [str(v) for v in self.violations],
+            "kills": self.kills,
+            "workers_lost": self.workers_lost,
+            "retries": self.retries,
+            "recovery_time": round(self.recovery_time, 6),
+            "messages": self.messages,
+            "event_counts": dict(sorted(self.event_counts.items())),
+        }
+
+
+def run_worker_soak(
+    epochs: int = 4,
+    n_workers: int = 3,
+    seed: int = 42,
+    faults: Optional[str] = None,
+    n_depts: int = 24,
+    n_emps: int = 120,
+    kill_per_epoch: bool = True,
+    events=None,
+    reconcile: Optional[bool] = None,
+) -> WorkerSoakReport:
+    """Chaos-soak the real shared-nothing executor
+    (:mod:`repro.parallel.workers`).
+
+    Each epoch runs one full section-6 query (strategies alternate between
+    nested iteration and the decorrelated plan) on a fresh pool of
+    ``n_workers`` real processes. ``kill_per_epoch`` SIGKILLs one worker
+    right after data placement -- the guaranteed crash the acceptance
+    criterion demands -- and ``faults`` (a ``seed:site=rate`` spec, e.g.
+    ``"7:worker.crash=0.05"``) injects the process-level sites on top,
+    re-seeded per epoch (``base_seed + epoch``) so epochs draw independent
+    deterministic schedules.
+
+    Every epoch's answer is checked against the fault-free single-process
+    reference; violations follow :class:`Violation`. The run's
+    ``worker.*`` events are reconciled against the pool counters
+    (lost/retry/degraded), the same closed-loop check the service soak
+    applies to :class:`ServiceStats`.
+    """
+    from ..obs.events import EventLog, RingSink, count_by_kind
+    from ..parallel import local_reference, run_real
+    from ..tpcd import load_empdept
+
+    catalog = load_empdept(
+        n_depts=n_depts, n_emps=n_emps, n_buildings=8, seed=seed
+    )
+    dept_rows = list(catalog.table("dept").rows)
+    emp_rows = list(catalog.table("emp").rows)
+    reference = local_reference(dept_rows, emp_rows)
+    base = FaultRegistry.parse(faults) if faults else None
+    log = events if events is not None else EventLog(RingSink(65536))
+
+    report = WorkerSoakReport(epochs=epochs, n_workers=n_workers, seconds=0.0)
+    start = time.monotonic()
+    for epoch in range(epochs):
+        strategy = (
+            "magic_decorrelated" if epoch % 2 == 0 else "nested_iteration"
+        )
+        registry = (
+            FaultRegistry(base.seed + epoch, base.rules)
+            if base is not None else None
+        )
+
+        def kill_one(pool, epoch=epoch):
+            if kill_per_epoch:
+                pool.kill_worker(epoch % n_workers)
+                report.kills += 1
+
+        try:
+            run = run_real(
+                strategy,
+                dept_rows,
+                emp_rows,
+                n_workers,
+                faults=registry,
+                events=log,
+                degrade=True,
+                on_pool=kill_one,
+                heartbeat_interval=0.02,
+                heartbeat_timeout=0.3,
+                task_timeout=3.0,
+            )
+        except ReproError as exc:
+            label = type(exc).__name__
+            report.outcomes[label] = report.outcomes.get(label, 0) + 1
+            continue
+        except Exception as exc:  # noqa: BLE001 - the invariant under test
+            report.violations.append(
+                Violation(
+                    "untyped_error", strategy, "real",
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        report.workers_lost += run.workers_lost
+        report.retries += run.retries
+        report.recovery_time += run.recovery_time
+        report.messages += run.messages
+        label = "degraded" if run.degraded else "ok"
+        report.outcomes[label] = report.outcomes.get(label, 0) + 1
+        if run.answer != reference:
+            report.violations.append(
+                Violation(
+                    "wrong_answer", strategy, "real",
+                    f"epoch {epoch}: {len(run.answer)} rows != reference "
+                    f"{len(reference)} rows "
+                    f"(lost={run.workers_lost}, retries={run.retries})",
+                )
+            )
+    report.seconds = time.monotonic() - start
+
+    # -- event reconciliation: by default only when we own the log's ring
+    # (a caller-supplied log may hold unrelated events); ``reconcile=True``
+    # forces it for callers that pass a *fresh* log (the CLI's tee to disk).
+    if reconcile is None:
+        reconcile = events is None
+    if reconcile:
+        counts = count_by_kind(log.events())
+        report.event_counts = {
+            kind: n for kind, n in counts.items() if kind.startswith("worker.")
+        }
+        degraded = report.outcomes.get("degraded", 0)
+        expected = {
+            "worker.lost": report.workers_lost,
+            "worker.retry": report.retries,
+            "worker.degraded": degraded,
+        }
+        for kind, want in expected.items():
+            got = counts.get(kind, 0)
+            if got != want:
+                report.violations.append(
+                    Violation(
+                        "reconciliation", kind, "real",
+                        f"{got} {kind} events but counters say {want}",
+                    )
+                )
+    else:
+        report.event_counts = {}
     return report

@@ -103,6 +103,56 @@ class TestReport:
         assert "| NI |" in text
 
 
+class TestParallel:
+    def test_simulator_mode_in_process(self, capsys):
+        code = main([
+            "parallel", "--workers", "3", "--depts", "12", "--emps", "60",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated section 6 @ 3 nodes" in out
+        assert "NI/decorrelated makespan ratio" in out
+
+    def test_real_mode_writes_history_and_calibration(
+        self, tmp_path, capsys
+    ):
+        history = tmp_path / "hist.jsonl"
+        report_json = tmp_path / "calibration.json"
+        code = main([
+            "parallel", "--real", "--workers", "2",
+            "--depts", "12", "--emps", "60",
+            "--history", str(history), "--json", str(report_json),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "messages exact: True" in out
+        assert "answers agree: True" in out
+        assert report_json.exists()
+        lines = history.read_text().splitlines()
+        assert len(lines) == 3  # ni + decorrelated + calibration records
+
+    def test_bad_faults_spec_exits_nonzero(self):
+        result = run_cli("parallel", "--real", "--faults", "nonsense")
+        assert result.returncode != 0
+        assert "--faults" in result.stderr
+
+
+class TestWorkerSoakCLI:
+    def test_real_workers_chaos_soak_in_process(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        code = main([
+            "soak", "--real-workers", "--workers", "3", "--epochs", "2",
+            "--faults", "5:worker.crash=0.2", "--no-history",
+            "--events-out", str(events),
+            "--json", str(tmp_path / "report.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worker soak: all invariants held" in out
+        assert "worker.spawned" in out
+        assert events.exists()
+
+
 @pytest.fixture
 def correlated_script(tmp_path):
     """A small correlated-subquery workload for the guardrail flags."""

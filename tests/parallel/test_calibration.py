@@ -1,0 +1,80 @@
+"""Measured-vs-simulated calibration of the section-6 parallel claim."""
+
+import math
+
+import pytest
+
+from repro.bench.calibration import qerror, render_calibration, run_calibration
+from repro.bench.history import load_history
+from repro.tpcd import load_empdept
+
+
+@pytest.fixture(scope="module")
+def data():
+    catalog = load_empdept(n_depts=12, n_emps=60, n_buildings=5, seed=7)
+    return list(catalog.table("dept").rows), list(catalog.table("emp").rows)
+
+
+class TestQError:
+    def test_perfect_prediction_is_one(self):
+        assert qerror(3.0, 3.0) == 1.0
+        assert qerror(0.0, 0.0) == 1.0
+
+    def test_symmetric(self):
+        assert qerror(2.0, 8.0) == qerror(8.0, 2.0) == 4.0
+
+    def test_zero_against_nonzero_is_infinite(self):
+        assert math.isinf(qerror(0.0, 5.0))
+        assert math.isinf(qerror(5.0, 0.0))
+
+
+class TestRunCalibration:
+    def test_fault_free_run_is_exact_and_recorded(self, data, tmp_path):
+        dept_rows, emp_rows = data
+        history = tmp_path / "hist.jsonl"
+        report = run_calibration(
+            dept_rows, emp_rows, n_workers=2,
+            history_path=str(history),
+            heartbeat_interval=0.02, heartbeat_timeout=0.5,
+        )
+        assert report["answers_agree"]
+        assert report["calibration"]["messages_exact"]
+        assert report["calibration"]["ni_message_qerror"] == 1.0
+        assert report["calibration"]["decorrelated_message_qerror"] == 1.0
+        # NI must pay more traffic than the decorrelated plan on both
+        # sides -- the paper's section-6 claim, simulated and measured.
+        assert (report["measured"]["ni"]["messages"]
+                > report["measured"]["decorrelated"]["messages"])
+        assert (report["simulated"]["ni"]["messages"]
+                > report["simulated"]["decorrelated"]["messages"])
+
+        records = load_history(str(history))
+        assert [r["benchmark"] for r in records] == [
+            "parallel_section6", "parallel_section6", "parallel_calibration",
+        ]
+        assert {r.get("strategy") for r in records[:2]} == {
+            "nested_iteration", "magic_decorrelated",
+        }
+        assert records[2]["messages_exact"] is True
+
+    def test_record_history_false_writes_nothing(self, data, tmp_path):
+        dept_rows, emp_rows = data
+        history = tmp_path / "hist.jsonl"
+        report = run_calibration(
+            dept_rows, emp_rows, n_workers=2,
+            history_path=str(history), record_history=False,
+            heartbeat_interval=0.02, heartbeat_timeout=0.5,
+        )
+        assert report["answers_agree"]
+        assert not history.exists()
+
+    def test_render_is_human_readable(self, data, tmp_path):
+        dept_rows, emp_rows = data
+        report = run_calibration(
+            dept_rows, emp_rows, n_workers=2, record_history=False,
+            heartbeat_interval=0.02, heartbeat_timeout=0.5,
+        )
+        text = render_calibration(report)
+        assert "messages exact: True" in text
+        assert "answers agree: True" in text
+        assert "NI/decorr ratio" in text

@@ -1,0 +1,290 @@
+"""Real worker-process executor: simulator parity, crash recovery,
+process-level fault injection, graceful degradation, and the stale-result
+(no-partial-answer) regression."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceeded,
+    WorkerPoolError,
+    WorkerTaskError,
+)
+from repro.faults import FaultRegistry
+from repro.guard import Limits
+from repro.obs.events import EventLog, RingSink, count_by_kind
+from repro.parallel import (
+    MEASURED_RETRY_POLICY,
+    SIMULATED_RETRY_POLICY,
+    RetryPolicy,
+    WorkerPool,
+    local_reference,
+    run_real,
+    run_real_decorrelated,
+    run_real_nested_iteration,
+    simulate_decorrelated,
+    simulate_nested_iteration,
+)
+from repro.parallel.cluster import RETRY_BACKOFF
+from repro.parallel.workers import Task, _WorkerState
+from repro.tpcd import load_empdept
+
+#: Fast-failure pool knobs: recovery paths trigger in tens of
+#: milliseconds instead of the production half-second timeouts.
+FAST = dict(
+    heartbeat_interval=0.02,
+    heartbeat_timeout=0.3,
+    task_timeout=2.0,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    catalog = load_empdept(n_depts=12, n_emps=60, n_buildings=5, seed=7)
+    return list(catalog.table("dept").rows), list(catalog.table("emp").rows)
+
+
+@pytest.fixture(scope="module")
+def reference(data):
+    return local_reference(*data)
+
+
+class TestRetryPolicy:
+    def test_simulated_default_is_flat_legacy_backoff(self):
+        # The simulator's accounting identity backoff == retries * RETRY_BACKOFF
+        # must survive the policy refactor.
+        assert SIMULATED_RETRY_POLICY.delay(0) == RETRY_BACKOFF
+        assert SIMULATED_RETRY_POLICY.delay(2) == RETRY_BACKOFF
+
+    def test_exponential_growth(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, jitter=0.0,
+                             max_attempts=5)
+        assert [policy.delay(a) for a in range(4)] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5,
+                             max_attempts=3)
+        assert policy.delay(1, seed=9) == policy.delay(1, seed=9)
+        assert 1.0 <= policy.delay(1, seed=9) <= 1.5
+        assert policy.delay(1, seed=9) != policy.delay(1, seed=10)
+
+    def test_allows_bounds_total_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows(0) and policy.allows(2)
+        assert not policy.allows(3)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(base_delay=-1.0),
+        dict(multiplier=0.5),
+        dict(jitter=1.5),
+        dict(jitter=-0.1),
+        dict(max_attempts=0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_measured_default_is_bounded_exponential_with_jitter(self):
+        assert MEASURED_RETRY_POLICY.multiplier > 1.0
+        assert MEASURED_RETRY_POLICY.jitter > 0.0
+        assert not MEASURED_RETRY_POLICY.allows(
+            MEASURED_RETRY_POLICY.max_attempts
+        )
+
+
+class TestFaultFreeParity:
+    """Fault-free, the measured run must agree with both the fault-free
+    single-process reference and the simulator's message accounting."""
+
+    @pytest.mark.parametrize("runner,simulator", [
+        (run_real_nested_iteration, simulate_nested_iteration),
+        (run_real_decorrelated, simulate_decorrelated),
+    ])
+    def test_answer_and_messages_match_the_simulator(
+        self, data, reference, runner, simulator
+    ):
+        dept_rows, emp_rows = data
+        sim = simulator(dept_rows, emp_rows, 3)
+        run = runner(dept_rows, emp_rows, 3, **FAST)
+        assert run.answer == reference
+        assert sorted(sim.answer) == reference
+        assert run.messages == sim.messages
+        assert run.fragments == sim.fragments
+        assert not run.degraded
+        assert run.retries == 0 and run.workers_lost == 0
+
+    def test_rejects_unknown_strategy(self, data):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            run_real("broadcast", *data, 2)
+
+
+class TestCrashRecovery:
+    def test_sigkill_mid_query_recovers_without_degrading(
+        self, data, reference
+    ):
+        dept_rows, emp_rows = data
+        events = EventLog(RingSink(4096))
+
+        run = run_real_decorrelated(
+            dept_rows, emp_rows, 3,
+            events=events, on_pool=lambda pool: pool.kill_worker(1),
+            **FAST,
+        )
+        assert run.answer == reference
+        assert not run.degraded
+        assert run.workers_lost == 1
+        assert run.retries >= 1
+        counts = count_by_kind(events.events())
+        assert counts["worker.spawned"] == 3
+        assert counts["worker.lost"] == run.workers_lost
+        assert counts["worker.retry"] == run.retries
+
+    def test_crash_during_exchange_never_yields_partial_answer(
+        self, data, reference
+    ):
+        # The regression the ledger's epoch tags exist for: a worker dying
+        # while exchange/probe tasks are in flight must produce either the
+        # full reference answer or a typed error -- never a subset.
+        dept_rows, emp_rows = data
+        for victim in (0, 1, 2):
+            run = run_real_nested_iteration(
+                dept_rows, emp_rows, 3,
+                on_pool=lambda pool, v=victim: pool.kill_worker(v),
+                **FAST,
+            )
+            assert run.answer == reference, (
+                f"killing worker {victim} changed the answer: "
+                f"{len(run.answer)} rows vs reference {len(reference)}"
+            )
+
+    def test_injected_crashes_recover_or_degrade_correctly(
+        self, data, reference
+    ):
+        dept_rows, emp_rows = data
+        run = run_real_decorrelated(
+            dept_rows, emp_rows, 3,
+            faults=FaultRegistry.parse("3:worker.crash=0.05"),
+            **FAST,
+        )
+        # Whatever the schedule killed, the metamorphic property holds.
+        assert run.answer == reference
+
+    def test_exchange_drop_is_recovered_by_task_timeout(
+        self, data, reference
+    ):
+        dept_rows, emp_rows = data
+        run = run_real_decorrelated(
+            dept_rows, emp_rows, 3,
+            faults=FaultRegistry.parse("1:exchange.drop=0.15"),
+            heartbeat_interval=0.02, heartbeat_timeout=0.5,
+            task_timeout=0.5,
+        )
+        assert run.answer == reference
+        assert run.retries >= 1
+        assert run.workers_lost == 0  # dropped sends kill no process
+
+
+class TestStaleResults:
+    """Unit-level: a result from a superseded attempt can never merge."""
+
+    def _pool_with_pending(self):
+        pool = WorkerPool(2)
+        task = Task("t.0", 0, "sql", ("select 1", "ni"), attempt=2)
+        pool._pending["t.0"] = task
+        state = _WorkerState(
+            worker_id=0, process=None, task_queue=None,
+            result_queue=None, last_seen=0.0,
+        )
+        return pool, task, state
+
+    def test_result_from_old_attempt_is_dropped(self):
+        pool, task, state = self._pool_with_pending()
+        pool._handle(state, ("result", 0, "t.0", 1, [("stale",)], None))
+        assert pool.stale_results == 1
+        assert not task.done and task.result is None
+        assert "t.0" in pool._pending
+
+    def test_result_for_current_attempt_merges(self):
+        pool, task, state = self._pool_with_pending()
+        pool._handle(state, ("result", 0, "t.0", 2, [("fresh",)], None))
+        assert pool.stale_results == 0
+        assert task.done and task.result == [("fresh",)]
+        assert "t.0" not in pool._pending
+
+    def test_error_from_old_attempt_is_dropped(self):
+        pool, task, state = self._pool_with_pending()
+        pool._handle(state, ("error", 0, "t.0", 1, "ValueError", "late"))
+        assert pool.stale_results == 1
+        assert not task.done
+
+    def test_error_for_current_attempt_is_typed_and_terminal(self):
+        pool, task, state = self._pool_with_pending()
+        with pytest.raises(WorkerTaskError) as excinfo:
+            pool._handle(state, ("error", 0, "t.0", 2, "ValueError", "boom"))
+        assert excinfo.value.task_id == "t.0"
+
+    def test_marking_lost_bumps_epochs_before_any_further_drain(self, data):
+        # Integration flavor of the same property: after kill + recovery,
+        # any result the dead worker managed to enqueue is counted stale,
+        # not merged -- so the stale counter and the correct answer can
+        # coexist, while a wrong answer cannot.
+        dept_rows, emp_rows = data
+        run = run_real_nested_iteration(
+            dept_rows, emp_rows, 3,
+            on_pool=lambda pool: pool.kill_worker(2),
+            **FAST,
+        )
+        assert run.answer == local_reference(dept_rows, emp_rows)
+
+
+class TestDegradation:
+    def test_dead_pool_degrades_to_local_with_event(self, data, reference):
+        dept_rows, emp_rows = data
+        events = EventLog(RingSink(4096))
+        run = run_real_decorrelated(
+            dept_rows, emp_rows, 2,
+            faults=FaultRegistry.parse("1:worker.crash=1.0"),
+            events=events,
+            **FAST,
+        )
+        assert run.degraded
+        assert run.answer == reference
+        [event] = run.degradations
+        assert event.requested == "real:magic_decorrelated"
+        assert event.fallback == "local"
+        counts = count_by_kind(events.events())
+        assert counts["worker.degraded"] == 1
+
+    def test_degrade_false_raises_typed_worker_error(self, data):
+        dept_rows, emp_rows = data
+        with pytest.raises((WorkerTaskError, WorkerPoolError)):
+            run_real_decorrelated(
+                dept_rows, emp_rows, 2,
+                faults=FaultRegistry.parse("1:worker.crash=1.0"),
+                degrade=False,
+                **FAST,
+            )
+
+    def test_budget_trips_propagate_even_with_degrade(self, data):
+        # Governance is not an infrastructure failure: remote work counts
+        # against the coordinator's budget and the trip is never absorbed
+        # by the local fallback.
+        dept_rows, emp_rows = data
+        with pytest.raises(BudgetExceeded):
+            run_real_decorrelated(
+                dept_rows, emp_rows, 2,
+                limits=Limits(max_rows_scanned=5),
+                **FAST,
+            )
+
+
+class TestPoolValidation:
+    def test_needs_at_least_one_worker(self):
+        with pytest.raises(WorkerPoolError):
+            WorkerPool(0)
+
+    def test_closed_pool_refuses_restart(self):
+        pool = WorkerPool(1, **FAST)
+        pool.start()
+        pool.close()
+        with pytest.raises(WorkerPoolError):
+            pool.start()

@@ -129,6 +129,73 @@ class TestStateMachine:
         assert snap["consecutive_failures"] == 1
 
 
+class TestHalfOpenConcurrency:
+    """Submitters racing a cooldown-elapsed breaker: the single-probe
+    invariant must hold under real thread interleavings, not just the
+    sequential state-machine tests above."""
+
+    N_RACERS = 16
+
+    def _race(self, breaker):
+        import threading
+
+        barrier = threading.Barrier(self.N_RACERS)
+        lock = threading.Lock()
+        outcomes = []
+
+        def racer():
+            barrier.wait()
+            reason, probe = breaker.try_pass()
+            with lock:
+                outcomes.append((reason, probe))
+
+        threads = [
+            threading.Thread(target=racer) for _ in range(self.N_RACERS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return outcomes
+
+    def test_exactly_one_racer_wins_the_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("boom")
+        clock.advance(10.0)
+        outcomes = self._race(breaker)
+        winners = [o for o in outcomes if o[1]]
+        losers = [o for o in outcomes if not o[1]]
+        assert len(winners) == 1
+        assert winners[0][0] is None
+        assert len(losers) == self.N_RACERS - 1
+        assert all(reason is not None for reason, _ in losers)
+        assert breaker.state == HALF_OPEN
+
+    def test_released_probe_admits_exactly_one_new_racer(
+        self, breaker, clock
+    ):
+        for _ in range(3):
+            breaker.record_failure("boom")
+        clock.advance(10.0)
+        assert breaker.try_pass() == (None, True)
+        breaker.release_probe()
+        outcomes = self._race(breaker)
+        assert sum(1 for _, probe in outcomes if probe) == 1
+
+    def test_probe_failure_blocks_every_concurrent_racer(
+        self, breaker, clock
+    ):
+        for _ in range(3):
+            breaker.record_failure("boom")
+        clock.advance(10.0)
+        assert breaker.try_pass() == (None, True)
+        breaker.record_failure("still broken")  # reopens, restarts cooldown
+        outcomes = self._race(breaker)
+        assert all(not probe for _, probe in outcomes)
+        assert all(reason is not None for reason, _ in outcomes)
+        assert breaker.state == OPEN
+
+
 class FlakyRegistry(FaultRegistry):
     """Fails every ``magic`` rewrite attempt while ``failing`` is set."""
 

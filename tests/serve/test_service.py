@@ -120,6 +120,71 @@ class TestAdmissionControl:
         assert service.stats().reconciles()
 
 
+class ArmableGate(FaultRegistry):
+    """Like :class:`Gate`, but only wedges once ``armed`` -- so a query
+    can complete first (seeding the latency EMA) before the worker jams."""
+
+    def __init__(self):
+        super().__init__(0, ())
+        self.armed = False
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def trigger(self, site: str, detail: str = "") -> None:
+        if site == "storage.scan" and self.armed:
+            self.started.set()
+            assert self.release.wait(30), "gate never released"
+
+
+class TestRetryAfterHint:
+    def test_no_hint_before_any_completion(self, gated_db, gate):
+        # The first rejection of a cold service has no latency estimate to
+        # offer: the hint is absent, not a made-up number.
+        service = QueryService(gated_db, workers=1, max_queue=0)
+        try:
+            service.submit(EMP_DEPT_QUERY)
+            assert gate.started.wait(30)
+            with pytest.raises(AdmissionRejected) as info:
+                service.submit(EMP_DEPT_QUERY)
+            assert info.value.retry_after_hint is None
+            assert "retry after" not in str(info.value)
+        finally:
+            gate.release.set()
+            service.close(drain=True, timeout=30)
+        stats = service.stats()
+        assert stats.rejected == 1
+        assert stats.rejected_with_hint == 0
+        assert stats.reconciles()
+
+    def test_hint_present_after_completions(self, empdept_catalog):
+        gate = ArmableGate()
+        db = Database(empdept_catalog, faults=gate)
+        service = QueryService(db, workers=1, max_queue=1)
+        try:
+            # Seed the EMA with one completed query, then jam the worker.
+            service.submit(EMP_DEPT_QUERY).result(timeout=30)
+            gate.armed = True
+            service.submit(EMP_DEPT_QUERY)   # wedges the only worker
+            assert gate.started.wait(30)
+            service.submit(EMP_DEPT_QUERY)   # fills the single queue slot
+            with pytest.raises(AdmissionRejected) as info:
+                service.submit(EMP_DEPT_QUERY)
+            hint = info.value.retry_after_hint
+            assert hint is not None and hint > 0
+            assert "retry after ~" in str(info.value)
+        finally:
+            gate.release.set()
+            service.close(drain=True, timeout=30)
+        stats = service.stats()
+        assert stats.rejected == 1
+        assert stats.rejected_with_hint == 1
+        assert stats.as_dict()["rejected_with_hint"] == 1
+        assert "repro_queries_rejected_with_hint_total 1" in (
+            stats.export("prometheus")
+        )
+        assert stats.reconciles()
+
+
 class TestDeadlines:
     def test_deadline_expired_while_queued_trips_immediately(
         self, gated_db, gate

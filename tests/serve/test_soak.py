@@ -9,6 +9,7 @@ from repro.serve.soak import (
     build_soak_catalog,
     compute_references,
     run_soak,
+    run_worker_soak,
 )
 
 
@@ -48,6 +49,35 @@ class TestSoak:
         )
         assert report.ok, [str(v) for v in report.violations]
         assert report.stats.completed > 0
+
+
+@pytest.mark.slow
+class TestWorkerSoak:
+    def test_kill_per_epoch_holds_the_invariant(self):
+        # One worker SIGKILLed per epoch plus injected crashes: every
+        # epoch must end in the reference answer (directly or degraded)
+        # or a typed error, and the worker.* events must reconcile with
+        # the pool counters.
+        report = run_worker_soak(
+            epochs=2, n_workers=3, seed=11,
+            faults="11:worker.crash=0.05",
+            n_depts=12, n_emps=60,
+        )
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.kills == 2
+        assert report.workers_lost >= report.kills
+        assert report.event_counts["worker.lost"] == report.workers_lost
+        assert report.event_counts["worker.spawned"] == 2 * 3
+        json.dumps(report.as_dict())  # the CLI --json payload serialises
+
+    def test_no_kill_fault_free_runs_clean(self):
+        report = run_worker_soak(
+            epochs=2, n_workers=2, seed=3,
+            kill_per_epoch=False, n_depts=12, n_emps=60,
+        )
+        assert report.ok
+        assert report.kills == 0 and report.workers_lost == 0
+        assert report.outcomes == {"ok": 2}
 
 
 class TestReferences:
