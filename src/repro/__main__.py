@@ -263,6 +263,132 @@ def _cmd_worker_soak(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_overload_soak(args: argparse.Namespace) -> int:
+    """``repro soak --overload``: the phased overload comparison.
+
+    Replays one seeded open-loop arrival schedule (warmup, sustained
+    overload, recovery) against two fresh services -- adaptive overload
+    control and the FIFO baseline -- and compares within-deadline
+    goodput and futile executions at identical offered load. Exit codes
+    mirror ``repro soak``: ``0`` the adaptive side won and every
+    invariant held, ``1`` a violation (lost win, wrong answer, hang, or
+    counter mismatch), ``2`` bad configuration.
+    """
+    import faulthandler
+    import json
+
+    from .serve.soak import OVERLOAD_PHASES, run_overload_soak
+
+    faulthandler.enable()
+    # Two replays of the same schedule plus drains; generous watchdog.
+    budget = sum(phase.seconds for phase in OVERLOAD_PHASES)
+    faulthandler.dump_traceback_later(budget * 6 + 120.0, exit=True)
+    events_log = None
+    file_sink = None
+    ring = None
+    if args.events_out:
+        from .obs import EventLog, FileSink, RingSink, TeeSink
+
+        ring = RingSink(capacity=65536)
+        file_sink = FileSink(args.events_out)
+        events_log = EventLog(TeeSink(ring, file_sink))
+    try:
+        try:
+            report = run_overload_soak(
+                seed=args.seed,
+                workers=args.workers,
+                max_queue=args.max_queue,
+                scale=args.scale,
+                events=events_log,
+            )
+        except ValueError as exc:
+            print(f"soak: bad configuration: {exc}", file=sys.stderr)
+            return 2
+    finally:
+        faulthandler.cancel_dump_traceback_later()
+        if file_sink is not None:
+            file_sink.close()
+
+    if ring is not None:
+        from .obs import validate_events
+
+        try:
+            count = validate_events(ring.events())
+        except ReproError as exc:
+            print(f"soak: event stream invalid: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.events_out} ({count} events)")
+    stats = report.adaptive.stats
+    if not args.no_history:
+        from .bench import history as bench_history
+        from .errors import HistoryError
+
+        try:
+            record = bench_history.make_record(
+                "service_overload",
+                seed=args.seed,
+                workers=args.workers,
+                scale=args.scale,
+                throughput_qps=round(report.adaptive.goodput_qps, 2),
+                latency_p50_ms=stats.latency_p50_ms,
+                latency_p95_ms=stats.latency_p95_ms,
+                goodput=report.adaptive.goodput,
+                fifo_goodput=report.fifo.goodput,
+                futile_executions=report.adaptive.futile_executions,
+                fifo_futile_executions=report.fifo.futile_executions,
+                shed=stats.shed,
+                expired_in_queue=stats.expired_in_queue,
+                rejected_futile=stats.rejected_futile,
+                brownout_transitions=len(stats.brownout_transitions),
+            )
+            written = bench_history.append_record(
+                record, path=args.history
+            )
+        except HistoryError as exc:
+            print(f"soak: history not recorded: {exc}", file=sys.stderr)
+        else:
+            if written is not None:
+                print(f"appended history record to {written}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    for side in (report.adaptive, report.fifo):
+        print(
+            f"overload soak [{side.label}]: {side.offered} offered, "
+            f"{side.goodput} within deadline "
+            f"({side.goodput_qps:.1f} good q/s), "
+            f"{side.futile_executions} futile executions, "
+            f"{side.late_completions} late, "
+            f"{side.checked_answers} answers checked"
+        )
+    print(
+        f"  adaptive: shed={stats.shed} "
+        f"expired_in_queue={stats.expired_in_queue} "
+        f"rejected_futile={stats.rejected_futile} "
+        f"retry_storm_rejected={stats.retry_storm_rejected} "
+        f"brownout_transitions={len(stats.brownout_transitions)}"
+    )
+    for step in stats.brownout_transitions:
+        print(
+            f"    brownout {step['from']} -> {step['to']} "
+            f"({step['rung']}) at utilization "
+            f"{step['utilization']:.2f}"
+        )
+    if not report.ok:
+        for violation in (
+            report.violations
+            + report.adaptive.violations
+            + report.fifo.violations
+        ):
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    print("overload soak: adaptive beat the FIFO baseline; "
+          "all invariants held")
+    return 0
+
+
 def cmd_soak(args: argparse.Namespace) -> int:
     """``repro soak``: the chaos soak harness for the query service.
 
@@ -283,6 +409,8 @@ def cmd_soak(args: argparse.Namespace) -> int:
 
     if args.real_workers:
         return _cmd_worker_soak(args)
+    if args.overload:
+        return _cmd_overload_soak(args)
     faulthandler.enable()
     # A hard watchdog: if the soak (including drain) wedges, dump every
     # thread's stack and kill the process rather than hang CI.
@@ -1121,6 +1249,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="chaos-soak the real worker-process executor "
                              "instead of the query service (--workers then "
                              "counts processes; one is SIGKILLed per epoch)")
+    p_soak.add_argument("--overload", action="store_true",
+                        help="run the phased overload soak instead: replay "
+                             "one open-loop arrival schedule against "
+                             "adaptive overload control and the FIFO "
+                             "baseline, and compare within-deadline "
+                             "goodput")
     p_soak.add_argument("--epochs", type=int, default=4,
                         help="query epochs for --real-workers")
     p_soak.add_argument("--no-kill", action="store_true", dest="no_kill",

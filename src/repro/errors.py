@@ -157,6 +157,37 @@ class QueryCancelled(GuardrailError):
         self.reason = reason
 
 
+class QueryShed(ReproError):
+    """Raised on a ticket that was admitted but then *shed* from the wait
+    queue to make room for a strictly higher-priority arrival.
+
+    Shedding is the overload-control counterpart of admission rejection:
+    the ticket held a queue slot, never ran, and resolves with this typed
+    error instead of burning a worker. ``priority`` is the shed ticket's
+    class; ``retry_after_hint`` (when available) estimates how long the
+    client should back off before resubmitting.
+    """
+
+    def __init__(
+        self,
+        priority: str,
+        queue_depth: int,
+        retry_after_hint: Optional[float] = None,
+    ):
+        hint = (
+            f", retry after ~{retry_after_hint * 1000:.1f}ms"
+            if retry_after_hint is not None
+            else ""
+        )
+        super().__init__(
+            f"query shed from queue (priority {priority!r}, depth "
+            f"{queue_depth}) for higher-priority work{hint}"
+        )
+        self.priority = priority
+        self.queue_depth = queue_depth
+        self.retry_after_hint = retry_after_hint
+
+
 class AdmissionRejected(ReproError):
     """Raised by the query service when a submission cannot be admitted.
 
@@ -164,7 +195,12 @@ class AdmissionRejected(ReproError):
     submissions pile up without bound, overflow fails fast with this typed
     error. ``queue_depth``/``max_queue`` describe the wait queue at
     rejection time, ``in_flight`` the number of queries then executing;
-    ``reason`` is ``"queue full"`` or ``"service closed"``.
+    ``reason`` is ``"queue full"`` or ``"service closed"`` -- or, with
+    adaptive overload control on, ``"deadline unmeetable"`` (the learned
+    service time for the query's shape cannot fit inside its deadline
+    given the current queue), ``"class quota"`` (the priority class's
+    queue share is exhausted), or ``"retry storm"`` (a non-compliant
+    resubmission arrived with the retry token bucket dry).
 
     ``retry_after_hint`` is the service's estimate, in seconds, of how
     long the client should back off before resubmitting (``None`` when

@@ -132,6 +132,22 @@ class ExecutionGuard:
             return None
         return max(0.0, self._deadline - self._clock())
 
+    @property
+    def deadline(self) -> Optional[float]:
+        """The absolute deadline on this guard's clock (``None`` when no
+        timeout is set). Fixed at construction -- see the class doc."""
+        return self._deadline
+
+    def expired(self) -> bool:
+        """Has the deadline passed (without raising)?
+
+        The same comparison :meth:`check` trips on, exposed as a
+        predicate so the query service can *eagerly* evict tickets that
+        expired while queued -- freeing the slot without a worker dequeue
+        and without consuming the guard's trip state.
+        """
+        return self._deadline is not None and self._clock() > self._deadline
+
     # -- enforcement -------------------------------------------------------
 
     def _snapshot(self):

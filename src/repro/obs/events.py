@@ -66,6 +66,11 @@ EVENT_KINDS: tuple[str, ...] = (
     "worker.lost",            # a worker died or missed its heartbeats
     "worker.retry",           # a lost task was re-dispatched (with backoff)
     "worker.degraded",        # the pool fell back to single-process execution
+    "overload.shed",          # a queued ticket was shed for higher priority
+    "overload.expired",       # a queued ticket's deadline passed; evicted
+    "overload.brownout",      # the degradation ladder stepped up or down
+    "overload.retry_storm",   # a non-compliant resubmission was rejected
+    "overload.futile",        # admission rejected a provably-late deadline
 )
 
 _KIND_SET = frozenset(EVENT_KINDS)

@@ -7,11 +7,26 @@ Public surface:
   control, cross-thread cancel, per-strategy circuit breakers, stats);
 * :class:`~repro.serve.service.Ticket` / ``ServiceStats``;
 * :class:`~repro.serve.breaker.CircuitBreaker` / ``BreakerTransition``;
+* :class:`~repro.serve.overload.OverloadConfig` and friends -- adaptive
+  overload control (deadline-aware admission, priority shedding, the
+  brownout degradation ladder, retry-storm protection);
 * :func:`~repro.serve.soak.run_soak` -- the chaos soak harness behind
-  ``python -m repro soak``.
+  ``python -m repro soak`` (and :func:`~repro.serve.soak.run_overload_soak`
+  behind ``python -m repro soak --overload``).
 """
 
 from .breaker import BreakerTransition, CircuitBreaker
+from .overload import (
+    BROWNOUT_RUNGS,
+    PRIORITIES,
+    BrownoutController,
+    OverloadConfig,
+    RetryGovernor,
+    ServiceTimeEstimator,
+    TokenBucket,
+    fingerprint,
+    normalize_sql,
+)
 from .service import QueryService, ServiceStats, Ticket
 from .soak import SoakReport, run_soak
 
@@ -21,6 +36,15 @@ __all__ = [
     "Ticket",
     "CircuitBreaker",
     "BreakerTransition",
+    "OverloadConfig",
+    "BrownoutController",
+    "ServiceTimeEstimator",
+    "RetryGovernor",
+    "TokenBucket",
+    "BROWNOUT_RUNGS",
+    "PRIORITIES",
+    "fingerprint",
+    "normalize_sql",
     "SoakReport",
     "run_soak",
 ]

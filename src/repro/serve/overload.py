@@ -1,0 +1,485 @@
+"""Adaptive overload control: admission estimates, shedding, brownout.
+
+The paper's thesis is that set-oriented rewrites keep *work proportional
+to the answer* rather than to the offered load; this module applies the
+same discipline to the serving layer. Under overload a FIFO service
+wastes workers in three ways: it executes queries whose deadline already
+cannot be met (futile work), it lets expired tickets squat in queue
+slots, and it treats a retry storm as fresh demand. The primitives here
+let :class:`~repro.serve.service.QueryService` spend workers only on
+queries that can still finish:
+
+* :func:`fingerprint` -- a stable hash of the *shape* of a query
+  (literals stripped, whitespace collapsed), the key under which service
+  times are learned;
+* :class:`ServiceTimeEstimator` -- per-(fingerprint, strategy) EMAs of
+  execution time, the cost model behind deadline-aware admission and the
+  brownout ladder's cheapest-strategy rung (the serving-layer echo of
+  the paper's cost-guided strategy selection);
+* :class:`TokenBucket` / :class:`RetryGovernor` -- retry-storm
+  protection that honours clients who respect ``retry_after_hint`` and
+  charges the ones who hot-loop;
+* :class:`BrownoutController` -- a degradation ladder stepping through
+  configured rungs at sustained high utilization, with hysteresis on an
+  injectable clock so it never flaps;
+* :class:`OverloadConfig` -- the knob bundle wiring all of it into the
+  service (``overload=None`` keeps the seed FIFO behaviour exactly).
+
+None of these classes take locks: the service mutates them inside its
+own critical section (they are documented as externally synchronized),
+keeping the §9 lock order flat.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Priority classes, best first; rank = index (lower is better).
+PRIORITIES: tuple[str, ...] = ("high", "normal", "low")
+
+_PRIORITY_RANK = {name: rank for rank, name in enumerate(PRIORITIES)}
+
+
+def priority_rank(priority: str) -> int:
+    """The scheduling rank of a priority class (0 = most important);
+    raises ``ValueError`` on an unknown class."""
+    try:
+        return _PRIORITY_RANK[priority]
+    except KeyError:
+        raise ValueError(
+            f"unknown priority {priority!r}; choose from {PRIORITIES}"
+        ) from None
+
+
+# -- query shape fingerprint --------------------------------------------------
+
+_STRING_LITERAL = re.compile(r"'(?:[^']|'')*'")
+_NUMBER_LITERAL = re.compile(
+    r"(?<![A-Za-z0-9_])\d+(?:\.\d+)?(?:[eE][+-]?\d+)?"
+)
+_WHITESPACE = re.compile(r"\s+")
+
+
+def normalize_sql(sql: str) -> str:
+    """The canonical *shape* of a query: string and numeric literals
+    replaced by ``?``, whitespace collapsed, case folded outside the
+    (already-stripped) string literals. Two submissions of the same
+    template with different constants normalize identically."""
+    text = _STRING_LITERAL.sub("?", sql)
+    text = _NUMBER_LITERAL.sub("?", text)
+    text = _WHITESPACE.sub(" ", text).strip().lower()
+    return text
+
+
+def fingerprint(sql: str) -> str:
+    """A short stable hash of :func:`normalize_sql`'s output -- the key
+    service-time history is learned under."""
+    digest = hashlib.sha256(normalize_sql(sql).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+# -- service-time estimation --------------------------------------------------
+
+class ServiceTimeEstimator:
+    """Exponentially-weighted service-time estimates per query shape.
+
+    Keys are ``(fingerprint, strategy)``; a per-shape aggregate and a
+    global aggregate back the lookup chain, so a cold (shape, strategy)
+    pair still gets an order-of-magnitude answer from its shape or, at
+    worst, from the service-wide mean. Observations are *execution*
+    seconds (dequeue to finish), never queue wait -- queue wait is what
+    admission predicts *from* these numbers.
+
+    Not thread-safe: the owning service mutates it under its own lock.
+    """
+
+    def __init__(self, alpha: float = 0.2, max_shapes: int = 4096):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if max_shapes < 1:
+            raise ValueError("max_shapes must be >= 1")
+        self.alpha = alpha
+        self.max_shapes = max_shapes
+        #: (fingerprint, strategy) -> EMA seconds (LRU-bounded).
+        self._by_key: OrderedDict[tuple[str, str], float] = OrderedDict()
+        #: fingerprint -> EMA seconds across strategies.
+        self._by_shape: OrderedDict[str, float] = OrderedDict()
+        self._global: Optional[float] = None
+        self.observations = 0
+
+    def _bump(self, table: OrderedDict, key, seconds: float) -> None:
+        previous = table.pop(key, None)
+        table[key] = (
+            seconds if previous is None
+            else self.alpha * seconds + (1.0 - self.alpha) * previous
+        )
+        while len(table) > self.max_shapes:
+            table.popitem(last=False)
+
+    def observe(self, fp: str, strategy: str, seconds: float) -> None:
+        """Fold one measured execution time into the EMAs."""
+        if seconds < 0:
+            return
+        self._bump(self._by_key, (fp, strategy), seconds)
+        self._bump(self._by_shape, fp, seconds)
+        self._global = (
+            seconds if self._global is None
+            else self.alpha * seconds + (1.0 - self.alpha) * self._global
+        )
+        self.observations += 1
+
+    def estimate(self, fp: str, strategy: str) -> Optional[float]:
+        """Best available estimate for (shape, strategy): exact key,
+        then the shape aggregate, then the global mean, else ``None``
+        (a cold estimator must offer no number rather than a made-up
+        one)."""
+        value = self._by_key.get((fp, strategy))
+        if value is None:
+            value = self._by_shape.get(fp)
+        if value is None:
+            value = self._global
+        return value
+
+    def global_mean(self) -> Optional[float]:
+        """The service-wide execution-time EMA (``None`` until the first
+        observation)."""
+        return self._global
+
+    def cheapest(self, fp: str, candidates) -> Optional[str]:
+        """The candidate strategy with the lowest learned estimate for
+        this shape; ``None`` when no candidate has history (forcing a
+        strategy without evidence would be a guess, not a measurement)."""
+        best: Optional[str] = None
+        best_cost: Optional[float] = None
+        for key in candidates:
+            cost = self._by_key.get((fp, key))
+            if cost is not None and (best_cost is None or cost < best_cost):
+                best, best_cost = key, cost
+        return best
+
+    def as_dict(self) -> dict:
+        """A JSON-ready summary (shape count, global mean, observations)."""
+        return {
+            "shapes": len(self._by_shape),
+            "keys": len(self._by_key),
+            "observations": self.observations,
+            "global_mean_ms": (
+                round(self._global * 1000, 3)
+                if self._global is not None else None
+            ),
+        }
+
+
+# -- retry-storm protection ---------------------------------------------------
+
+class TokenBucket:
+    """A clock-driven token bucket (externally synchronized).
+
+    ``take`` succeeds while tokens remain; tokens refill continuously at
+    ``refill_per_s`` up to ``capacity``. All time comes from the caller
+    (the service passes its injectable clock reading), so fake-clock
+    tests drive refills deterministically.
+    """
+
+    def __init__(self, capacity: float, refill_per_s: float):
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        if refill_per_s < 0:
+            raise ValueError("refill_per_s must be >= 0")
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._tokens = float(capacity)
+        self._last: Optional[float] = None
+
+    def _refill(self, now: float) -> None:
+        if self._last is not None and now > self._last:
+            self._tokens = min(
+                self.capacity,
+                self._tokens + (now - self._last) * self.refill_per_s,
+            )
+        self._last = now
+
+    def take(self, now: float, tokens: float = 1.0) -> bool:
+        """Consume ``tokens`` at time ``now``; False when the bucket
+        cannot cover them (the caller should reject)."""
+        self._refill(now)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def available(self, now: float) -> float:
+        """Tokens available at ``now`` (refilling as a side effect)."""
+        self._refill(now)
+        return self._tokens
+
+
+class RetryGovernor:
+    """Retry-storm protection keyed by query shape.
+
+    Every rejection that carries a ``retry_after_hint`` records when that
+    shape is *welcome back*. A resubmission of the same shape before its
+    earliest-retry time is non-compliant and must pay a token from a
+    shared :class:`TokenBucket`; once the bucket is dry, non-compliant
+    resubmissions are rejected outright (``"retry storm"``) until the
+    bucket refills -- so a polite client is never throttled by an
+    impolite one hot-looping the same template, and the penalty decays
+    at the refill rate rather than lasting forever.
+
+    Externally synchronized (see module doc).
+    """
+
+    def __init__(
+        self,
+        capacity: float = 8.0,
+        refill_per_s: float = 2.0,
+        max_tracked: int = 1024,
+    ):
+        if max_tracked < 1:
+            raise ValueError("max_tracked must be >= 1")
+        self.bucket = TokenBucket(capacity, refill_per_s)
+        self.max_tracked = max_tracked
+        #: fingerprint -> earliest welcome-back time (LRU-bounded).
+        self._earliest: OrderedDict[str, float] = OrderedDict()
+        self.penalized = 0
+        self.rejected = 0
+
+    def record_rejection(
+        self, fp: str, now: float, hint: Optional[float]
+    ) -> None:
+        """Remember that ``fp`` was told to come back after ``hint``
+        seconds (no-op when the rejection carried no hint)."""
+        if hint is None or hint <= 0:
+            return
+        self._earliest.pop(fp, None)
+        self._earliest[fp] = now + hint
+        while len(self._earliest) > self.max_tracked:
+            self._earliest.popitem(last=False)
+
+    def forgive(self, fp: str) -> None:
+        """Drop ``fp``'s welcome-back record without charging anything.
+
+        The service calls this when a resubmission arrives *early* but
+        the queue has meanwhile drained: the hint was an estimate, and
+        arriving early at a service with capacity is not a storm."""
+        self._earliest.pop(fp, None)
+
+    def admit(self, fp: str, now: float) -> tuple[bool, Optional[float]]:
+        """Gate one submission of shape ``fp`` at time ``now``.
+
+        Returns ``(allowed, wait_remaining)``: compliant submissions (no
+        outstanding hint, or the hint was honoured) are always allowed
+        and clear their record; early resubmissions pay a token --
+        ``(True, remaining)`` while the bucket covers them,
+        ``(False, remaining)`` once it is dry.
+        """
+        earliest = self._earliest.get(fp)
+        if earliest is None or now >= earliest:
+            self._earliest.pop(fp, None)
+            return True, None
+        remaining = earliest - now
+        if self.bucket.take(now):
+            self.penalized += 1
+            return True, remaining
+        self.rejected += 1
+        return False, remaining
+
+
+# -- the brownout degradation ladder ------------------------------------------
+
+#: What each brownout rung switches off (rung N applies all effects of
+#: rungs 1..N). Documented here; enforced by the service.
+BROWNOUT_RUNGS: tuple[str, ...] = (
+    "normal",                 # level 0: everything on
+    "shed observability",     # level 1: tracing + slow-query capture off
+    "tighten budgets",        # level 2: Limits budgets scaled down
+    "force cheapest strategy",  # level 3: rewrite veto -> cheapest plan
+)
+
+
+class BrownoutController:
+    """The degradation ladder: utilization in, brownout level out.
+
+    Steps *down* (level += 1) after utilization has stayed at or above
+    ``high_watermark`` for ``dwell_s`` seconds; steps *up* (level -= 1)
+    after it has stayed at or below ``low_watermark`` for ``cooldown_s``
+    seconds. The gap between the watermarks plus the two dwell times is
+    the hysteresis -- a service oscillating around one threshold never
+    flaps the ladder. All time comes from the caller's clock readings;
+    one level per transition, so recovery is as gradual as degradation.
+
+    Externally synchronized (see module doc).
+    """
+
+    def __init__(
+        self,
+        high_watermark: float = 0.85,
+        low_watermark: float = 0.5,
+        dwell_s: float = 0.5,
+        cooldown_s: float = 2.0,
+        max_level: int = len(BROWNOUT_RUNGS) - 1,
+    ):
+        if not 0.0 < high_watermark <= 1.0:
+            raise ValueError("high_watermark must be in (0, 1]")
+        if not 0.0 <= low_watermark < high_watermark:
+            raise ValueError(
+                "low_watermark must be in [0, high_watermark)"
+            )
+        if dwell_s < 0 or cooldown_s < 0:
+            raise ValueError("dwell_s and cooldown_s must be >= 0")
+        if not 0 <= max_level <= len(BROWNOUT_RUNGS) - 1:
+            raise ValueError(
+                f"max_level must be in [0, {len(BROWNOUT_RUNGS) - 1}]"
+            )
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.dwell_s = dwell_s
+        self.cooldown_s = cooldown_s
+        self.max_level = max_level
+        self.level = 0
+        #: When utilization first crossed the high/low watermark and
+        #: stayed there (None = not currently across it).
+        self._high_since: Optional[float] = None
+        self._low_since: Optional[float] = None
+
+    def observe(
+        self, utilization: float, now: float
+    ) -> Optional[tuple[int, int]]:
+        """Feed one utilization sample; returns ``(old, new)`` when the
+        ladder stepped, else ``None``."""
+        if utilization >= self.high_watermark:
+            self._low_since = None
+            if self._high_since is None:
+                self._high_since = now
+            if (
+                self.level < self.max_level
+                and now - self._high_since >= self.dwell_s
+            ):
+                old = self.level
+                self.level += 1
+                self._high_since = now  # re-dwell before the next rung
+                return old, self.level
+            return None
+        self._high_since = None
+        if utilization <= self.low_watermark:
+            if self._low_since is None:
+                self._low_since = now
+            if (
+                self.level > 0
+                and now - self._low_since >= self.cooldown_s
+            ):
+                old = self.level
+                self.level -= 1
+                self._low_since = now  # re-cool before the next rung
+                return old, self.level
+            return None
+        # Between the watermarks: hold the level, reset both timers.
+        self._low_since = None
+        return None
+
+    @property
+    def shedding_observability(self) -> bool:
+        """Level >= 1: tracing and slow-query capture are off."""
+        return self.level >= 1
+
+    @property
+    def tightening_budgets(self) -> bool:
+        """Level >= 2: per-query Limits budgets are scaled down."""
+        return self.level >= 2
+
+    @property
+    def forcing_cheapest(self) -> bool:
+        """Level >= 3: the rewrite veto forces the cheapest strategy."""
+        return self.level >= 3
+
+
+# -- configuration ------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Knobs for the service's adaptive overload control.
+
+    Passing an instance to ``QueryService(overload=...)`` turns the
+    whole layer on; ``overload=None`` (the default) preserves the seed
+    FIFO behaviour bit for bit. Individual features can be disabled via
+    their flags for ablation (the overload soak's FIFO baseline uses
+    ``overload=None`` instead).
+    """
+
+    #: Reject submissions whose deadline provably cannot be met given
+    #: the current queue and the learned service time for their shape.
+    deadline_admission: bool = True
+    #: Safety factor on the futility test: reject only when
+    #: ``predicted > deadline * admission_slack``. > 1.0 is lenient
+    #: (estimates must overshoot the deadline by the factor), < 1.0 is
+    #: aggressive.
+    admission_slack: float = 1.0
+    #: Evict tickets whose deadline expired while queued (distinct
+    #: ``expired_in_queue`` outcome; the slot frees immediately).
+    eager_expiry: bool = True
+    #: Under queue pressure, shed the newest lowest-priority queued
+    #: ticket to admit a strictly higher-priority arrival.
+    shed_lower_priority: bool = True
+    #: Per-class queue quota as a fraction of ``max_queue``; classes
+    #: absent from the map are unrestricted. Low-priority work may fill
+    #: only half the queue by default, so a low-priority flood can never
+    #: starve the classes above it.
+    class_quotas: dict = field(
+        default_factory=lambda: {"low": 0.5, "normal": 0.9}
+    )
+    #: Retry-storm token bucket (see :class:`RetryGovernor`); capacity
+    #: <= 0 disables the governor.
+    retry_tokens: float = 8.0
+    retry_refill_per_s: float = 2.0
+    retry_tracked: int = 1024
+    #: Brownout ladder (see :class:`BrownoutController`); max_level 0
+    #: disables stepping entirely.
+    brownout_high_watermark: float = 0.85
+    brownout_low_watermark: float = 0.5
+    brownout_dwell_s: float = 0.5
+    brownout_cooldown_s: float = 2.0
+    brownout_max_level: int = len(BROWNOUT_RUNGS) - 1
+    #: Budget scale applied at the tighten-budgets rung (level >= 2).
+    brownout_limit_scale: float = 0.5
+    #: Estimator smoothing / capacity.
+    ema_alpha: float = 0.2
+    estimator_shapes: int = 4096
+
+    def build_estimator(self) -> ServiceTimeEstimator:
+        return ServiceTimeEstimator(
+            alpha=self.ema_alpha, max_shapes=self.estimator_shapes
+        )
+
+    def build_governor(self) -> Optional[RetryGovernor]:
+        if self.retry_tokens <= 0:
+            return None
+        return RetryGovernor(
+            capacity=self.retry_tokens,
+            refill_per_s=self.retry_refill_per_s,
+            max_tracked=self.retry_tracked,
+        )
+
+    def build_brownout(self) -> BrownoutController:
+        return BrownoutController(
+            high_watermark=self.brownout_high_watermark,
+            low_watermark=self.brownout_low_watermark,
+            dwell_s=self.brownout_dwell_s,
+            cooldown_s=self.brownout_cooldown_s,
+            max_level=self.brownout_max_level,
+        )
+
+    def quota_for(self, priority: str, max_queue: int) -> Optional[int]:
+        """The queued-ticket cap for ``priority`` (``None`` =
+        unrestricted). A fractional quota rounds *up* so a tiny queue
+        still admits at least one ticket of a capped class when the
+        fraction is nonzero."""
+        fraction = self.class_quotas.get(priority)
+        if fraction is None:
+            return None
+        import math
+
+        return math.ceil(max_queue * fraction)

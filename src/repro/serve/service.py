@@ -35,6 +35,22 @@ be shared across threads. Fault injection follows ``fault_scope``:
   which query observes a given ordinal depends on thread interleaving;
 * ``"worker"``: each worker thread gets ``registry.replica()`` -- a
   per-worker deterministic fault sequence.
+
+Adaptive overload control (``overload=OverloadConfig(...)``, see
+:mod:`repro.serve.overload` and DESIGN §14) layers four mechanisms on
+top of plain admission: deadline-aware admission (reject-with-hint any
+submission whose learned service time cannot fit inside its deadline
+given the current backlog), priority classes with quotas and selective
+shedding (``submit(priority=...)``; the newest lowest-priority queued
+ticket is shed -- typed :class:`~repro.errors.QueryShed` -- to admit
+strictly more important work), eager eviction of tickets that expire
+while queued (a distinct ``expired_in_queue`` outcome that frees the
+slot without a worker dequeue), and a brownout degradation ladder with
+hysteresis (observability off -> budgets tightened -> cheapest strategy
+forced through the rewrite veto hook). ``overload=None`` (default)
+preserves plain FIFO behaviour exactly. The §9 conservation law
+extends to the new outcomes: ``admitted == completed + failed +
+cancelled + shed + expired_in_queue + in_flight + queue_depth``.
 """
 
 from __future__ import annotations
@@ -51,10 +67,19 @@ from ..errors import (
     AdmissionRejected,
     BudgetExceeded,
     QueryCancelled,
+    QueryShed,
     ReproError,
 )
+from ..exec.metrics import Metrics
 from ..guard import ExecutionGuard, Limits
 from .breaker import BreakerTransition, CircuitBreaker
+from .overload import (
+    BROWNOUT_RUNGS,
+    PRIORITIES,
+    OverloadConfig,
+    fingerprint,
+    priority_rank,
+)
 
 #: Ticket lifecycle states.
 QUEUED = "queued"
@@ -62,6 +87,9 @@ RUNNING = "running"
 COMPLETED = "completed"
 FAILED = "failed"
 CANCELLED = "cancelled"
+#: Overload-control outcomes: evicted from the queue without running.
+SHED = "shed"
+EXPIRED = "expired"
 
 #: The strategy of last resort; its breaker never blocks (see module doc).
 _LAST_RESORT = "ni"
@@ -84,6 +112,10 @@ class Ticket:
         guard: ExecutionGuard,
         submitted_at: float,
         cse_mode: str = "recompute",
+        priority: str = "normal",
+        rank: int = 1,
+        fingerprint: str = "",
+        deadline_s: Optional[float] = None,
     ):
         self.query_id = query_id
         self.sql = sql
@@ -91,8 +123,20 @@ class Ticket:
         self.guard = guard
         self.submitted_at = submitted_at
         self.cse_mode = cse_mode
+        self.priority = priority
+        self.rank = rank
+        self.fingerprint = fingerprint
+        self.deadline_s = deadline_s
         self.state = QUEUED
         self.latency: Optional[float] = None  # seconds, set on completion
+        #: Dequeue timestamp (service clock); None until a worker picks
+        #: the ticket up. Execution time = finish - started_at.
+        self.started_at: Optional[float] = None
+        #: Brownout level snapshotted at dequeue (drives per-query
+        #: observability shedding without re-reading shared state).
+        self.brownout_level = 0
+        #: Strategy the brownout ladder forces (level >= 3), else None.
+        self.forced_strategy: Optional[str] = None
         self._event = threading.Event()
         self._result: Optional[Result] = None
         self._error: Optional[BaseException] = None
@@ -173,8 +217,10 @@ class ServiceStats:
     """A consistent snapshot of the service counters.
 
     Conservation: ``submitted == admitted + rejected`` always, and after a
-    drain (``close()``) ``admitted == completed + failed + cancelled``, so
-    ``submitted == completed + failed + cancelled + rejected``.
+    drain (``close()``) ``admitted == completed + failed + cancelled +
+    shed + expired_in_queue``, so every submission has exactly one
+    recorded outcome (``shed``/``expired_in_queue`` stay zero without
+    overload control).
     """
 
     submitted: int = 0
@@ -183,9 +229,23 @@ class ServiceStats:
     #: Rejections that carried a ``retry_after_hint`` (a backoff estimate
     #: the client can honour instead of hot-looping); always <= rejected.
     rejected_with_hint: int = 0
+    #: Rejections by deadline-aware admission ("deadline unmeetable"):
+    #: the learned service time could not fit inside the submission's
+    #: deadline given the backlog at arrival. Subset of ``rejected``.
+    rejected_futile: int = 0
+    #: Non-compliant resubmissions rejected with the retry token bucket
+    #: dry ("retry storm"). Subset of ``rejected``.
+    retry_storm_rejected: int = 0
+    #: Non-compliant resubmissions that were admitted but paid a token.
+    retry_penalized: int = 0
     completed: int = 0
     failed: int = 0
     cancelled: int = 0
+    #: Admitted tickets evicted from the queue for higher-priority work.
+    shed: int = 0
+    #: Admitted tickets whose deadline expired while queued (evicted
+    #: eagerly, without a worker dequeue).
+    expired_in_queue: int = 0
     in_flight: int = 0
     queue_depth: int = 0
     max_queue: int = 0
@@ -206,14 +266,32 @@ class ServiceStats:
     slow_queries: list = field(default_factory=list)
     #: Total queries over the slow threshold (may exceed the ring size).
     slow_total: int = 0
+    #: Current brownout ladder level (0 = normal; see
+    #: :data:`repro.serve.overload.BROWNOUT_RUNGS`).
+    brownout_level: int = 0
+    #: Brownout ladder transitions, oldest first: dicts with
+    #: ``from``/``to`` levels, ``direction`` (``"down"`` = degrading),
+    #: ``utilization`` and ``rung`` (the new level's rung name).
+    brownout_transitions: list = field(default_factory=list)
+    #: Cumulative histogram of queue wait (admission to dequeue, seconds).
+    queue_wait_histogram: dict = field(default_factory=dict)
+    #: Overload-control internals (estimator/retry-governor summaries);
+    #: empty without ``overload=``.
+    overload: dict = field(default_factory=dict)
 
     def reconciles(self) -> bool:
         """Does every submission have exactly one recorded outcome (only
-        meaningful once the service is idle or closed)?"""
+        meaningful once the service is idle or closed)?
+
+        The §9 conservation law, extended with the overload outcomes
+        (both zero without overload control): shed and expired-in-queue
+        tickets were *admitted* but never ran.
+        """
         return (
             self.submitted == self.admitted + self.rejected
             and self.admitted
             == self.completed + self.failed + self.cancelled
+            + self.shed + self.expired_in_queue
             + self.in_flight + self.queue_depth
         )
 
@@ -223,9 +301,14 @@ class ServiceStats:
             "admitted": self.admitted,
             "rejected": self.rejected,
             "rejected_with_hint": self.rejected_with_hint,
+            "rejected_futile": self.rejected_futile,
+            "retry_storm_rejected": self.retry_storm_rejected,
+            "retry_penalized": self.retry_penalized,
             "completed": self.completed,
             "failed": self.failed,
             "cancelled": self.cancelled,
+            "shed": self.shed,
+            "expired_in_queue": self.expired_in_queue,
             "in_flight": self.in_flight,
             "queue_depth": self.queue_depth,
             "max_queue": self.max_queue,
@@ -258,6 +341,18 @@ class ServiceStats:
             "recent_traces": self.recent_traces,
             "slow_queries": self.slow_queries,
             "slow_total": self.slow_total,
+            "brownout_level": self.brownout_level,
+            "brownout_transitions": self.brownout_transitions,
+            "queue_wait_histogram": {
+                **self.queue_wait_histogram,
+                "buckets": {
+                    str(k): v
+                    for k, v in self.queue_wait_histogram.get(
+                        "buckets", {}
+                    ).items()
+                },
+            },
+            "overload": self.overload,
         }
 
     # -- export -------------------------------------------------------------
@@ -280,15 +375,37 @@ class ServiceStats:
         "rejected_with_hint": (
             "Rejections carrying a retry_after_hint backoff estimate"
         ),
+        "rejected_futile": (
+            "Rejections because the deadline was provably unmeetable"
+        ),
+        "retry_storm_rejected": (
+            "Non-compliant resubmissions rejected with the retry "
+            "token bucket dry"
+        ),
+        "retry_penalized": (
+            "Non-compliant resubmissions admitted at the cost of a "
+            "retry token"
+        ),
         "completed": "Queries that produced a result",
         "failed": "Queries that raised a typed error",
         "cancelled": "Queries cancelled cooperatively",
+        "shed": (
+            "Queued tickets shed to make room for higher-priority work"
+        ),
+        "expired_in_queue": (
+            "Queued tickets evicted because their deadline expired "
+            "before a worker picked them up"
+        ),
     }
     _GAUGE_HELP = {
         "in_flight": "Queries executing right now",
         "queue_depth": "Queries waiting right now",
         "workers": "Worker pool size",
         "max_queue": "Wait-queue capacity",
+        "brownout_level": (
+            "Current brownout ladder level (0 normal .. 3 cheapest "
+            "strategy forced)"
+        ),
     }
 
     def _prometheus(self) -> str:
@@ -318,6 +435,11 @@ class ServiceStats:
             "repro_queue_depth_at_admission",
             "Wait-queue depth sampled at each admission",
             self.queue_depth_histogram,
+        ))
+        lines.extend(_prometheus_histogram(
+            "repro_queue_wait_seconds",
+            "Queue wait from admission to worker dequeue",
+            self.queue_wait_histogram,
         ))
         if self.breakers:
             metric = "repro_breaker_open"
@@ -412,6 +534,13 @@ class QueryService:
         queue-depth histograms; default to :data:`LATENCY_BUCKETS` /
         :data:`QUEUE_DEPTH_BUCKETS`. Must be non-empty and strictly
         increasing.
+    overload:
+        An :class:`~repro.serve.overload.OverloadConfig` switches on
+        adaptive overload control: deadline-aware admission, priority
+        shedding with class quotas, eager expiry of queued tickets, the
+        retry-storm governor, and the brownout degradation ladder (see
+        module docstring and DESIGN §14). ``None`` (default) preserves
+        plain FIFO admission exactly.
 
     Use as a context manager; ``close()`` drains by default.
     """
@@ -434,6 +563,7 @@ class QueryService:
         slow_log=None,
         latency_buckets=None,
         queue_depth_buckets=None,
+        overload: Optional[OverloadConfig] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -495,6 +625,28 @@ class QueryService:
             self.slow_log = SlowQueryLog(slow_query_ms, events=events)
         else:
             self.slow_log = None
+        # adaptive overload control (all state guarded by self._lock)
+        self._overload = overload
+        if overload is not None:
+            self._estimator = overload.build_estimator()
+            self._governor = overload.build_governor()
+            self._brownout = overload.build_brownout()
+            self._quotas = [
+                overload.quota_for(priority, max_queue)
+                for priority in PRIORITIES  # indexed by rank
+            ]
+        else:
+            self._estimator = None
+            self._governor = None
+            self._brownout = None
+            self._quotas = [None, None, None]
+        self._queued_by_rank = [0, 0, 0]
+        self._shed = 0
+        self._expired_in_queue = 0
+        self._rejected_futile = 0
+        self._retry_storm_rejected = 0
+        self._brownout_transitions: list[dict] = []
+        self._queue_wait_samples: list[float] = []
         # breakers
         self._breaker_threshold = breaker_threshold
         self._breaker_cooldown = breaker_cooldown
@@ -520,6 +672,7 @@ class QueryService:
         limits: Optional[Limits] = None,
         deadline: Optional[float] = None,
         cse_mode: str = "recompute",
+        priority: str = "normal",
     ) -> Ticket:
         """Admit one query (or raise :class:`AdmissionRejected`).
 
@@ -529,17 +682,22 @@ class QueryService:
         member or its string value; the service executes with
         ``fallback=True``, so a failing strategy degrades rather than
         erroring (see the breaker discussion in the module docstring).
+
+        ``priority`` (``"high"``/``"normal"``/``"low"``) matters only
+        with overload control on: higher classes dequeue first, may shed
+        the newest lowest-priority queued ticket when the queue is full,
+        and lower classes are capped by their queue quota. Without
+        ``overload=`` the class is recorded but scheduling stays FIFO.
         """
         key = getattr(strategy, "value", strategy)
+        rank = priority_rank(priority)
         limits = limits if limits is not None else self.default_limits
         deadline = (
             deadline if deadline is not None else self.default_deadline
         )
-        merged = self._merge_limits(limits, deadline)
-        guard = ExecutionGuard(merged, clock=self._clock)
+        overload = self._overload
+        fp = fingerprint(sql) if overload is not None else ""
         events = self.events
-        if events is not None:
-            guard.events = events
         with self._lock:
             # Every submission gets an id -- rejected ones included, so
             # their events carry an identity.
@@ -547,7 +705,8 @@ class QueryService:
             self._submitted += 1
             if events is not None:
                 events.emit(
-                    "query.submitted", query_id=query_id, strategy=key
+                    "query.submitted", query_id=query_id, strategy=key,
+                    priority=priority,
                 )
             if self._closed:
                 self._rejected += 1
@@ -560,58 +719,383 @@ class QueryService:
                     "service closed", len(self._queue), self.max_queue,
                     in_flight=self._in_flight,
                 )
+            now = self._clock()
+            # Overload control, in order: evict already-dead tickets (may
+            # free slots), gate retry storms, refuse provably-futile
+            # work, enforce class quotas -- then the capacity rule, with
+            # priority shedding as the last resort before rejection.
+            self._expire_queued_locked(now)
+            full = (
+                self._in_flight + len(self._queue)
+                >= self.workers + self.max_queue
+            )
+            if overload is not None and self._governor is not None:
+                if full:
+                    allowed, wait_remaining = self._governor.admit(fp, now)
+                    if not allowed:
+                        hint = (
+                            round(wait_remaining, 6)
+                            if wait_remaining is not None else None
+                        )
+                        self._reject_locked(
+                            query_id, "retry storm", hint,
+                            extra_kind="overload.retry_storm",
+                        )
+                else:
+                    # Early resubmission to a service with capacity is
+                    # not a storm -- the hint was only an estimate.
+                    self._governor.forgive(fp)
+            if (
+                overload is not None
+                and overload.deadline_admission
+                and deadline is not None
+                # Futility rejection only pays when the arrival would
+                # contend for a worker: with idle capacity, executing a
+                # doomed-looking query costs nothing (the estimate may
+                # be wrong; an idle worker is wrong for sure).
+                and self._in_flight + len(self._queue) >= self.workers
+            ):
+                wait, estimate = self._predicted_wait_locked(fp, key)
+                if (
+                    wait is not None
+                    and estimate is not None
+                    and wait + estimate > deadline * overload.admission_slack
+                ):
+                    hint = round(wait, 6) if wait > 0 else None
+                    if self._governor is not None:
+                        self._governor.record_rejection(fp, now, hint)
+                    if events is not None:
+                        events.emit(
+                            "overload.futile", query_id=query_id,
+                            predicted_ms=round((wait + estimate) * 1000, 3),
+                            deadline_ms=round(deadline * 1000, 3),
+                        )
+                    self._reject_locked(
+                        query_id, "deadline unmeetable", hint,
+                    )
+            if overload is not None:
+                quota = self._quotas[rank]
+                would_wait = (
+                    self._in_flight + len(self._queue) >= self.workers
+                )
+                if (
+                    quota is not None
+                    and would_wait
+                    and self._queued_by_rank[rank] >= quota
+                ):
+                    hint = self._retry_hint_locked()
+                    if self._governor is not None:
+                        self._governor.record_rejection(fp, now, hint)
+                    self._reject_locked(query_id, "class quota", hint)
             # Total-capacity rule: admit while admitted-but-unfinished
             # work fits in ``workers + max_queue``.  (Queue depth alone
             # would make ``max_queue=0`` unusable even with idle workers.)
-            if (
-                self._in_flight + len(self._queue)
-                >= self.workers + self.max_queue
-            ):
-                self._rejected += 1
-                hint = self._retry_hint_locked()
-                if hint is not None:
-                    self._rejected_with_hint += 1
-                if events is not None:
-                    events.emit(
-                        "query.rejected", query_id=query_id,
-                        reason="queue full", queue_depth=len(self._queue),
-                        retry_after_hint=hint,
+            if full:
+                victim = None
+                if (
+                    overload is not None
+                    and overload.shed_lower_priority
+                    and self._queue
+                    and self._queue[-1].rank > rank
+                ):
+                    # The queue is priority-ordered (FIFO within class),
+                    # so its tail is the newest lowest-priority ticket.
+                    victim = self._queue.pop()
+                if victim is None:
+                    hint = self._retry_hint_locked()
+                    if self._governor is not None and overload is not None:
+                        self._governor.record_rejection(fp, now, hint)
+                    self._reject_locked(
+                        query_id, "queue full", hint,
+                        queue_depth=len(self._queue),
                     )
-                raise AdmissionRejected(
-                    "queue full", len(self._queue), self.max_queue,
-                    in_flight=self._in_flight, retry_after_hint=hint,
-                )
+                else:
+                    self._resolve_queued_locked(
+                        victim, SHED,
+                        QueryShed(
+                            victim.priority, len(self._queue),
+                            retry_after_hint=self._retry_hint_locked(),
+                        ),
+                        now,
+                    )
+            merged = self._merge_limits(limits, deadline)
+            if (
+                self._brownout is not None
+                and self._brownout.tightening_budgets
+            ):
+                merged = self._tighten_limits(merged)
+            guard = ExecutionGuard(merged, clock=self._clock)
+            if events is not None:
+                guard.events = events
             ticket = Ticket(
-                query_id, sql, key, guard, self._clock(),
-                cse_mode=cse_mode,
+                query_id, sql, key, guard, now,
+                cse_mode=cse_mode, priority=priority, rank=rank,
+                fingerprint=fp, deadline_s=deadline,
             )
             self._admitted += 1
             if events is not None:
                 events.emit(
                     "query.admitted", query_id=query_id,
-                    queue_depth=len(self._queue),
+                    queue_depth=len(self._queue), priority=priority,
                 )
             self._tickets[ticket.query_id] = ticket
             self._queue_depth_samples.append(len(self._queue))
-            self._queue.append(ticket)
+            self._enqueue_locked(ticket)
             self._not_empty.notify()
+            self._observe_overload_locked(now)
             return ticket
+
+    def _reject_locked(
+        self,
+        query_id: int,
+        reason: str,
+        hint: Optional[float],
+        extra_kind: Optional[str] = None,
+        queue_depth: Optional[int] = None,
+    ) -> None:
+        """Count, emit and raise one admission rejection (lock held).
+
+        Every rejection emits ``query.rejected`` (so per-kind event
+        counts keep reconciling with ``rejected``); overload-specific
+        reasons add a marker event via ``extra_kind``. Rejections are
+        also pressure observations for the brownout ladder -- under a
+        storm they may be the *only* clock edges the service sees.
+        """
+        self._observe_overload_locked(self._clock())
+        self._rejected += 1
+        if hint is not None:
+            self._rejected_with_hint += 1
+        if reason == "deadline unmeetable":
+            self._rejected_futile += 1
+        elif reason == "retry storm":
+            self._retry_storm_rejected += 1
+        if self.events is not None:
+            if extra_kind is not None:
+                self.events.emit(
+                    extra_kind, query_id=query_id, retry_after_hint=hint,
+                )
+            payload = {"reason": reason, "retry_after_hint": hint}
+            if queue_depth is not None:
+                payload["queue_depth"] = queue_depth
+            self.events.emit(
+                "query.rejected", query_id=query_id, **payload
+            )
+        raise AdmissionRejected(
+            reason, len(self._queue), self.max_queue,
+            in_flight=self._in_flight, retry_after_hint=hint,
+        )
+
+    def _enqueue_locked(self, ticket: Ticket) -> None:
+        """Insert a ticket into the wait queue.
+
+        Plain FIFO without overload control; with it, priority order
+        (rank ascending) with FIFO stability inside each class -- the
+        insert walks from the tail, so same-rank traffic stays O(1).
+        """
+        queue = self._queue
+        if (
+            self._overload is None
+            or not queue
+            or queue[-1].rank <= ticket.rank
+        ):
+            queue.append(ticket)
+        else:
+            index = len(queue)
+            while index > 0 and queue[index - 1].rank > ticket.rank:
+                index -= 1
+            queue.insert(index, ticket)
+        self._queued_by_rank[ticket.rank] += 1
 
     def _retry_hint_locked(self) -> Optional[float]:
         """The backoff estimate attached to a queue-full rejection (called
         with the lock held).
 
-        A full service clears roughly ``workers`` queries per mean
-        latency, so one slot frees after about ``ema * (depth + 1) /
-        workers`` seconds. Deliberately rough -- the point is to replace a
-        client's blind hot-loop with a back-off on the right order of
-        magnitude. ``None`` before the first completion (no data, no
-        hint)."""
+        With overload control and a warm estimator, the hint is the
+        predicted time for the current backlog to clear one slot
+        (per-shape estimates for queued work, half a mean for each
+        in-flight query). Otherwise: a full service clears roughly
+        ``workers`` queries per mean latency, so one slot frees after
+        about ``ema * (depth + 1) / workers`` seconds. Deliberately
+        rough -- the point is to replace a client's blind hot-loop with
+        a back-off on the right order of magnitude. ``None`` before the
+        first completion (no data, no hint)."""
+        if (
+            self._estimator is not None
+            and self._estimator.global_mean() is not None
+        ):
+            backlog = self._backlog_seconds_locked()
+            mean = self._estimator.global_mean()
+            return round((backlog + mean) / self.workers, 6)
         if self._latency_ema is None:
             return None
         return round(
             self._latency_ema * (len(self._queue) + 1) / self.workers, 6
         )
+
+    # -- overload control (all helpers called with the lock held) -----------
+
+    def _backlog_seconds_locked(self) -> float:
+        """Estimated seconds of work already admitted: per-shape
+        estimates for every queued ticket (global mean for cold shapes)
+        plus half a mean per in-flight query (in expectation, running
+        work is half done)."""
+        mean = self._estimator.global_mean() or 0.0
+        queued = 0.0
+        for ticket in self._queue:
+            estimate = self._estimator.estimate(
+                ticket.fingerprint, ticket.strategy
+            )
+            queued += estimate if estimate is not None else mean
+        return queued + 0.5 * mean * self._in_flight
+
+    def _predicted_wait_locked(
+        self, fp: str, strategy: str
+    ) -> tuple[Optional[float], Optional[float]]:
+        """``(predicted queue wait, own service-time estimate)`` for one
+        arriving submission -- the futility test's inputs. Both ``None``
+        while the estimator is cold (no evidence, no rejection)."""
+        estimate = self._estimator.estimate(fp, strategy)
+        if estimate is None:
+            return None, None
+        return self._backlog_seconds_locked() / self.workers, estimate
+
+    def _expire_queued_locked(self, now: Optional[float] = None) -> None:
+        """Eagerly evict queued tickets whose deadline already passed
+        (``expired_in_queue`` outcome) -- the slot frees without a worker
+        dequeue and without burning any execution on a dead query.
+
+        Cancelled tickets are left for the workers: they must resolve as
+        ``cancelled`` (the ``close(drain=False)`` contract), not as
+        expired, even when their deadline also lapsed. Reads the clock
+        only when overload control is on (stepping fake clocks must not
+        tick on the seed paths). Caller holds the lock."""
+        if (
+            self._overload is None
+            or not self._overload.eager_expiry
+            or not self._queue
+        ):
+            return
+        expired = [
+            ticket for ticket in self._queue
+            if not ticket.guard.cancelled and ticket.guard.expired()
+        ]
+        if not expired:
+            return
+        if now is None:
+            now = self._clock()
+        dead = set(id(ticket) for ticket in expired)
+        self._queue = deque(
+            ticket for ticket in self._queue if id(ticket) not in dead
+        )
+        for ticket in expired:
+            self._resolve_queued_locked(
+                ticket, EXPIRED,
+                BudgetExceeded(
+                    "timeout",
+                    ticket.guard.limits.timeout,
+                    round(now - ticket.submitted_at, 6),
+                    metrics=Metrics(),
+                ),
+                now,
+            )
+        if not self._queue and not self._in_flight:
+            self._idle.notify_all()
+
+    def _resolve_queued_locked(
+        self, ticket: Ticket, outcome: str, error: BaseException, now: float
+    ) -> None:
+        """Resolve a ticket evicted from the queue (shed or expired)
+        without a worker ever touching it. Caller holds the lock and
+        has already removed the ticket from ``self._queue``; this
+        settles counters, events and the ticket's future.
+
+        (Distinct from :meth:`_finish`, which takes the lock itself and
+        records run outcomes -- eviction happens *inside* the admission
+        critical section.)"""
+        ticket.state = outcome
+        ticket.latency = now - ticket.submitted_at
+        self._tickets.pop(ticket.query_id, None)
+        self._queued_by_rank[ticket.rank] -= 1
+        if outcome == SHED:
+            self._shed += 1
+            kind = "overload.shed"
+        else:
+            self._expired_in_queue += 1
+            kind = "overload.expired"
+        if self.events is not None:
+            # Inside the counters' critical section, like every
+            # lifecycle emission (per-kind counts must reconcile).
+            self.events.emit(
+                kind,
+                query_id=ticket.query_id,
+                priority=ticket.priority,
+                queued_ms=round(ticket.latency * 1000, 3),
+            )
+        ticket._result = None
+        ticket._error = error
+        ticket._event.set()
+
+    def _tighten_limits(self, merged: Limits) -> Limits:
+        """The tighten-budgets brownout rung: scale the row/invocation
+        budgets by ``brownout_limit_scale``. The timeout is *not*
+        scaled -- the deadline is the client's contract, and shrinking it
+        here would corrupt the futility test's arithmetic."""
+        scale = self._overload.brownout_limit_scale
+
+        def scaled(value: Optional[int]) -> Optional[int]:
+            return None if value is None else max(1, int(value * scale))
+
+        return Limits(
+            timeout=merged.timeout,
+            max_rows_scanned=scaled(merged.max_rows_scanned),
+            max_rows_materialized=scaled(merged.max_rows_materialized),
+            max_subquery_invocations=scaled(
+                merged.max_subquery_invocations
+            ),
+        )
+
+    def _observe_overload_locked(self, now: float) -> None:
+        """Feed current utilization to the brownout ladder; record and
+        emit a transition when it steps."""
+        if self._brownout is None:
+            return
+        # Pressure = admitted-but-unfinished work per worker: 1.0 means
+        # every worker is spoken for, above 1.0 there is queue backlog
+        # on top. Queue fill against max_queue would be blind here --
+        # admission control deliberately keeps the queue short, so the
+        # overload it is busy managing would never register.
+        utilization = (self._in_flight + len(self._queue)) / self.workers
+        step = self._brownout.observe(utilization, now)
+        if step is None:
+            return
+        old, new = step
+        record = {
+            "from": old,
+            "to": new,
+            "direction": "down" if new > old else "up",
+            "utilization": round(utilization, 4),
+            "rung": BROWNOUT_RUNGS[new],
+        }
+        self._brownout_transitions.append(record)
+        if self.events is not None:
+            self.events.emit("overload.brownout", **record)
+
+    def evaluate_overload(self) -> int:
+        """Run one overload-control evaluation outside the submit/finish
+        path: evict expired queued tickets and feed utilization to the
+        brownout ladder. Returns the (possibly updated) brownout level.
+
+        Submissions and completions already evaluate implicitly; call
+        this periodically (the soak harness does, between phases) so the
+        ladder can *recover* when traffic stops arriving entirely --
+        with no submissions there is otherwise no clock edge to observe
+        the now-idle service.
+        """
+        with self._lock:
+            now = self._clock()
+            self._expire_queued_locked(now)
+            self._observe_overload_locked(now)
+            return self._brownout.level if self._brownout is not None else 0
 
     @staticmethod
     def _merge_limits(
@@ -714,12 +1198,36 @@ class QueryService:
     def _worker_loop(self) -> None:
         while True:
             with self._lock:
-                while not self._queue and not self._closed:
+                while True:
+                    # Sweep expired tickets before (and after) waiting:
+                    # a worker must never spend itself dequeuing a
+                    # ticket that eager expiry should have evicted.
+                    self._expire_queued_locked()
+                    if self._queue or self._closed:
+                        break
                     self._not_empty.wait()
                 if not self._queue:
                     return  # closed and drained
                 ticket = self._queue.popleft()
+                self._queued_by_rank[ticket.rank] -= 1
                 ticket.state = RUNNING
+                now = self._clock()
+                ticket.started_at = now
+                self._queue_wait_samples.append(
+                    max(0.0, now - ticket.submitted_at)
+                )
+                if self._brownout is not None:
+                    # Snapshot the ladder at dequeue: the whole run uses
+                    # one consistent level, however the ladder moves.
+                    ticket.brownout_level = self._brownout.level
+                    if self._brownout.forcing_cheapest:
+                        ticket.forced_strategy = (
+                            self._estimator.cheapest(
+                                ticket.fingerprint,
+                                ("magic", _LAST_RESORT, ticket.strategy),
+                            )
+                            or "magic"
+                        )
                 self._in_flight += 1
             try:
                 self._run_ticket(ticket)
@@ -745,10 +1253,18 @@ class QueryService:
         db = self._worker_db()
         claimed: dict[str, bool] = {}  # strategy -> probe claimed
         resolved: set[str] = set()
+        forced = ticket.forced_strategy
 
         def disabled(key: str) -> Optional[str]:
             if key == _LAST_RESORT:
                 return None
+            if forced is not None and key != forced:
+                # Brownout level 3: veto everything but the cheapest
+                # learned strategy. The veto records a degradation with
+                # error_type "CircuitBreakerOpen", which the breaker
+                # bookkeeping below already exempts -- a brownout must
+                # not poison strategy health.
+                return f"brownout: forcing cheapest strategy {forced!r}"
             reason, probe = self._breaker(key).try_pass()
             if probe:
                 claimed[key] = True
@@ -758,7 +1274,9 @@ class QueryService:
         error: Optional[BaseException] = None
         result: Optional[Result] = None
         tracer = None
-        if self.trace:
+        if self.trace and ticket.brownout_level < 1:
+            # The first brownout rung sheds per-query tracing: under
+            # sustained overload the span tree is pure overhead.
             from ..trace import Tracer
 
             tracer = Tracer()
@@ -853,6 +1371,32 @@ class QueryService:
                 latency if self._latency_ema is None
                 else 0.2 * latency + 0.8 * self._latency_ema
             )
+            if (
+                self._estimator is not None
+                and outcome == COMPLETED
+                and ticket.started_at is not None
+            ):
+                # Learn *execution* time (dequeue to finish) under the
+                # requested strategy; queue wait is what admission
+                # predicts from these numbers, so it must not pollute
+                # them. Failed runs are truncated by their trip point
+                # and would bias the estimate low.
+                self._estimator.observe(
+                    ticket.fingerprint,
+                    ticket.strategy,
+                    max(
+                        0.0,
+                        ticket.submitted_at + latency - ticket.started_at,
+                    ),
+                )
+            if self._brownout is not None:
+                # Observed while this query still counts as in flight:
+                # sustained saturation must not flicker at completion
+                # edges. Recovery is driven by the lighter utilization
+                # later submissions (or evaluate_overload) read.
+                self._observe_overload_locked(
+                    ticket.submitted_at + latency
+                )
             if summary is not None:
                 self._trace_history.append(summary)
             if self.events is not None:
@@ -876,7 +1420,9 @@ class QueryService:
                         if result is not None else None
                     ),
                 )
-        if self.slow_log is not None:
+        if self.slow_log is not None and ticket.brownout_level < 1:
+            # Slow-query capture is shed at the first brownout rung,
+            # together with tracing (see BROWNOUT_RUNGS).
             self.slow_log.observe(
                 latency * 1000,
                 sql=ticket.sql,
@@ -958,14 +1504,30 @@ class QueryService:
         :class:`ServiceStats` for the conservation law)."""
         with self._lock:
             latencies = sorted(self._latencies)
+            overload_summary = {}
+            if self._overload is not None:
+                overload_summary["estimator"] = self._estimator.as_dict()
+                if self._governor is not None:
+                    overload_summary["retry"] = {
+                        "penalized": self._governor.penalized,
+                        "rejected": self._governor.rejected,
+                    }
             return ServiceStats(
                 submitted=self._submitted,
                 admitted=self._admitted,
                 rejected=self._rejected,
                 rejected_with_hint=self._rejected_with_hint,
+                rejected_futile=self._rejected_futile,
+                retry_storm_rejected=self._retry_storm_rejected,
+                retry_penalized=(
+                    self._governor.penalized
+                    if self._governor is not None else 0
+                ),
                 completed=self._completed,
                 failed=self._failed,
                 cancelled=self._cancelled,
+                shed=self._shed,
+                expired_in_queue=self._expired_in_queue,
                 in_flight=self._in_flight,
                 queue_depth=len(self._queue),
                 max_queue=self.max_queue,
@@ -997,4 +1559,13 @@ class QueryService:
                 slow_total=(
                     self.slow_log.total if self.slow_log is not None else 0
                 ),
+                brownout_level=(
+                    self._brownout.level
+                    if self._brownout is not None else 0
+                ),
+                brownout_transitions=list(self._brownout_transitions),
+                queue_wait_histogram=_histogram(
+                    self._queue_wait_samples, self._latency_buckets
+                ),
+                overload=overload_summary,
             )

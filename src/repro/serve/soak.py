@@ -39,6 +39,7 @@ from ..storage import Catalog
 from ..tpcd import QUERY_1, QUERY_2, QUERY_3, load_tpcd
 from ..tpcd.queries import EMP_DEPT_QUERY
 from ..trace import merge_operator_summaries
+from .overload import PRIORITIES, OverloadConfig
 from .service import QueryService, ServiceStats
 
 #: The soak workload: name -> (sql, strategies worth requesting for it).
@@ -533,4 +534,323 @@ def run_worker_soak(
                 )
     else:
         report.event_counts = {}
+    return report
+
+# -- the phased overload soak --------------------------------------------------
+
+@dataclass(frozen=True)
+class OverloadPhase:
+    """One phase of the open-loop arrival process: ``rate_qps`` Poisson
+    arrivals for ``seconds``."""
+
+    name: str
+    seconds: float
+    rate_qps: float
+
+
+#: Warmup (estimator learns service times), sustained overload (offered
+#: load well past worker capacity at the default scale), recovery.
+OVERLOAD_PHASES: tuple[OverloadPhase, ...] = (
+    OverloadPhase("warmup", 2.5, 60.0),
+    OverloadPhase("overload", 4.0, 300.0),
+    OverloadPhase("recovery", 4.0, 40.0),
+)
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled submission (offsets from soak start, seconds)."""
+
+    offset: float
+    phase: str
+    query: str
+    strategy: str
+    deadline: float
+    priority: str
+
+
+def overload_schedule(
+    phases=OVERLOAD_PHASES, seed: int = 42
+) -> list[Arrival]:
+    """The seeded open-loop arrival schedule: Poisson arrivals per phase,
+    each with a workload query, strategy, deadline and priority class.
+
+    The schedule is a pure function of ``(phases, seed)`` -- the adaptive
+    run and the FIFO baseline replay the *identical* offered load, which
+    is what makes their goodput comparable.
+    """
+    rng = random.Random(seed)
+    names = list(WORKLOAD)
+    schedule: list[Arrival] = []
+    now = 0.0
+    for phase in phases:
+        if phase.seconds <= 0 or phase.rate_qps <= 0:
+            raise ValueError(
+                f"phase {phase.name!r} needs positive seconds and rate"
+            )
+        end = now + phase.seconds
+        while True:
+            now += rng.expovariate(phase.rate_qps)
+            if now >= end:
+                now = end
+                break
+            query = rng.choice(names)
+            _, strategies = WORKLOAD[query]
+            strategy = rng.choice(strategies)
+            # Deadlines span "only meetable with a short queue" to
+            # "meetable unless the service is drowning": tight ones are
+            # what FIFO burns workers on under overload.
+            if rng.random() < 0.25:
+                deadline = rng.uniform(0.02, 0.06)
+            else:
+                deadline = rng.uniform(0.08, 0.4)
+            priority = rng.choices(PRIORITIES, weights=(2, 6, 2))[0]
+            schedule.append(Arrival(
+                offset=now, phase=phase.name, query=query,
+                strategy=strategy, deadline=deadline, priority=priority,
+            ))
+    return schedule
+
+
+@dataclass
+class OverloadSideReport:
+    """One side of the overload comparison (adaptive or FIFO baseline)."""
+
+    label: str
+    elapsed: float
+    offered: int
+    #: Completed within their own deadline -- the goodput numerator.
+    goodput: int
+    goodput_qps: float
+    #: Tickets a worker *started* that produced no within-deadline
+    #: answer: late completions, timeouts tripped at/after dequeue,
+    #: other failures. The work the overload layer exists to avoid.
+    futile_executions: int
+    late_completions: int
+    checked_answers: int
+    outcomes: dict = field(default_factory=dict)
+    violations: list = field(default_factory=list)
+    stats: Optional[ServiceStats] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "elapsed": round(self.elapsed, 3),
+            "offered": self.offered,
+            "goodput": self.goodput,
+            "goodput_qps": round(self.goodput_qps, 2),
+            "futile_executions": self.futile_executions,
+            "late_completions": self.late_completions,
+            "checked_answers": self.checked_answers,
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "violations": [str(v) for v in self.violations],
+            "stats": self.stats.as_dict() if self.stats else None,
+        }
+
+
+@dataclass
+class OverloadSoakReport:
+    """The phased overload soak: adaptive vs FIFO at identical load."""
+
+    seed: int
+    adaptive: OverloadSideReport
+    fifo: OverloadSideReport
+    #: Comparison-level violations (goodput regression, lost win).
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.violations
+            or self.adaptive.violations
+            or self.fifo.violations
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "seed": self.seed,
+            "adaptive": self.adaptive.as_dict(),
+            "fifo": self.fifo.as_dict(),
+            "violations": [str(v) for v in self.violations],
+        }
+
+
+def _run_overload_side(
+    label: str,
+    schedule: list[Arrival],
+    catalog: Catalog,
+    references: dict,
+    workers: int,
+    max_queue: int,
+    overload: Optional[OverloadConfig],
+    events=None,
+) -> OverloadSideReport:
+    """Replay one arrival schedule against a fresh service."""
+    base_db = Database(catalog=catalog, validate=False)
+    service = QueryService(
+        base_db,
+        workers=workers,
+        max_queue=max_queue,
+        default_limits=Limits(timeout=30.0, max_rows_scanned=50_000_000),
+        overload=overload,
+        events=events,
+    )
+    submitted: list[tuple] = []
+    start = time.monotonic()
+    try:
+        for arrival in schedule:
+            delay = start + arrival.offset - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            sql, _ = WORKLOAD[arrival.query]
+            try:
+                ticket = service.submit(
+                    sql,
+                    strategy=arrival.strategy,
+                    deadline=arrival.deadline,
+                    priority=arrival.priority,
+                )
+                submitted.append((ticket, arrival))
+            except AdmissionRejected:
+                pass  # counted by the service; open loop, no retry
+        service.drain(timeout=60.0)
+        if overload is not None:
+            # Give the brownout ladder its recovery edges now that the
+            # queue is empty (bounded: the cooldowns are short).
+            wall = time.monotonic() + 5.0
+            while (
+                service.evaluate_overload() > 0
+                and time.monotonic() < wall
+            ):
+                time.sleep(0.05)
+    finally:
+        service.close(drain=True, timeout=60.0)
+    elapsed = time.monotonic() - start
+
+    report = OverloadSideReport(
+        label=label, elapsed=elapsed, offered=len(schedule),
+        goodput=0, goodput_qps=0.0, futile_executions=0,
+        late_completions=0, checked_answers=0,
+    )
+    for ticket, arrival in submitted:
+        if not ticket.done:
+            report.violations.append(Violation(
+                "hung_query", arrival.query, arrival.strategy,
+                f"query {ticket.query_id} never finished",
+            ))
+            continue
+        error = ticket.error()
+        if error is not None:
+            name = type(error).__name__
+            report.outcomes[name] = report.outcomes.get(name, 0) + 1
+            if not isinstance(error, ReproError):
+                report.violations.append(Violation(
+                    "untyped_error", arrival.query, arrival.strategy,
+                    f"{name}: {error}",
+                ))
+            if ticket.started_at is not None:
+                report.futile_executions += 1
+            continue
+        in_deadline = (
+            ticket.latency is not None
+            and ticket.latency <= arrival.deadline
+        )
+        if in_deadline:
+            report.goodput += 1
+            report.outcomes["ok"] = report.outcomes.get("ok", 0) + 1
+        else:
+            report.late_completions += 1
+            report.futile_executions += 1
+            report.outcomes["late"] = report.outcomes.get("late", 0) + 1
+        result = ticket.result()
+        effective = ticket.strategy
+        for event in result.degradations:
+            effective = event.fallback or effective
+        expected = references.get((arrival.query, effective))
+        if expected is None or expected[0] != "rows":
+            report.violations.append(Violation(
+                "wrong_answer", arrival.query, arrival.strategy,
+                f"completed via {effective!r} but the fault-free "
+                f"reference for it is {expected!r}",
+            ))
+            continue
+        report.checked_answers += 1
+        if sorted(result.rows) != expected[1]:
+            report.violations.append(Violation(
+                "wrong_answer", arrival.query, arrival.strategy,
+                f"rows differ from the fault-free {effective!r} answer "
+                f"(got {len(result.rows)}, expected {len(expected[1])})",
+            ))
+    report.goodput_qps = (
+        report.goodput / elapsed if elapsed > 0 else 0.0
+    )
+    report.stats = service.stats()
+    if not report.stats.reconciles():
+        stats = report.stats
+        report.violations.append(Violation(
+            "reconciliation", "", "",
+            f"admitted={stats.admitted} != completed={stats.completed}"
+            f" + failed={stats.failed} + cancelled={stats.cancelled}"
+            f" + shed={stats.shed}"
+            f" + expired_in_queue={stats.expired_in_queue}",
+        ))
+    return report
+
+
+def run_overload_soak(
+    seed: int = 42,
+    workers: int = 4,
+    max_queue: int = 32,
+    scale: float = 0.005,
+    phases=OVERLOAD_PHASES,
+    overload: Optional[OverloadConfig] = None,
+    events=None,
+    require_win: bool = True,
+) -> OverloadSoakReport:
+    """Replay one seeded open-loop arrival schedule twice -- adaptive
+    overload control vs the FIFO baseline -- and compare goodput.
+
+    The offered load is *identical* on both sides (same schedule, same
+    catalog), so the comparison isolates the overload layer: the
+    adaptive side must complete at least as many queries within their
+    deadlines while starting fewer futile executions. ``require_win``
+    turns those two comparisons into violations (the CI gate);
+    exploratory runs can disable it and read the numbers instead.
+
+    ``events`` (when given) receives the *adaptive* side's event stream
+    -- brownout transitions, sheds and expiries land there; the FIFO
+    baseline by definition has none.
+    """
+    catalog = build_soak_catalog(scale=scale, seed=seed)
+    references = compute_references(catalog)
+    schedule = overload_schedule(phases=phases, seed=seed)
+    if overload is None:
+        # Short dwell/cooldown so a seconds-long soak walks the ladder
+        # down *and* back up; production defaults are far more patient.
+        overload = OverloadConfig(
+            brownout_dwell_s=0.3, brownout_cooldown_s=0.8,
+        )
+    adaptive = _run_overload_side(
+        "adaptive", schedule, catalog, references,
+        workers, max_queue, overload, events=events,
+    )
+    fifo = _run_overload_side(
+        "fifo", schedule, catalog, references,
+        workers, max_queue, None,
+    )
+    report = OverloadSoakReport(seed=seed, adaptive=adaptive, fifo=fifo)
+    if require_win:
+        if adaptive.goodput < fifo.goodput:
+            report.violations.append(Violation(
+                "goodput_regression", "", "",
+                f"adaptive completed {adaptive.goodput} within deadline "
+                f"vs FIFO {fifo.goodput} at identical offered load",
+            ))
+        if adaptive.futile_executions > fifo.futile_executions:
+            report.violations.append(Violation(
+                "futile_regression", "", "",
+                f"adaptive started {adaptive.futile_executions} futile "
+                f"executions vs FIFO {fifo.futile_executions}",
+            ))
     return report

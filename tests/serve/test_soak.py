@@ -6,8 +6,11 @@ import pytest
 
 from repro.serve.soak import (
     WORKLOAD,
+    OverloadPhase,
     build_soak_catalog,
     compute_references,
+    overload_schedule,
+    run_overload_soak,
     run_soak,
     run_worker_soak,
 )
@@ -78,6 +81,50 @@ class TestWorkerSoak:
         assert report.ok
         assert report.kills == 0 and report.workers_lost == 0
         assert report.outcomes == {"ok": 2}
+
+
+class TestOverloadSchedule:
+    def test_schedule_is_a_pure_function_of_phases_and_seed(self):
+        phases = (OverloadPhase("burst", 1.0, 100.0),)
+        first = overload_schedule(phases, seed=9)
+        second = overload_schedule(phases, seed=9)
+        assert first == second                      # replayable
+        assert first != overload_schedule(phases, seed=10)
+        assert all(a.offset <= 1.0 for a in first)
+        assert all(a.deadline > 0 for a in first)
+
+    def test_bad_phase_rejected(self):
+        with pytest.raises(ValueError):
+            overload_schedule((OverloadPhase("empty", 0.0, 10.0),))
+
+
+@pytest.mark.slow
+class TestOverloadSoak:
+    def test_short_phased_soak_reconciles_on_both_sides(self):
+        # A compressed phase plan (the CI job runs the real one): both
+        # sides must answer correctly and reconcile; the win requirement
+        # is off because a ~2 s run is too noisy to gate on.
+        report = run_overload_soak(
+            seed=13,
+            workers=2,
+            max_queue=8,
+            scale=0.002,
+            phases=(
+                OverloadPhase("warmup", 0.6, 40.0),
+                OverloadPhase("overload", 1.0, 250.0),
+                OverloadPhase("recovery", 0.4, 20.0),
+            ),
+            require_win=False,
+        )
+        assert report.adaptive.violations == []
+        assert report.fifo.violations == []
+        assert report.adaptive.offered == report.fifo.offered
+        assert report.adaptive.stats.reconciles()
+        assert report.fifo.stats.reconciles()
+        # The FIFO baseline has no overload machinery at all.
+        assert report.fifo.stats.shed == 0
+        assert report.fifo.stats.expired_in_queue == 0
+        json.dumps(report.as_dict())  # the CLI --json payload serialises
 
 
 class TestReferences:
