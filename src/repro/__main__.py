@@ -389,6 +389,148 @@ def _cmd_overload_soak(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan_cache_soak(args: argparse.Namespace) -> int:
+    """``repro soak --plan-cache``: the plan-cache A/B comparison.
+
+    Replays one seeded open-loop template workload (the chaos-soak
+    queries plus a parameterized salary family) against two fresh FIFO
+    services -- plan cache on and off -- and compares within-deadline
+    goodput at identical offered load. The cached side must win strictly,
+    sustain a hit rate above 0.9, and its ``plan.cache_*`` events must
+    reconcile exactly against the cache counters. Exit codes mirror
+    ``repro soak``: ``0`` all gates held, ``1`` a violation, ``2`` bad
+    configuration.
+    """
+    import faulthandler
+    import json
+
+    from .serve.soak import PLAN_CACHE_PHASES, run_plan_cache_soak
+
+    faulthandler.enable()
+    budget = sum(phase.seconds for phase in PLAN_CACHE_PHASES)
+    faulthandler.dump_traceback_later(budget * 6 + 120.0, exit=True)
+    events_log = None
+    file_sink = None
+    ring = None
+    if args.events_out:
+        from .obs import EventLog, FileSink, RingSink, TeeSink
+
+        ring = RingSink(capacity=262144)
+        file_sink = FileSink(args.events_out)
+        events_log = EventLog(TeeSink(ring, file_sink))
+    try:
+        try:
+            report = run_plan_cache_soak(
+                seed=args.seed,
+                workers=args.workers,
+                max_queue=args.max_queue,
+                scale=args.scale,
+                events=events_log,
+                # With a tee'd log the ring is fresh: reconciliation
+                # against the cache counters stays exact.
+                reconcile=True if events_log is not None else None,
+            )
+        except ValueError as exc:
+            print(f"soak: bad configuration: {exc}", file=sys.stderr)
+            return 2
+    finally:
+        faulthandler.cancel_dump_traceback_later()
+        if file_sink is not None:
+            file_sink.close()
+
+    if ring is not None:
+        from .obs import validate_events
+
+        try:
+            count = validate_events(ring.events())
+        except ReproError as exc:
+            print(f"soak: event stream invalid: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.events_out} ({count} events)")
+    stats = report.cached.stats
+    if not args.no_history:
+        from .bench import history as bench_history
+        from .errors import HistoryError
+
+        try:
+            record = bench_history.make_record(
+                "service_plan_cache",
+                seed=args.seed,
+                workers=args.workers,
+                scale=args.scale,
+                throughput_qps=round(report.cached.goodput_qps, 2),
+                latency_p50_ms=stats.latency_p50_ms,
+                latency_p95_ms=stats.latency_p95_ms,
+                goodput=report.cached.goodput,
+                baseline_goodput=report.baseline.goodput,
+                hit_rate=report.hit_rate,
+                hits=report.cache.get("hits", 0),
+                misses=report.cache.get("misses", 0),
+                invalidations=report.cache.get("invalidations", 0),
+            )
+            written = bench_history.append_record(
+                record, path=args.history
+            )
+        except HistoryError as exc:
+            print(f"soak: history not recorded: {exc}", file=sys.stderr)
+        else:
+            if written is not None:
+                print(f"appended history record to {written}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if args.bench_out:
+        bench = {
+            "benchmark": "service_plan_cache",
+            "workers": args.workers,
+            "scale": args.scale,
+            "seed": args.seed,
+            "goodput": report.cached.goodput,
+            "baseline_goodput": report.baseline.goodput,
+            "throughput_qps": round(report.cached.goodput_qps, 2),
+            "goodput_qps": round(report.cached.goodput_qps, 2),
+            "baseline_goodput_qps": round(report.baseline.goodput_qps, 2),
+            "latency_p50_ms": stats.latency_p50_ms,
+            "latency_p95_ms": stats.latency_p95_ms,
+            "hit_rate": report.hit_rate,
+            "hits": report.cache.get("hits", 0),
+            "misses": report.cache.get("misses", 0),
+            "invalidations": report.cache.get("invalidations", 0),
+        }
+        with open(args.bench_out, "w") as handle:
+            json.dump(bench, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.bench_out}")
+    for side in (report.cached, report.baseline):
+        print(
+            f"plan-cache soak [{side.label}]: {side.offered} offered, "
+            f"{side.goodput} within deadline "
+            f"({side.goodput_qps:.1f} good q/s), "
+            f"{side.futile_executions} futile executions, "
+            f"{side.checked_answers} answers checked"
+        )
+    print(
+        f"  cache: hit_rate={report.hit_rate} "
+        f"hits={report.cache.get('hits', 0)} "
+        f"misses={report.cache.get('misses', 0)} "
+        f"invalidations={report.cache.get('invalidations', 0)} "
+        f"entries={report.cache.get('entries', 0)}"
+    )
+    if not report.ok:
+        for violation in (
+            report.violations
+            + report.cached.violations
+            + report.baseline.violations
+        ):
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    print("plan-cache soak: cached side beat the uncached baseline; "
+          "all invariants held")
+    return 0
+
+
 def cmd_soak(args: argparse.Namespace) -> int:
     """``repro soak``: the chaos soak harness for the query service.
 
@@ -411,6 +553,8 @@ def cmd_soak(args: argparse.Namespace) -> int:
         return _cmd_worker_soak(args)
     if args.overload:
         return _cmd_overload_soak(args)
+    if args.plan_cache:
+        return _cmd_plan_cache_soak(args)
     faulthandler.enable()
     # A hard watchdog: if the soak (including drain) wedges, dump every
     # thread's stack and kill the process rather than hang CI.
@@ -1255,6 +1399,13 @@ def main(argv: list[str] | None = None) -> int:
                              "adaptive overload control and the FIFO "
                              "baseline, and compare within-deadline "
                              "goodput")
+    p_soak.add_argument("--plan-cache", action="store_true",
+                        dest="plan_cache",
+                        help="run the plan-cache A/B soak instead: replay "
+                             "one open-loop template workload with the "
+                             "plan cache on and off, gate on strict "
+                             "goodput win + hit rate > 0.9 + exact "
+                             "counter/event reconciliation")
     p_soak.add_argument("--epochs", type=int, default=4,
                         help="query epochs for --real-workers")
     p_soak.add_argument("--no-kill", action="store_true", dest="no_kill",

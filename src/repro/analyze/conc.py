@@ -13,11 +13,14 @@ coded diagnostics:
 * ``CONC003`` -- acquisition of a lock-like attribute the contract does
   not declare (new locks must be added to the order before use).
 
-The declared order (service -> catalog -> table -> breaker -> event log)
-is the union of the acquisition chains the code actually needs: the
-service calls breaker methods and emits events under its lock, breaker
-transitions emit events under the breaker lock, and the event-log lock is
-a leaf (it never takes another lock). The catalog lock is about the
+The declared order (service -> plan cache -> catalog -> table -> breaker
+-> event log) is the union of the acquisition chains the code actually
+needs: the service calls breaker methods and emits events under its lock,
+the plan cache emits ``plan.cache_*`` events inside its critical section
+(and reads the catalog generation *before* taking its lock, so no
+cache -> catalog edge exists), breaker transitions emit events under the
+breaker lock, and the event-log lock is a leaf (it never takes another
+lock). The catalog lock is about the
 *namespace*, the per-table lock about the *data*; stats computation holds
 the catalog lock while reading tables lock-free.
 
@@ -63,6 +66,7 @@ class LockSpec:
 #: The declared total acquisition order (DESIGN section 9).
 LOCK_ORDER: dict[str, LockSpec] = {
     "service": LockSpec("service", 10, reentrant=False),
+    "plan_cache": LockSpec("plan_cache", 15, reentrant=False),
     "catalog": LockSpec("catalog", 20, reentrant=True),
     "table": LockSpec("table", 30, reentrant=False),
     "breaker": LockSpec("breaker", 40, reentrant=False),
@@ -75,6 +79,7 @@ CLASS_LOCKS: dict[str, dict[str, str]] = {
     "queryservice": {
         "_lock": "service", "_not_empty": "service", "_idle": "service",
     },
+    "plancache": {"_lock": "plan_cache"},
     "catalog": {"_lock": "catalog"},
     "table": {"_lock": "table"},
     "circuitbreaker": {"_lock": "breaker"},
@@ -90,7 +95,8 @@ GUARDED_ATTRS: dict[str, frozenset[str]] = {
         "_submitted", "_admitted", "_rejected", "_completed", "_failed",
         "_cancelled", "_in_flight",
     }),
-    "catalog": frozenset({"_tables", "_views"}),
+    "plancache": frozenset({"_entries", "hits", "misses", "invalidations"}),
+    "catalog": frozenset({"_tables", "_views", "_generation"}),
     "table": frozenset({"rows", "indexes", "_pk_index"}),
     "circuitbreaker": frozenset({
         "_state", "_consecutive_failures", "_opened_at", "_probe_inflight",
@@ -106,6 +112,7 @@ LOCK_FREE_BY_DESIGN: dict[str, frozenset[str]] = {
 #: Receiver-name nouns used to resolve ``<var>._lock`` acquisitions.
 _RECEIVER_NOUNS: tuple[tuple[str, str], ...] = (
     ("service", "queryservice"),
+    ("cache", "plancache"),
     ("catalog", "catalog"),
     ("table", "table"),
     ("breaker", "circuitbreaker"),
@@ -370,4 +377,5 @@ def default_targets(root: Optional[str] = None) -> list[str]:
     return [
         os.path.join(root, "serve"),
         os.path.join(root, "storage"),
+        os.path.join(root, "plan", "cache.py"),
     ]

@@ -110,6 +110,13 @@ class Database:
     + execution) slower than the threshold is captured in a bounded ring
     on ``self.slow_log`` (pass ``slow_log=`` to share a ring across
     facades instead). Both default to ``None`` -- the zero-overhead path.
+
+    ``plan_cache`` (a :class:`repro.plan.cache.PlanCache`, shareable
+    across facades) turns on prepared statements: repeated submissions of
+    one template with different literals reuse the parse/bind/rewrite/
+    optimize artifacts and pay only executor time, invalidating on any
+    catalog change. ``None`` (the default) leaves the seed query path
+    untouched.
     """
 
     def __init__(
@@ -120,6 +127,7 @@ class Database:
         events=None,
         slow_query_ms: Optional[float] = None,
         slow_log=None,
+        plan_cache=None,
     ):
         import itertools
 
@@ -141,6 +149,7 @@ class Database:
             self.slow_log = SlowQueryLog(slow_query_ms, events=events)
         else:
             self.slow_log = None
+        self.plan_cache = plan_cache
         self._query_ids = itertools.count(1)
 
     # -- DDL / DML -----------------------------------------------------------
@@ -204,9 +213,14 @@ class Database:
                 statement.name, list(statement.columns),
                 unique=statement.unique, kind=statement.kind,
             )
+            # Index DDL goes through the table, not the catalog: bump the
+            # catalog generation explicitly so cached plans (which may have
+            # chosen access paths) are invalidated.
+            self.catalog.invalidate_stats(statement.table)
             return Result([], [], Metrics(), sql=sql)
         if isinstance(statement, ast.DropIndex):
             self.catalog.table(statement.table).drop_index(statement.name)
+            self.catalog.invalidate_stats(statement.table)
             return Result([], [], Metrics(), sql=sql)
         if isinstance(statement, ast.CreateView):
             # Views are validated eagerly then stored as SQL text.
@@ -297,6 +311,13 @@ class Database:
         returned on ``Result.tracer``. ``None`` (the default) is the
         zero-overhead untraced path.
         """
+        if self.plan_cache is not None:
+            return self._execute_with_plan_cache(
+                sql, strategy, cse_mode,
+                decorrelate_existential=decorrelate_existential,
+                limits=limits, guard=guard, fallback=fallback,
+                disabled=disabled, tracer=tracer,
+            )
         statement = parse_statement(sql)
         if not isinstance(statement, (ast.Select, ast.SetOp)):
             return self._execute_statement(statement, sql=sql)
@@ -306,6 +327,101 @@ class Database:
             limits=limits, guard=guard, fallback=fallback, sql=sql,
             disabled=disabled, tracer=tracer,
         )
+
+    def _execute_with_plan_cache(
+        self,
+        sql: str,
+        strategy: Strategy,
+        cse_mode: str,
+        *,
+        decorrelate_existential: bool,
+        limits: Optional[Limits],
+        guard: Optional[ExecutionGuard],
+        fallback: bool,
+        disabled,
+        tracer: Optional["Tracer"],
+    ) -> Result:
+        """:meth:`execute` with the plan cache engaged.
+
+        The catalog generation is read *before* the lookup, so an artifact
+        filled after this miss carries a stamp from no later than its own
+        build inputs -- DDL racing the build leaves the stored stamp
+        behind and the entry self-invalidates on the next lookup. A hit
+        executes the cached parameterized graph with this submission's
+        extracted values; tracing is the one feature that opts out (span
+        trees annotate the rewrite pipeline a hit skips)."""
+        cache = self.plan_cache
+        prepared = (
+            cache.prepare(
+                sql, strategy=strategy, cse_mode=cse_mode,
+                decorrelate_existential=decorrelate_existential,
+                generation=self.catalog.generation(),
+                disabled=disabled,
+            )
+            if tracer is None else None
+        )
+        if prepared is not None and prepared.entry is not None:
+            return self._run_cached(
+                prepared, sql=sql, cse_mode=cse_mode,
+                limits=limits, guard=guard,
+            )
+        statement = parse_statement(sql)
+        if not isinstance(statement, (ast.Select, ast.SetOp)):
+            return self._execute_statement(statement, sql=sql)
+        result = self._run_query(
+            statement, strategy, cse_mode,
+            decorrelate_existential=decorrelate_existential,
+            limits=limits, guard=guard, fallback=fallback, sql=sql,
+            disabled=disabled, tracer=tracer,
+        )
+        if prepared is not None and prepared.fillable:
+            cache.fill(prepared, self.catalog)
+        return result
+
+    def _run_cached(
+        self,
+        prepared,
+        *,
+        sql: str,
+        cse_mode: str,
+        limits: Optional[Limits],
+        guard: Optional[ExecutionGuard],
+    ) -> Result:
+        if guard is None and limits is not None:
+            from ..guard import guard_for
+
+            guard = guard_for(limits)
+        if self.events is None and self.slow_log is None:
+            return self._run_cached_inner(
+                prepared, sql=sql, cse_mode=cse_mode, guard=guard
+            )
+        return self._observe_query(
+            lambda: self._run_cached_inner(
+                prepared, sql=sql, cse_mode=cse_mode, guard=guard
+            ),
+            sql=sql, key=prepared.strategy_key, guard=guard, tracer=None,
+        )
+
+    def _run_cached_inner(
+        self,
+        prepared,
+        *,
+        sql: str,
+        cse_mode: str,
+        guard: Optional[ExecutionGuard],
+    ) -> Result:
+        from ..exec import ExecutionContext
+
+        entry = prepared.entry
+        ctx = ExecutionContext(
+            self.catalog, entry.graph.root, cse_mode,
+            guard=guard, faults=self.faults, params=prepared.values,
+        )
+        ctx.seed_plans(entry.plans)
+        rows, metrics = execute_graph(
+            entry.graph, self.catalog, cse_mode=cse_mode, ctx=ctx
+        )
+        return Result(entry.graph.output_names(), rows, metrics, sql=sql)
 
     def _run_query(
         self,
@@ -347,6 +463,33 @@ class Database:
         disabled=None,
         tracer: Optional["Tracer"] = None,
     ) -> Result:
+        key = getattr(strategy, "value", strategy)
+        if sql is None:
+            sql = to_sql(statement)
+        if guard is None and limits is not None:
+            from ..guard import guard_for
+
+            guard = guard_for(limits)
+            limits = None
+        run = lambda: self._run_query_inner(  # noqa: E731
+            statement, strategy, cse_mode,
+            decorrelate_existential=decorrelate_existential,
+            limits=limits, guard=guard, fallback=fallback, sql=sql,
+            disabled=disabled, tracer=tracer,
+        )
+        return self._observe_query(
+            run, sql=sql, key=key, guard=guard, tracer=tracer
+        )
+
+    def _observe_query(
+        self,
+        run,
+        *,
+        sql: str,
+        key,
+        guard: Optional[ExecutionGuard],
+        tracer: Optional["Tracer"],
+    ) -> Result:
         """The instrumented query path: lifecycle events + slow-query log.
 
         Lifecycle events (``query.started`` / ``query.finished``) are
@@ -361,14 +504,6 @@ class Database:
         from ..errors import QueryCancelled
 
         events = self.events
-        key = getattr(strategy, "value", strategy)
-        if sql is None:
-            sql = to_sql(statement)
-        if guard is None and limits is not None:
-            from ..guard import guard_for
-
-            guard = guard_for(limits)
-            limits = None
         if events is not None and guard is not None:
             guard.events = events
         owns_lifecycle = (
@@ -392,12 +527,7 @@ class Database:
             if owns_lifecycle:
                 events.emit("query.started", strategy=key)
             try:
-                result = self._run_query_inner(
-                    statement, strategy, cse_mode,
-                    decorrelate_existential=decorrelate_existential,
-                    limits=limits, guard=guard, fallback=fallback, sql=sql,
-                    disabled=disabled, tracer=tracer,
-                )
+                result = run()
                 outcome = "completed"
                 return result
             except QueryCancelled:

@@ -70,6 +70,14 @@ def evaluate(expr: ast.Expr, env: Env, ctx: "ExecutionContext") -> Any:
                 f"{expr!r}"
             )
         return row[ctx.column_position(expr.quantifier.box, expr.column)]
+    if isinstance(expr, ast.Parameter):
+        try:
+            return ctx.params[expr.index]
+        except IndexError:
+            raise ExecutionError(
+                f"unbound parameter ?{expr.index} "
+                f"({len(ctx.params)} value(s) supplied)"
+            ) from None
     if isinstance(expr, ast.BinaryOp):
         left = evaluate(expr.left, env, ctx)
         right = evaluate(expr.right, env, ctx)

@@ -86,11 +86,15 @@ class ExecutionContext:
         guard: Optional["ExecutionGuard"] = None,
         faults: Optional["FaultRegistry"] = None,
         tracer: Optional["Tracer"] = None,
+        params: tuple = (),
     ):
         if cse_mode not in ("recompute", "materialize"):
             raise ExecutionError(f"unknown cse_mode {cse_mode!r}")
         self.catalog = catalog
         self.cse_mode = cse_mode
+        #: Bound values for ``ast.Parameter`` placeholders (plan-cache hits
+        #: execute a shared parameterized graph with per-query values here).
+        self.params = params
         self.metrics = Metrics()
         self.guard = guard
         self.faults = faults
@@ -126,6 +130,14 @@ class ExecutionContext:
             raise ExecutionError(
                 f"box {box.id} has no output column {column!r}"
             ) from None
+
+    def seed_plans(self, plans: dict) -> None:
+        """Pre-populate the per-box plan cache (``{box.id: SelectPlan}``).
+
+        Plan-cache hits seed the plans computed at fill time; the shared
+        dict is copied from, never mutated, so one cached entry can serve
+        concurrent executions."""
+        self._plans.update(plans)
 
     def plan(self, box: SelectBox) -> SelectPlan:
         """The (cached) physical plan for one SPJ box."""

@@ -62,6 +62,9 @@ EVENT_KINDS: tuple[str, ...] = (
     "breaker.transition",     # a circuit breaker changed state
     "fault.fired",            # a deterministic fault injection fired
     "plan.verified",          # the static plan verifier passed (contract summary)
+    "plan.cache_hit",         # a cached prepared plan served this submission
+    "plan.cache_miss",        # no reusable plan; the full pipeline ran
+    "plan.cache_invalidated", # a cached plan was dropped (catalog generation moved)
     "worker.spawned",         # a real worker process joined the pool
     "worker.lost",            # a worker died or missed its heartbeats
     "worker.retry",           # a lost task was re-dispatched (with backoff)

@@ -1,6 +1,15 @@
 """Cost-based mini-planner: row estimation, access selection, join ordering,
-and correlated-subquery placement (paper section 7)."""
+and correlated-subquery placement (paper section 7) -- plus the
+fingerprint-keyed plan cache (prepared statements, :mod:`repro.plan.cache`)."""
 
+from .cache import (
+    PlanCache,
+    PreparedStatement,
+    extract_parameters,
+    fingerprint,
+    normalize_sql,
+    render_parameterized,
+)
 from .cost import estimate_box_rows, predicate_selectivity
 from .planner import (
     HashJoinStep,
@@ -13,6 +22,12 @@ from .planner import (
 )
 
 __all__ = [
+    "PlanCache",
+    "PreparedStatement",
+    "extract_parameters",
+    "fingerprint",
+    "normalize_sql",
+    "render_parameterized",
     "estimate_box_rows",
     "predicate_selectivity",
     "SelectPlan",

@@ -233,6 +233,12 @@ class _Builder:
         resolved: list[tuple[int, bool]] = []
         for item in select.order_by:
             expr = item.expr
+            if isinstance(expr, ast.Parameter):
+                # A literal here would have been an ordinal, resolved at
+                # build time; a parameter cannot be (its value arrives at
+                # execution). Refusing keeps the plan cache from freezing
+                # one submission's sort position into the shared plan.
+                raise BindError("ORDER BY position cannot be a parameter")
             position: Optional[int] = None
             # Syntactic match against a select item (covers qualified names
             # and expressions repeated verbatim, e.g. ORDER BY d.name) --
@@ -699,6 +705,8 @@ class _Builder:
         resolved: list[tuple[int, bool]] = []
         for item in order_items:
             expr = item.expr
+            if isinstance(expr, ast.Parameter):
+                raise BindError("ORDER BY position cannot be a parameter")
             if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
                 position = expr.value - 1
                 if not 0 <= position < len(names):

@@ -32,11 +32,11 @@ keeping the §9 lock order flat.
 
 from __future__ import annotations
 
-import hashlib
-import re
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
+
+from ..plan.cache import fingerprint, normalize_sql  # noqa: F401 -- re-export
 
 #: Priority classes, best first; rank = index (lower is better).
 PRIORITIES: tuple[str, ...] = ("high", "normal", "low")
@@ -56,31 +56,9 @@ def priority_rank(priority: str) -> int:
 
 
 # -- query shape fingerprint --------------------------------------------------
-
-_STRING_LITERAL = re.compile(r"'(?:[^']|'')*'")
-_NUMBER_LITERAL = re.compile(
-    r"(?<![A-Za-z0-9_])\d+(?:\.\d+)?(?:[eE][+-]?\d+)?"
-)
-_WHITESPACE = re.compile(r"\s+")
-
-
-def normalize_sql(sql: str) -> str:
-    """The canonical *shape* of a query: string and numeric literals
-    replaced by ``?``, whitespace collapsed, case folded outside the
-    (already-stripped) string literals. Two submissions of the same
-    template with different constants normalize identically."""
-    text = _STRING_LITERAL.sub("?", sql)
-    text = _NUMBER_LITERAL.sub("?", text)
-    text = _WHITESPACE.sub(" ", text).strip().lower()
-    return text
-
-
-def fingerprint(sql: str) -> str:
-    """A short stable hash of :func:`normalize_sql`'s output -- the key
-    service-time history is learned under."""
-    digest = hashlib.sha256(normalize_sql(sql).encode("utf-8")).hexdigest()
-    return digest[:16]
-
+# ``normalize_sql`` / ``fingerprint`` live in :mod:`repro.plan.cache` now
+# (the plan cache keys on the same shape); re-exported above so existing
+# imports keep working.
 
 # -- service-time estimation --------------------------------------------------
 
@@ -136,13 +114,18 @@ class ServiceTimeEstimator:
         """Best available estimate for (shape, strategy): exact key,
         then the shape aggregate, then the global mean, else ``None``
         (a cold estimator must offer no number rather than a made-up
-        one)."""
+        one). Reads refresh LRU recency -- a hot shape that is only ever
+        *read* (admission checks) must not be evicted by a flood of
+        one-off shapes that are merely observed."""
         value = self._by_key.get((fp, strategy))
-        if value is None:
-            value = self._by_shape.get(fp)
-        if value is None:
-            value = self._global
-        return value
+        if value is not None:
+            self._by_key.move_to_end((fp, strategy))
+            return value
+        value = self._by_shape.get(fp)
+        if value is not None:
+            self._by_shape.move_to_end(fp)
+            return value
+        return self._global
 
     def global_mean(self) -> Optional[float]:
         """The service-wide execution-time EMA (``None`` until the first
@@ -157,7 +140,10 @@ class ServiceTimeEstimator:
         best_cost: Optional[float] = None
         for key in candidates:
             cost = self._by_key.get((fp, key))
-            if cost is not None and (best_cost is None or cost < best_cost):
+            if cost is None:
+                continue
+            self._by_key.move_to_end((fp, key))  # reads refresh recency
+            if best_cost is None or cost < best_cost:
                 best, best_cost = key, cost
         return best
 

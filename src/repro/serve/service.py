@@ -278,6 +278,14 @@ class ServiceStats:
     #: Overload-control internals (estimator/retry-governor summaries);
     #: empty without ``overload=``.
     overload: dict = field(default_factory=dict)
+    #: Plan-cache counters (all zero without ``plan_cache=``); the full
+    #: :meth:`repro.plan.cache.PlanCache.snapshot` rides on ``plan_cache``.
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_cache_invalidations: int = 0
+    #: Plan-cache summary (:meth:`~repro.plan.cache.PlanCache.snapshot`);
+    #: empty without ``plan_cache=``.
+    plan_cache: dict = field(default_factory=dict)
 
     def reconciles(self) -> bool:
         """Does every submission have exactly one recorded outcome (only
@@ -353,6 +361,10 @@ class ServiceStats:
                 },
             },
             "overload": self.overload,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "plan_cache_invalidations": self.plan_cache_invalidations,
+            "plan_cache": self.plan_cache,
         }
 
     # -- export -------------------------------------------------------------
@@ -397,6 +409,17 @@ class ServiceStats:
             "before a worker picked them up"
         ),
     }
+    _PLAN_CACHE_HELP = {
+        "plan_cache_hits": (
+            "Plan-cache lookups served from a cached rewritten plan"
+        ),
+        "plan_cache_misses": (
+            "Plan-cache lookups that paid the full rewrite pipeline"
+        ),
+        "plan_cache_invalidations": (
+            "Plan-cache entries dropped for a stale catalog generation"
+        ),
+    }
     _GAUGE_HELP = {
         "in_flight": "Queries executing right now",
         "queue_depth": "Queries waiting right now",
@@ -421,6 +444,11 @@ class ServiceStats:
         )
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {self.slow_total}")
+        for name, help_text in self._PLAN_CACHE_HELP.items():
+            metric = f"repro_{name}_total"
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {getattr(self, name)}")
         for name, help_text in self._GAUGE_HELP.items():
             metric = f"repro_{name}"
             lines.append(f"# HELP {metric} {help_text}")
@@ -541,6 +569,16 @@ class QueryService:
         retry-storm governor, and the brownout degradation ladder (see
         module docstring and DESIGN §14). ``None`` (default) preserves
         plain FIFO admission exactly.
+    plan_cache:
+        A :class:`~repro.plan.cache.PlanCache` shared by every worker
+        facade: repeated query *templates* (same shape, different
+        literals) skip the parse/rewrite/optimize pipeline and pay only
+        executor time. The cache's ``plan.cache_*`` events flow into the
+        service's event log, and its counters surface on
+        :attr:`ServiceStats.plan_cache_hits` /
+        ``plan_cache_misses`` / ``plan_cache_invalidations`` (plus the
+        full summary under ``plan_cache``). ``None`` (default) leaves
+        every execution path untouched.
 
     Use as a context manager; ``close()`` drains by default.
     """
@@ -564,6 +602,7 @@ class QueryService:
         latency_buckets=None,
         queue_depth_buckets=None,
         overload: Optional[OverloadConfig] = None,
+        plan_cache=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -647,6 +686,15 @@ class QueryService:
         self._retry_storm_rejected = 0
         self._brownout_transitions: list[dict] = []
         self._queue_wait_samples: list[float] = []
+        # shared plan cache (thread-safe; its own lock sits between the
+        # service and catalog ranks in the section-9 order)
+        self._plan_cache = plan_cache
+        if (
+            plan_cache is not None
+            and events is not None
+            and plan_cache.events is None
+        ):
+            plan_cache.events = events
         # breakers
         self._breaker_threshold = breaker_threshold
         self._breaker_cooldown = breaker_cooldown
@@ -1157,6 +1205,10 @@ class QueryService:
                 # the service (the worker runs inside the ticket's scope,
                 # so the facade never claims the lifecycle itself).
                 kwargs["events"] = self.events
+            if self._plan_cache is not None:
+                # One shared cache across facades: the whole point is
+                # that worker B hits on the template worker A filled.
+                kwargs["plan_cache"] = self._plan_cache
             db = Database(
                 catalog=self._db.catalog,
                 validate=self._db.engine.validate,
@@ -1504,6 +1556,11 @@ class QueryService:
         :class:`ServiceStats` for the conservation law)."""
         with self._lock:
             latencies = sorted(self._latencies)
+            # Service (rank 10) -> plan cache (rank 15): ascending, legal.
+            cache_summary = (
+                self._plan_cache.snapshot()
+                if self._plan_cache is not None else {}
+            )
             overload_summary = {}
             if self._overload is not None:
                 overload_summary["estimator"] = self._estimator.as_dict()
@@ -1568,4 +1625,10 @@ class QueryService:
                     self._queue_wait_samples, self._latency_buckets
                 ),
                 overload=overload_summary,
+                plan_cache_hits=cache_summary.get("hits", 0),
+                plan_cache_misses=cache_summary.get("misses", 0),
+                plan_cache_invalidations=cache_summary.get(
+                    "invalidations", 0
+                ),
+                plan_cache=cache_summary,
             )

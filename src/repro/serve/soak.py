@@ -174,6 +174,7 @@ def build_soak_catalog(scale: float = 0.005, seed: int = 7) -> Catalog:
 
 def compute_references(
     catalog: Catalog,
+    workload: Optional[dict] = None,
 ) -> dict[tuple[str, str], tuple[str, object]]:
     """Fault-free reference outcomes per (query, strategy).
 
@@ -181,11 +182,13 @@ def compute_references(
     -- a strategy that is statically inapplicable (Kim on Q3, say) is a
     legitimate *typed* reference outcome, not a soak failure.
     """
+    if workload is None:
+        workload = WORKLOAD
     reference_db = Database(
         catalog=catalog, validate=False, faults=FaultRegistry(0, ())
     )
     references: dict[tuple[str, str], tuple[str, object]] = {}
-    for name, (sql, _) in WORKLOAD.items():
+    for name, (sql, _) in workload.items():
         for strategy in ("ni", "kim", "dayal", "ganski_wong", "magic",
                          "magic_opt"):
             try:
@@ -570,17 +573,19 @@ class Arrival:
 
 
 def overload_schedule(
-    phases=OVERLOAD_PHASES, seed: int = 42
+    phases=OVERLOAD_PHASES, seed: int = 42, workload: Optional[dict] = None
 ) -> list[Arrival]:
     """The seeded open-loop arrival schedule: Poisson arrivals per phase,
     each with a workload query, strategy, deadline and priority class.
 
-    The schedule is a pure function of ``(phases, seed)`` -- the adaptive
-    run and the FIFO baseline replay the *identical* offered load, which
-    is what makes their goodput comparable.
+    The schedule is a pure function of ``(phases, seed, workload)`` -- the
+    two sides of an A/B comparison replay the *identical* offered load,
+    which is what makes their goodput comparable.
     """
+    if workload is None:
+        workload = WORKLOAD
     rng = random.Random(seed)
-    names = list(WORKLOAD)
+    names = list(workload)
     schedule: list[Arrival] = []
     now = 0.0
     for phase in phases:
@@ -595,7 +600,7 @@ def overload_schedule(
                 now = end
                 break
             query = rng.choice(names)
-            _, strategies = WORKLOAD[query]
+            _, strategies = workload[query]
             strategy = rng.choice(strategies)
             # Deadlines span "only meetable with a short queue" to
             # "meetable unless the service is drowning": tight ones are
@@ -685,8 +690,12 @@ def _run_overload_side(
     max_queue: int,
     overload: Optional[OverloadConfig],
     events=None,
+    plan_cache=None,
+    workload: Optional[dict] = None,
 ) -> OverloadSideReport:
     """Replay one arrival schedule against a fresh service."""
+    if workload is None:
+        workload = WORKLOAD
     base_db = Database(catalog=catalog, validate=False)
     service = QueryService(
         base_db,
@@ -695,6 +704,7 @@ def _run_overload_side(
         default_limits=Limits(timeout=30.0, max_rows_scanned=50_000_000),
         overload=overload,
         events=events,
+        plan_cache=plan_cache,
     )
     submitted: list[tuple] = []
     start = time.monotonic()
@@ -703,7 +713,7 @@ def _run_overload_side(
             delay = start + arrival.offset - time.monotonic()
             if delay > 0:
                 time.sleep(delay)
-            sql, _ = WORKLOAD[arrival.query]
+            sql, _ = workload[arrival.query]
             try:
                 ticket = service.submit(
                     sql,
@@ -852,5 +862,175 @@ def run_overload_soak(
                 "futile_regression", "", "",
                 f"adaptive started {adaptive.futile_executions} futile "
                 f"executions vs FIFO {fifo.futile_executions}",
+            ))
+    return report
+
+
+# -- the plan-cache A/B soak ---------------------------------------------------
+
+#: A parameterized query family: one *template* (same shape, different
+#: literals), so the plan cache pays one fill for the whole family. The
+#: values are quantized so each variant's reference answer is precomputable.
+PARAM_QUERY_TEMPLATE = (
+    "select name, building, salary from emp where salary >= {:.1f} "
+    "order by name"
+)
+PARAM_QUERY_VALUES = (55.0, 75.0, 95.0, 115.0, 135.0, 155.0, 175.0, 195.0)
+
+#: Warmup (first submissions of each template pay the fill), then a
+#: sustained rate high enough that the rewrite pipeline is the bottleneck
+#: for the uncached baseline.
+PLAN_CACHE_PHASES: tuple[OverloadPhase, ...] = (
+    OverloadPhase("warmup", 2.0, 40.0),
+    OverloadPhase("steady", 5.0, 400.0),
+)
+
+
+def plan_cache_workload() -> dict:
+    """The template workload: the chaos-soak queries plus the
+    parameterized salary family (8 literal variants of one template)."""
+    workload = dict(WORKLOAD)
+    for index, value in enumerate(PARAM_QUERY_VALUES):
+        workload[f"param{index}"] = (
+            PARAM_QUERY_TEMPLATE.format(value),
+            ("ni", "magic", "magic_opt"),
+        )
+    return workload
+
+
+def _cacheable_workload(workload: dict, references: dict) -> dict:
+    """Restrict each entry to strategies whose fault-free reference is a
+    row set -- i.e. the strategy rewrites the query cleanly. Degrading
+    (query, strategy) pairs tombstone in the cache and would dilute the
+    hit rate with structural misses; the A/B comparison wants both sides
+    executing identical, cleanly-rewritable work."""
+    filtered = {}
+    for name, (sql, strategies) in workload.items():
+        clean = tuple(
+            s for s in strategies
+            if references.get((name, s), ("",))[0] == "rows"
+        )
+        filtered[name] = (sql, clean or ("ni",))
+    return filtered
+
+
+@dataclass
+class PlanCacheSoakReport:
+    """The plan-cache A/B soak: cached vs uncached at identical load.
+
+    ``cache`` is the cache's final :meth:`~repro.plan.cache.PlanCache.
+    snapshot`; ``event_counts`` the ``plan.cache_*`` counts from the run's
+    event log (empty when the caller supplied the log -- it may hold
+    unrelated events)."""
+
+    seed: int
+    cached: OverloadSideReport
+    baseline: OverloadSideReport
+    cache: dict = field(default_factory=dict)
+    event_counts: dict = field(default_factory=dict)
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.violations
+            or self.cached.violations
+            or self.baseline.violations
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache.get("hit_rate") or 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "seed": self.seed,
+            "hit_rate": self.hit_rate,
+            "cache": self.cache,
+            "event_counts": dict(sorted(self.event_counts.items())),
+            "cached": self.cached.as_dict(),
+            "baseline": self.baseline.as_dict(),
+            "violations": [str(v) for v in self.violations],
+        }
+
+
+def run_plan_cache_soak(
+    seed: int = 42,
+    workers: int = 4,
+    max_queue: int = 32,
+    scale: float = 0.005,
+    phases=PLAN_CACHE_PHASES,
+    capacity: int = 256,
+    min_hit_rate: float = 0.9,
+    events=None,
+    require_win: bool = True,
+    reconcile: Optional[bool] = None,
+) -> PlanCacheSoakReport:
+    """Replay one seeded open-loop template workload twice -- plan cache
+    on vs off -- on plain FIFO services, and compare goodput.
+
+    The offered load is *identical* on both sides (same schedule, same
+    catalog, no DML), so the comparison isolates the cache: with
+    ``require_win`` the cached side must complete strictly more queries
+    within their deadlines and sustain a hit rate above ``min_hit_rate``.
+    The cached side's ``plan.cache_*`` events are reconciled exactly
+    against the cache's counters (skipped for a caller-supplied ``events``
+    log unless ``reconcile=True``, mirroring :func:`run_worker_soak`).
+    """
+    from ..obs.events import EventLog, RingSink, count_by_kind
+    from ..plan.cache import PlanCache
+
+    catalog = build_soak_catalog(scale=scale, seed=seed)
+    workload = plan_cache_workload()
+    references = compute_references(catalog, workload=workload)
+    workload = _cacheable_workload(workload, references)
+    schedule = overload_schedule(phases=phases, seed=seed, workload=workload)
+    log = events if events is not None else EventLog(RingSink(262144))
+    cache = PlanCache(capacity=capacity)
+    cached = _run_overload_side(
+        "cached", schedule, catalog, references,
+        workers, max_queue, None,
+        events=log, plan_cache=cache, workload=workload,
+    )
+    baseline = _run_overload_side(
+        "baseline", schedule, catalog, references,
+        workers, max_queue, None, workload=workload,
+    )
+    report = PlanCacheSoakReport(
+        seed=seed, cached=cached, baseline=baseline, cache=cache.snapshot(),
+    )
+    if reconcile is None:
+        reconcile = events is None
+    if reconcile:
+        counts = count_by_kind(log.events())
+        report.event_counts = {
+            kind: n for kind, n in counts.items()
+            if kind.startswith("plan.cache_")
+        }
+        expected = {
+            "plan.cache_hit": report.cache["hits"],
+            "plan.cache_miss": report.cache["misses"],
+            "plan.cache_invalidated": report.cache["invalidations"],
+        }
+        for kind, want in expected.items():
+            got = counts.get(kind, 0)
+            if got != want:
+                report.violations.append(Violation(
+                    "reconciliation", kind, "",
+                    f"{got} {kind} events but the cache counted {want}",
+                ))
+    if require_win:
+        if cached.goodput <= baseline.goodput:
+            report.violations.append(Violation(
+                "cache_no_win", "", "",
+                f"cached completed {cached.goodput} within deadline vs "
+                f"uncached {baseline.goodput} at identical offered load",
+            ))
+        if report.hit_rate <= min_hit_rate:
+            report.violations.append(Violation(
+                "hit_rate", "", "",
+                f"hit rate {report.hit_rate} <= required {min_hit_rate} "
+                f"({report.cache})",
             ))
     return report

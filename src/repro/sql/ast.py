@@ -77,6 +77,18 @@ class Literal(Expr):
 
 
 @dataclass(frozen=True)
+class Parameter(Expr):
+    """A prepared-statement placeholder (``?``), bound at execution time.
+
+    ``index`` is the 0-based occurrence of the marker in the statement
+    text; the plan cache (:mod:`repro.plan.cache`) extracts literals in
+    source order and binds them back by this index, so a cached query
+    graph can be re-executed with fresh constants without re-parsing."""
+
+    index: int
+
+
+@dataclass(frozen=True)
 class Name(Expr):
     """An unresolved (possibly qualified) column reference, e.g. ``d.building``."""
 

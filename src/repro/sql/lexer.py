@@ -47,7 +47,7 @@ class Token:
 
 
 #: Multi-character operators, longest first so the scanner is greedy.
-_SYMBOLS = ("<>", "<=", ">=", "!=", "||", "(", ")", ",", ".", "+", "-", "*", "/", "<", ">", "=", ";")
+_SYMBOLS = ("<>", "<=", ">=", "!=", "||", "(", ")", ",", ".", "+", "-", "*", "/", "<", ">", "=", ";", "?")
 
 _IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
 _IDENT_CONT = _IDENT_START | set("0123456789#$")

@@ -44,6 +44,9 @@ class _Parser:
     def __init__(self, text: str):
         self.tokens = tokenize(text)
         self.pos = 0
+        #: ``?`` placeholders seen so far; markers are numbered in source
+        #: order, matching the plan cache's literal-extraction order.
+        self._param_count = 0
 
     # -- cursor helpers ----------------------------------------------------
 
@@ -566,6 +569,11 @@ class _Parser:
         if token.kind is TokenKind.NUMBER or token.kind is TokenKind.STRING:
             self.advance()
             return ast.Literal(token.value)
+        if token.kind is TokenKind.SYMBOL and token.text == "?":
+            self.advance()
+            index = self._param_count
+            self._param_count += 1
+            return ast.Parameter(index)
         if token.matches_keyword("NULL"):
             self.advance()
             return ast.Literal(None)

@@ -38,6 +38,19 @@ class Catalog:
         self._views: dict[str, str] = {}
         self._stats = StatsCache()
         self._lock = threading.RLock()
+        self._generation = 0
+
+    def generation(self) -> int:
+        """The catalog's monotonic change epoch.
+
+        Bumped (under the lock) by every namespace mutation and stats
+        invalidation -- DDL, view changes, and the post-INSERT
+        :meth:`invalidate_stats`. The plan cache stamps each entry with the
+        generation observed *before* building it and treats any mismatch as
+        stale, so a plan can never outlive the catalog state it was
+        optimized against (even when DDL races the build itself)."""
+        with self._lock:
+            return self._generation
 
     # -- tables ------------------------------------------------------------
 
@@ -50,6 +63,7 @@ class Catalog:
                 raise CatalogError(f"relation {name!r} already exists")
             table = Table(key, schema)
             self._tables[key] = table
+            self._generation += 1
             return table
 
     def drop_table(self, name: str) -> None:
@@ -60,6 +74,7 @@ class Catalog:
                 raise CatalogError(f"no table named {name!r}")
             del self._tables[key]
             self._stats.invalidate(key)
+            self._generation += 1
 
     def has_table(self, name: str) -> bool:
         with self._lock:
@@ -86,6 +101,7 @@ class Catalog:
             if key in self._tables or key in self._views:
                 raise CatalogError(f"relation {name!r} already exists")
             self._views[key] = sql_text
+            self._generation += 1
 
     def drop_view(self, name: str) -> None:
         key = name.lower()
@@ -93,6 +109,7 @@ class Catalog:
             if key not in self._views:
                 raise CatalogError(f"no view named {name!r}")
             del self._views[key]
+            self._generation += 1
 
     def has_view(self, name: str) -> bool:
         with self._lock:
@@ -121,6 +138,7 @@ class Catalog:
         in-flight :meth:`stats` readers)."""
         with self._lock:
             self._stats.invalidate(name)
+            self._generation += 1
 
     # -- keys ---------------------------------------------------------------
 

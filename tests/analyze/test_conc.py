@@ -22,11 +22,12 @@ def test_serve_and_storage_satisfy_the_contract():
 
 def test_default_targets_exist_and_contain_modules():
     targets = default_targets()
-    assert all(os.path.isdir(t) for t in targets)
+    assert all(os.path.exists(t) for t in targets)
     files = list(iter_python_files(targets))
     names = {os.path.basename(f) for f in files}
     assert "service.py" in names      # the query service
     assert "catalog.py" in names      # the storage layer
+    assert "cache.py" in names        # the plan cache (rank 15)
 
 
 def test_lock_order_is_total_and_covers_every_declared_lock():

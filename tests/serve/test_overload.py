@@ -186,6 +186,33 @@ class TestEstimator:
         assert len(est._by_shape) == 2
         assert est.as_dict()["observations"] == 5
 
+    def test_reads_refresh_recency_under_churn(self):
+        """Regression: a hot shape that is only ever *read* (admission
+        checks it every arrival) must survive a flood of one-off shapes
+        that are merely observed -- ``estimate()`` hits refresh LRU
+        recency on both the key and shape tiers."""
+        est = ServiceTimeEstimator(max_shapes=4)
+        est.observe("hot", "magic", 1.0)
+        for i in range(50):
+            assert est.estimate("hot", "magic") == 1.0   # key-tier read
+            assert est.estimate("hot", "dayal") == 1.0   # shape-tier read
+            est.observe(f"cold{i}", "ni", 2.0)
+        assert ("hot", "magic") in est._by_key
+        assert "hot" in est._by_shape
+
+    def test_cheapest_refreshes_consulted_keys_under_churn(self):
+        """Regression: the brownout ladder consults ``cheapest()`` for
+        the same hot shape on every forced dequeue; the consulted keys
+        must not be evicted by churn between consultations."""
+        est = ServiceTimeEstimator(max_shapes=3)
+        est.observe("hot", "magic", 0.1)
+        est.observe("hot", "ni", 0.5)
+        for i in range(20):
+            assert est.cheapest("hot", ("magic", "ni")) == "magic"
+            est.observe(f"cold{i}", "dayal", 1.0)
+        assert ("hot", "magic") in est._by_key
+        assert ("hot", "ni") in est._by_key
+
     def test_validation(self):
         with pytest.raises(ValueError):
             ServiceTimeEstimator(alpha=0.0)

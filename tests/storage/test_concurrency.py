@@ -68,6 +68,43 @@ class TestCatalogRaces:
         winner = next(i for i, r in enumerate(results) if r is None)
         assert catalog.view_sql("v") == f"SELECT {winner}"
 
+    def test_generation_never_loses_a_bump(self):
+        # The plan cache's staleness stamp: every DDL/stats mutation must
+        # advance ``generation()`` exactly once even under contention -- a
+        # lost bump would let a cached plan outlive the change it raced.
+        catalog = Catalog()
+        catalog.create_table("t", _schema())
+        start = catalog.generation()
+
+        def work(i: int) -> None:
+            for k in range(50):
+                if i % 2 == 0:
+                    catalog.invalidate_stats("t")
+                else:
+                    catalog.create_table(f"t_{i}_{k}", _schema())
+
+        results = _run_threads(8, work)
+        assert not any(isinstance(r, Exception) for r in results), results
+        assert catalog.generation() == start + 8 * 50
+
+    def test_generation_reads_are_monotonic_during_ddl(self):
+        catalog = Catalog()
+        catalog.create_table("t", _schema())
+
+        def work(i: int) -> None:
+            if i == 0:
+                for k in range(200):
+                    catalog.invalidate_stats("t")
+                return
+            last = -1
+            for _ in range(200):
+                seen = catalog.generation()
+                assert seen >= last, "generation moved backwards"
+                last = seen
+
+        results = _run_threads(8, work)
+        assert not any(isinstance(r, Exception) for r in results), results
+
     def test_stats_invalidation_is_never_lost(self):
         # Writers insert + invalidate; readers pull stats throughout.  At
         # the end one more invalidate + read must see the final row count
