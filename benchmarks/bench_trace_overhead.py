@@ -168,6 +168,58 @@ def test_disabled_validation_overhead_within_tolerance(db):
     )
 
 
+def test_phases_off_path_never_touches_the_timeline(db, monkeypatch):
+    """Structural zero overhead for phase accounting: with every
+    :class:`~repro.obs.phases.PhaseTimeline` entry point booby-trapped, a
+    service built without ``phases=`` (and without ``trace``) must admit,
+    execute and finish queries without constructing a single timeline."""
+    from repro.obs.phases import PhaseTimeline
+    from repro.serve import QueryService
+
+    def boom(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError(
+            "phase-accounting machinery reached with phases disabled"
+        )
+
+    for name in ("__init__", "mark", "total", "as_dict", "as_ms_dict"):
+        monkeypatch.setattr(PhaseTimeline, name, boom)
+    with QueryService(db, workers=2) as service:
+        ticket = service.submit(QUERY_2, strategy=Strategy.MAGIC)
+        assert ticket.result().rows
+        assert ticket.phases is None
+
+
+def test_disabled_phases_overhead_within_tolerance(db):
+    """Timing zero overhead for phase accounting: a phases-off service
+    must not regress to more than ``OVERHEAD_TOLERANCE`` of one stamping
+    the full admit/queue/rewrite/execute/drain timeline per ticket."""
+    from repro.serve import QueryService
+
+    batch = 8
+
+    def run(service):
+        tickets = [
+            service.submit(QUERY_2, strategy=Strategy.MAGIC)
+            for _ in range(batch)
+        ]
+        for ticket in tickets:
+            ticket.result()
+
+    with QueryService(db, workers=2, max_queue=64) as plain_service:
+        with QueryService(
+            db, workers=2, max_queue=64, phases=True
+        ) as phased_service:
+            run(plain_service)  # warm caches outside the measurement
+            run(phased_service)
+            plain_median = _median_seconds(lambda: run(plain_service))
+            phased_median = _median_seconds(lambda: run(phased_service))
+    assert plain_median <= phased_median * OVERHEAD_TOLERANCE, (
+        f"phases-off median {plain_median * 1000:.3f}ms exceeds "
+        f"{OVERHEAD_TOLERANCE}x phases-on median "
+        f"{phased_median * 1000:.3f}ms"
+    )
+
+
 @pytest.mark.benchmark(group="trace-overhead")
 def test_bench_untraced(db, benchmark):
     run_once(benchmark, lambda: db.execute(QUERY_2, strategy=Strategy.MAGIC))

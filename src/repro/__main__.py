@@ -182,7 +182,7 @@ def _cmd_worker_soak(args: argparse.Namespace) -> int:
         from .obs import EventLog, FileSink, RingSink, TeeSink
 
         ring = RingSink(capacity=65536)
-        file_sink = FileSink(args.events_out)
+        file_sink = FileSink(args.events_out, mode="w")
         events_log = EventLog(TeeSink(ring, file_sink))
     try:
         try:
@@ -195,6 +195,7 @@ def _cmd_worker_soak(args: argparse.Namespace) -> int:
                 events=events_log,
                 # The tee log is fresh, so forcing reconciliation is safe.
                 reconcile=True if events_log is not None else None,
+                trace=args.trace or bool(args.trace_out),
             )
         except ValueError as exc:
             print(f"soak: bad configuration: {exc}", file=sys.stderr)
@@ -213,6 +214,17 @@ def _cmd_worker_soak(args: argparse.Namespace) -> int:
             print(f"soak: event stream invalid: {exc}", file=sys.stderr)
             return 1
         print(f"wrote {args.events_out} ({count} events)")
+    if args.trace_out:
+        if report.traces:
+            with open(args.trace_out, "w") as handle:
+                json.dump(report.traces[-1], handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.trace_out} "
+                  f"({report.trace_reconciled}/{len(report.traces)} epochs "
+                  f"reconciled)")
+        else:
+            print("soak: no traced epochs to export", file=sys.stderr)
     if not args.no_history:
         from .bench import history as bench_history
         from .errors import HistoryError
@@ -290,7 +302,7 @@ def _cmd_overload_soak(args: argparse.Namespace) -> int:
         from .obs import EventLog, FileSink, RingSink, TeeSink
 
         ring = RingSink(capacity=65536)
-        file_sink = FileSink(args.events_out)
+        file_sink = FileSink(args.events_out, mode="w")
         events_log = EventLog(TeeSink(ring, file_sink))
     try:
         try:
@@ -416,7 +428,7 @@ def _cmd_plan_cache_soak(args: argparse.Namespace) -> int:
         from .obs import EventLog, FileSink, RingSink, TeeSink
 
         ring = RingSink(capacity=262144)
-        file_sink = FileSink(args.events_out)
+        file_sink = FileSink(args.events_out, mode="w")
         events_log = EventLog(TeeSink(ring, file_sink))
     try:
         try:
@@ -568,7 +580,7 @@ def cmd_soak(args: argparse.Namespace) -> int:
         from .obs import EventLog, FileSink, RingSink, TeeSink
 
         ring = RingSink(capacity=65536)
-        file_sink = FileSink(args.events_out)
+        file_sink = FileSink(args.events_out, mode="w")
         events_log = EventLog(TeeSink(ring, file_sink))
     profiler_ctx = contextlib.nullcontext(None)
     if args.profile_out or args.profile_collapsed:
@@ -926,6 +938,24 @@ def cmd_stats(args: argparse.Namespace) -> int:
             ticket.wait(timeout=120)
         service.drain(timeout=120)
         stats = service.stats()
+    if args.phases:
+        histograms = stats.phase_histograms
+        if not histograms:
+            print("stats: no phase samples recorded", file=sys.stderr)
+            return 1
+        print(f"{'phase':<12} {'count':>7} {'mean_ms':>10} {'total_ms':>12}"
+              f"  cumulative buckets (le: n)")
+        for name, data in histograms.items():
+            count = data["count"]
+            mean_ms = (data["sum"] / count * 1000.0) if count else 0.0
+            buckets = " ".join(
+                f"{bound:g}:{n}" for bound, n in data["buckets"].items()
+            )
+            print(
+                f"{name:<12} {count:>7} {mean_ms:>10.3f} "
+                f"{data['sum'] * 1000.0:>12.3f}  {buckets}"
+            )
+        return 0
     print(stats.export(args.format))
     return 0
 
@@ -1137,6 +1167,56 @@ def cmd_events(args: argparse.Namespace) -> int:
             print(json.dumps(event, sort_keys=True))
         else:
             print(render_event(event))
+    return 0
+
+
+def cmd_why(args: argparse.Namespace) -> int:
+    """``repro why``: reconstruct one query's lifecycle from an event log.
+
+    Joins the structured event log (a soak's ``--events-out`` JSONL) for
+    one query id into an annotated timeline: lifecycle steps offset from
+    submission, the phase budget as a proportional waterfall, brownout
+    rung, degradations, budget trips, overlapping service context
+    (breaker/brownout movement), and -- with ``--trace`` pointing at an
+    exported v2 trace -- the grafted worker-process spans. ``--json``
+    prints the machine-readable join instead. Exit 1 when the log cannot
+    be read or holds no events for the query id.
+    """
+    import json
+
+    from .errors import EventLogError, TraceError
+    from .obs import build_timeline, load_events, render_timeline
+
+    try:
+        events = load_events(args.events)
+    except (OSError, EventLogError) as exc:
+        print(f"why: {exc}", file=sys.stderr)
+        return 1
+    trace = None
+    if args.trace:
+        from .trace import validate_trace
+
+        try:
+            with open(args.trace) as handle:
+                trace = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"why: cannot read trace {args.trace}: {exc}",
+                  file=sys.stderr)
+            return 1
+        try:
+            validate_trace(trace)
+        except TraceError as exc:
+            print(f"why: {args.trace}: {exc}", file=sys.stderr)
+            return 1
+    try:
+        timeline = build_timeline(args.query_id, events, trace=trace)
+    except EventLogError as exc:
+        print(f"why: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(timeline, indent=2, sort_keys=True))
+    else:
+        print(render_timeline(timeline))
     return 0
 
 
@@ -1355,7 +1435,15 @@ def main(argv: list[str] | None = None) -> int:
     p_soak.add_argument("--fault-scope", choices=["shared", "worker"],
                         default="shared", dest="fault_scope")
     p_soak.add_argument("--trace", action="store_true",
-                        help="trace every query; report per-operator totals")
+                        help="trace every query; report per-operator totals "
+                             "(with --real-workers: run each epoch under a "
+                             "coordinator tracer that grafts worker spans)")
+    p_soak.add_argument("--trace-out", default=None, metavar="PATH",
+                        dest="trace_out",
+                        help="with --real-workers, write the last epoch's "
+                             "v2 trace export (grafted worker spans) as "
+                             "JSON -- feed it to 'repro why --trace' "
+                             "(implies --trace)")
     p_soak.add_argument("--json", default=None, metavar="PATH",
                         help="write the full report as JSON")
     p_soak.add_argument("--bench-out", default=None, metavar="PATH",
@@ -1515,6 +1603,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="ring-buffer size for per-query trace summaries")
     p_stats.add_argument("--format", choices=["json", "prometheus"],
                          default="json")
+    p_stats.add_argument("--phases", action="store_true",
+                         help="print the per-phase latency histogram table "
+                              "instead of the full export")
     p_stats.set_defaults(fn=cmd_stats)
 
     p_trace = sub.add_parser(
@@ -1543,6 +1634,23 @@ def main(argv: list[str] | None = None) -> int:
     p_events.add_argument("--check", action="store_true",
                           help="validate only; print per-kind counts")
     p_events.set_defaults(fn=cmd_events)
+
+    p_why = sub.add_parser(
+        "why",
+        help="explain one query's lifecycle from an event log "
+             "(timeline, phase waterfall, worker spans)",
+    )
+    p_why.add_argument("query_id", type=int,
+                       help="the query id to explain (see repro events)")
+    p_why.add_argument("--events", required=True, metavar="PATH",
+                       help="event-log JSONL (a soak's --events-out file)")
+    p_why.add_argument("--trace", default=None, metavar="PATH",
+                       help="exported v2 trace JSON whose grafted worker "
+                            "spans to include")
+    p_why.add_argument("--json", action="store_true",
+                       help="print the machine-readable join instead of "
+                            "the rendered waterfall")
+    p_why.set_defaults(fn=cmd_why)
 
     p_slow = sub.add_parser(
         "slow",

@@ -278,6 +278,7 @@ class Database:
         fallback: bool = False,
         disabled=None,
         tracer: Optional["Tracer"] = None,
+        phases=None,
     ) -> Result:
         """Parse, bind, rewrite per ``strategy``, and execute one statement.
 
@@ -310,13 +311,21 @@ class Database:
         -- one aggregate node per rewrite step and per plan node -- and is
         returned on ``Result.tracer``. ``None`` (the default) is the
         zero-overhead untraced path.
+
+        ``phases`` (a :class:`repro.obs.phases.PhaseTimeline`) receives
+        phase marks as the pipeline advances -- ``plan_cache`` after the
+        cache lookup, ``rewrite`` after parse+rewrite, ``optimize`` after
+        static plan verification, ``execute`` after the operator graph
+        runs -- so a caller measuring whole-query latency on the same
+        clock can attribute every interval. ``None`` (the default) adds
+        no overhead.
         """
         if self.plan_cache is not None:
             return self._execute_with_plan_cache(
                 sql, strategy, cse_mode,
                 decorrelate_existential=decorrelate_existential,
                 limits=limits, guard=guard, fallback=fallback,
-                disabled=disabled, tracer=tracer,
+                disabled=disabled, tracer=tracer, phases=phases,
             )
         statement = parse_statement(sql)
         if not isinstance(statement, (ast.Select, ast.SetOp)):
@@ -325,7 +334,7 @@ class Database:
             statement, strategy, cse_mode,
             decorrelate_existential=decorrelate_existential,
             limits=limits, guard=guard, fallback=fallback, sql=sql,
-            disabled=disabled, tracer=tracer,
+            disabled=disabled, tracer=tracer, phases=phases,
         )
 
     def _execute_with_plan_cache(
@@ -340,6 +349,7 @@ class Database:
         fallback: bool,
         disabled,
         tracer: Optional["Tracer"],
+        phases=None,
     ) -> Result:
         """:meth:`execute` with the plan cache engaged.
 
@@ -360,10 +370,15 @@ class Database:
             )
             if tracer is None else None
         )
+        if phases is not None:
+            # Hit or miss, the lookup (and parameter extraction) itself
+            # is plan-cache time; a miss's rebuild lands on the later
+            # rewrite/optimize/execute marks.
+            phases.mark("plan_cache")
         if prepared is not None and prepared.entry is not None:
             return self._run_cached(
                 prepared, sql=sql, cse_mode=cse_mode,
-                limits=limits, guard=guard,
+                limits=limits, guard=guard, phases=phases,
             )
         statement = parse_statement(sql)
         if not isinstance(statement, (ast.Select, ast.SetOp)):
@@ -372,7 +387,7 @@ class Database:
             statement, strategy, cse_mode,
             decorrelate_existential=decorrelate_existential,
             limits=limits, guard=guard, fallback=fallback, sql=sql,
-            disabled=disabled, tracer=tracer,
+            disabled=disabled, tracer=tracer, phases=phases,
         )
         if prepared is not None and prepared.fillable:
             cache.fill(prepared, self.catalog)
@@ -386,6 +401,7 @@ class Database:
         cse_mode: str,
         limits: Optional[Limits],
         guard: Optional[ExecutionGuard],
+        phases=None,
     ) -> Result:
         if guard is None and limits is not None:
             from ..guard import guard_for
@@ -393,11 +409,13 @@ class Database:
             guard = guard_for(limits)
         if self.events is None and self.slow_log is None:
             return self._run_cached_inner(
-                prepared, sql=sql, cse_mode=cse_mode, guard=guard
+                prepared, sql=sql, cse_mode=cse_mode, guard=guard,
+                phases=phases,
             )
         return self._observe_query(
             lambda: self._run_cached_inner(
-                prepared, sql=sql, cse_mode=cse_mode, guard=guard
+                prepared, sql=sql, cse_mode=cse_mode, guard=guard,
+                phases=phases,
             ),
             sql=sql, key=prepared.strategy_key, guard=guard, tracer=None,
         )
@@ -409,6 +427,7 @@ class Database:
         sql: str,
         cse_mode: str,
         guard: Optional[ExecutionGuard],
+        phases=None,
     ) -> Result:
         from ..exec import ExecutionContext
 
@@ -421,6 +440,8 @@ class Database:
         rows, metrics = execute_graph(
             entry.graph, self.catalog, cse_mode=cse_mode, ctx=ctx
         )
+        if phases is not None:
+            phases.mark("execute")
         return Result(entry.graph.output_names(), rows, metrics, sql=sql)
 
     def _run_query(
@@ -435,19 +456,20 @@ class Database:
         sql: Optional[str] = None,
         disabled=None,
         tracer: Optional["Tracer"] = None,
+        phases=None,
     ) -> Result:
         if self.events is None and self.slow_log is None:
             return self._run_query_inner(
                 statement, strategy, cse_mode,
                 decorrelate_existential=decorrelate_existential,
                 limits=limits, guard=guard, fallback=fallback, sql=sql,
-                disabled=disabled, tracer=tracer,
+                disabled=disabled, tracer=tracer, phases=phases,
             )
         return self._run_query_observed(
             statement, strategy, cse_mode,
             decorrelate_existential=decorrelate_existential,
             limits=limits, guard=guard, fallback=fallback, sql=sql,
-            disabled=disabled, tracer=tracer,
+            disabled=disabled, tracer=tracer, phases=phases,
         )
 
     def _run_query_observed(
@@ -462,6 +484,7 @@ class Database:
         sql: Optional[str] = None,
         disabled=None,
         tracer: Optional["Tracer"] = None,
+        phases=None,
     ) -> Result:
         key = getattr(strategy, "value", strategy)
         if sql is None:
@@ -475,7 +498,7 @@ class Database:
             statement, strategy, cse_mode,
             decorrelate_existential=decorrelate_existential,
             limits=limits, guard=guard, fallback=fallback, sql=sql,
-            disabled=disabled, tracer=tracer,
+            disabled=disabled, tracer=tracer, phases=phases,
         )
         return self._observe_query(
             run, sql=sql, key=key, guard=guard, tracer=tracer
@@ -578,6 +601,7 @@ class Database:
         sql: Optional[str] = None,
         disabled=None,
         tracer: Optional["Tracer"] = None,
+        phases=None,
     ) -> Result:
         if sql is None:
             sql = to_sql(statement)
@@ -594,6 +618,11 @@ class Database:
                 decorrelate_existential=decorrelate_existential,
                 tracer=tracer,
             )
+        if phases is not None:
+            # "rewrite" covers QGM construction + the strategy rewrite
+            # (and, on the uncached path, the parse that preceded this
+            # call -- parsing is part of producing the rewritten plan).
+            phases.mark("rewrite")
         if self.engine.validate:
             # REPRO_VALIDATE gates the static plan verifier: every plan the
             # executor is about to run is checked against the inferred box
@@ -603,10 +632,16 @@ class Database:
             contract_summary = verify_pre_execution(self.catalog, graph)
             if self.events is not None:
                 self.events.emit("plan.verified", **contract_summary)
+            if phases is not None:
+                # "optimize" = static plan verification; absent entirely
+                # when validation is off (no work, no phase).
+                phases.mark("optimize")
         rows, metrics = execute_graph(
             graph, self.catalog, cse_mode=cse_mode,
             limits=limits, guard=guard, faults=self.faults, tracer=tracer,
         )
+        if phases is not None:
+            phases.mark("execute")
         return Result(
             graph.output_names(), rows, metrics,
             sql=sql, degradations=degradations, tracer=tracer,

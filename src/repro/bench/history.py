@@ -44,6 +44,16 @@ COMPARE_METRICS: tuple[tuple[str, int], ...] = (
     ("throughput_qps", +1),
     ("latency_p50_ms", -1),
     ("latency_p95_ms", -1),
+    # Per-phase mean milliseconds (see repro.obs.phases) -- present only
+    # on records from phase-accounted soaks; compare() skips a phase
+    # absent from either side, so pre-phase baselines stay comparable.
+    ("phase_admit_ms_avg", -1),
+    ("phase_queue_ms_avg", -1),
+    ("phase_plan_cache_ms_avg", -1),
+    ("phase_rewrite_ms_avg", -1),
+    ("phase_optimize_ms_avg", -1),
+    ("phase_execute_ms_avg", -1),
+    ("phase_drain_ms_avg", -1),
 )
 
 
@@ -227,11 +237,26 @@ def compare(
     return problems
 
 
+def phase_totals_from_stats(stats) -> dict:
+    """Per-phase mean milliseconds (``phase_<name>_ms_avg``) from a
+    :class:`~repro.serve.soak.ServiceStats` phase-histogram export --
+    the keys ``repro bench-compare`` gates per-phase regressions on.
+    Empty when the run was not phase-accounted."""
+    fields: dict = {}
+    for name, data in (getattr(stats, "phase_histograms", None) or {}).items():
+        count = data.get("count", 0)
+        if count:
+            fields[f"phase_{name}_ms_avg"] = round(
+                data["sum"] / count * 1000.0, 3
+            )
+    return fields
+
+
 def record_from_soak(report, benchmark: str = "service_soak",
                      **fields) -> dict:
     """A history record distilled from a
     :class:`~repro.serve.soak.SoakReport` (throughput, percentiles,
-    outcome counters, per-operator totals)."""
+    outcome counters, per-operator totals, per-phase means)."""
     stats = report.stats
     operator_totals = {
         op["name"]: op.get("elapsed_ms", 0.0)
@@ -239,6 +264,7 @@ def record_from_soak(report, benchmark: str = "service_soak",
     }
     return make_record(
         benchmark,
+        **phase_totals_from_stats(stats),
         seconds=round(report.seconds, 3),
         throughput_qps=round(report.throughput(), 2),
         latency_p50_ms=stats.latency_p50_ms,

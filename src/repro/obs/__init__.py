@@ -15,7 +15,14 @@ service under load, or a sequence of benchmark commits:
   collapsed-stack text (flamegraph.pl format) and speedscope JSON;
 * :mod:`repro.obs.slowlog` -- threshold-based slow-query capture (SQL,
   strategy, degradations, top operators, ``Metrics`` snapshot) in a
-  bounded ring.
+  bounded ring;
+* :mod:`repro.obs.phases` -- phase-budget accounting: a per-query
+  :class:`~repro.obs.phases.PhaseTimeline` splitting latency into
+  admit/queue/plan_cache/rewrite/optimize/execute/drain with the
+  sum-to-latency invariant (``check_phase_sum``);
+* :mod:`repro.obs.why` -- the ``repro why <query_id>`` timeline
+  reconstructor joining the event log, trace ring and slow-query log
+  into one annotated waterfall.
 
 All three follow the ``limits=None`` / ``tracer=None`` zero-overhead
 pattern: an unconfigured component costs one ``is None`` test.
@@ -34,10 +41,21 @@ from .events import (
     render_event,
     validate_events,
 )
+from .phases import (
+    PHASES,
+    PhaseTimeline,
+    check_phase_sum,
+    render_phases,
+)
 from .profiler import SamplingProfiler, profiling
 from .slowlog import SlowQueryLog, render_slow_log
+from .why import build_timeline, render_timeline, worker_spans
 
 __all__ = [
+    "PHASES",
+    "PhaseTimeline",
+    "check_phase_sum",
+    "render_phases",
     "EVENT_KINDS",
     "EVENTS_VERSION",
     "EventLog",
@@ -53,4 +71,7 @@ __all__ = [
     "profiling",
     "SlowQueryLog",
     "render_slow_log",
+    "build_timeline",
+    "render_timeline",
+    "worker_spans",
 ]

@@ -5,10 +5,16 @@ answers "what happened to *every* query" -- a durable, append-only record
 of the service's lifecycle that a soak run, a CI job or an operator can
 replay after the fact.
 
-Schema (version 1): one flat JSON object per event::
+Schema (version 2; version-1 streams still validate): one flat JSON
+object per event::
 
-    {"v": 1, "seq": 17, "ts": 1754222000.123, "kind": "query.finished",
+    {"v": 2, "seq": 17, "ts": 1754222000.123, "kind": "query.finished",
      "query_id": 9, "outcome": "completed", "latency_ms": 4.2, ...}
+
+Version 2 adds exactly one kind over version 1 -- ``query.phases``, the
+per-query phase budget (see :mod:`repro.obs.phases`) -- so a v1 stream
+is a valid v2 stream and :func:`validate_events` accepts both versions
+side by side (a tee of old and new producers stays valid).
 
 ``v``/``seq``/``ts``/``kind``/``query_id`` are the envelope (``seq`` is
 strictly increasing per log, ``query_id`` may be ``None`` for
@@ -43,7 +49,11 @@ from typing import Any, Callable, Iterable, Optional
 from ..errors import EventLogError
 
 #: Event-stream schema version (bump on incompatible layout changes).
-EVENTS_VERSION = 1
+EVENTS_VERSION = 2
+
+#: Schema versions :func:`validate_events` accepts: v2 only *adds* the
+#: ``query.phases`` kind, so v1 streams remain valid.
+ACCEPTED_VERSIONS = frozenset((1, 2))
 
 #: The envelope keys every event carries (in this order, first).
 ENVELOPE_KEYS = ("v", "seq", "ts", "kind", "query_id")
@@ -57,6 +67,7 @@ EVENT_KINDS: tuple[str, ...] = (
     "query.degraded",         # one step down the strategy fallback chain
     "query.cancelled",        # it observed cooperative cancellation
     "query.finished",         # terminal: outcome + Metrics snapshot
+    "query.phases",           # terminal: the per-phase latency budget (v2)
     "query.slow",             # the slow-query log captured it
     "guard.budget_exceeded",  # a resource budget tripped
     "breaker.transition",     # a circuit breaker changed state
@@ -106,11 +117,17 @@ class RingSink:
 
 
 class FileSink:
-    """An append-to-file JSONL sink (one compact JSON object per line)."""
+    """A file JSONL sink (one compact JSON object per line).
 
-    def __init__(self, path: str):
+    Appends by default (a long-running service keeps one growing log);
+    pass ``mode="w"`` to truncate first -- the CLI does, so a re-run
+    with the same ``--events-out`` path yields one loadable stream
+    instead of two concatenated ones with colliding ``seq`` numbers.
+    """
+
+    def __init__(self, path: str, mode: str = "a"):
         self.path = path
-        self._handle = open(path, "a")
+        self._handle = open(path, mode)
         self.total = 0
 
     def write(self, event: dict) -> None:
@@ -264,9 +281,10 @@ def _validate_event(
         if name not in event:
             problems.append(f"{path}: missing envelope field {name!r}")
             return last_seq
-    if event["v"] != EVENTS_VERSION:
+    if event["v"] not in ACCEPTED_VERSIONS:
         problems.append(
-            f"{path}: v must be {EVENTS_VERSION}, got {event['v']!r}"
+            f"{path}: v must be one of "
+            f"{sorted(ACCEPTED_VERSIONS)}, got {event['v']!r}"
         )
     seq = event["seq"]
     if not isinstance(seq, int) or seq < 1:
@@ -301,7 +319,7 @@ def _validate_event(
 
 
 def validate_events(events: Iterable[Any]) -> int:
-    """Validate an event stream against the v1 schema.
+    """Validate an event stream against the schema (v1 or v2 envelopes).
 
     Checks the envelope of every event (version, strictly-increasing
     ``seq``, timestamp, known ``kind``, well-typed ``query_id``) and that

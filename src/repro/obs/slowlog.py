@@ -64,9 +64,16 @@ class SlowQueryLog:
         degradations: Any = (),
         metrics=None,
         tracer=None,
+        phases: Optional[dict] = None,
+        brownout_level: Optional[int] = None,
     ) -> Optional[dict]:
         """Record the query if it was slow; returns the captured record
-        (or ``None`` below the threshold)."""
+        (or ``None`` below the threshold).
+
+        ``phases`` (phase name -> milliseconds, see
+        :mod:`repro.obs.phases`) and ``brownout_level`` (the rung
+        snapshotted at dequeue) let the record answer "slow because
+        queued or slow because executing" without a separate trace."""
         if latency_ms < self.threshold_ms:
             return None
         record = {
@@ -83,6 +90,8 @@ class SlowQueryLog:
                 tracer.operator_summaries(top=self.top_operators)
                 if tracer is not None else []
             ),
+            "phases": dict(phases) if phases is not None else None,
+            "brownout_level": brownout_level,
         }
         with self._lock:
             self._ring.append(record)
@@ -127,6 +136,14 @@ def render_slow_log(records: list[dict], indent: str = "") -> str:
             f"[{record.get('strategy', '?')}/{record.get('outcome', '?')}] "
             f"{sql}"
         )
+        phases = record.get("phases")
+        if phases:
+            budget = " ".join(
+                f"{name}={value:.3f}ms" for name, value in phases.items()
+            )
+            rung = record.get("brownout_level")
+            suffix = f" (brownout rung {rung})" if rung else ""
+            lines.append(f"{indent}    phases: {budget}{suffix}")
         for degradation in record.get("degradations", []):
             lines.append(f"{indent}    degraded: {degradation}")
         for op in record.get("operators", []):

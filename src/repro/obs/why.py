@@ -1,0 +1,298 @@
+"""``repro why <query_id>``: one query's lifecycle, explained.
+
+The event log records what happened to every query; the phase timeline
+records where each query's latency went; the tracer records what the
+operators (and, since schema v2, the worker processes) did. This module
+joins the three for *one* query id and renders an annotated waterfall --
+the "why was query 17 slow?" answer:
+
+* the lifecycle steps, offset from submission (admitted, started,
+  degraded, budget trips, fired faults, cancelled, finished/rejected);
+* the phase budget (``query.phases``), as a proportional bar chart with
+  the brownout rung the ticket was dequeued under;
+* service-level context that overlapped the query's lifetime (breaker
+  transitions, brownout ladder movement);
+* budget consumption -- the terminal ``Metrics`` snapshot next to any
+  ``guard.budget_exceeded`` trips;
+* grafted worker spans from a v2 trace export (``--trace``): one block
+  per worker process with its dispatches, retries and failure reasons.
+
+:func:`build_timeline` produces the JSON-ready join (the ``--json``
+payload); :func:`render_timeline` renders it for humans. Both work from
+a plain event list, so they read a soak's ``--events-out`` JSONL just as
+well as a live service ring.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Optional
+
+from ..errors import EventLogError
+from .events import ENVELOPE_KEYS
+from .phases import render_phases
+
+#: Service-level (``query_id: null``) kinds reported as context when
+#: they fire inside the query's lifetime window.
+CONTEXT_KINDS = ("breaker.transition", "overload.brownout")
+
+#: Terminal kinds -> the outcome label the summary reports.
+_TERMINAL_OUTCOMES = {
+    "query.rejected": "rejected",
+    "overload.shed": "shed",
+    "overload.expired": "expired",
+}
+
+
+def _detail(event: dict) -> dict:
+    """An event's kind-specific fields (envelope stripped)."""
+    return {k: v for k, v in event.items() if k not in ENVELOPE_KEYS}
+
+
+def _span_iter(span: dict) -> Iterable[dict]:
+    yield span
+    for child in span.get("children", ()):
+        yield from _span_iter(child)
+
+
+def worker_spans(trace: dict) -> list[dict]:
+    """The ``worker``-kind spans of an exported v2 trace payload, each
+    with its ``dispatch`` children (and their grafted sub-trees) intact."""
+    found: list[dict] = []
+    for root in trace.get("spans", ()):
+        for span in _span_iter(root):
+            if span.get("kind") == "worker":
+                found.append(span)
+    return found
+
+
+def build_timeline(
+    query_id: int,
+    events: list[dict],
+    trace: Optional[dict] = None,
+) -> dict:
+    """Join the event log (and optionally a trace export) for one query.
+
+    Returns a JSON-ready dict: ``summary`` (outcome, strategy, latency,
+    phase budget, brownout rung, plan-cache disposition), ``steps`` (the
+    query's own events, offset in ms from its first event), ``context``
+    (service-level events inside its lifetime), ``degradations`` /
+    ``budget_trips`` / ``faults``, and ``workers`` (the trace's grafted
+    worker spans). Raises :class:`~repro.errors.EventLogError` when the
+    log holds no events for ``query_id``.
+    """
+    mine = [e for e in events if e.get("query_id") == query_id]
+    if not mine:
+        raise EventLogError(
+            f"no events recorded for query {query_id} "
+            f"({len(events)} events scanned)"
+        )
+    mine.sort(key=lambda e: e.get("seq", 0))
+    t0 = mine[0].get("ts", 0.0)
+    t_end = mine[-1].get("ts", t0)
+
+    summary: dict[str, Any] = {
+        "query_id": query_id,
+        "outcome": None,
+        "strategy": None,
+        "priority": None,
+        "latency_ms": None,
+        "error_type": None,
+        "phases": None,
+        "brownout_level": None,
+        "rejected_reason": None,
+        "plan_cache": None,
+        "slow_threshold_ms": None,
+        "metrics": None,
+    }
+    steps: list[dict] = []
+    degradations: list[dict] = []
+    budget_trips: list[dict] = []
+    faults: list[dict] = []
+    for event in mine:
+        kind = event["kind"]
+        detail = _detail(event)
+        steps.append(
+            {
+                "seq": event.get("seq"),
+                "offset_ms": round((event.get("ts", t0) - t0) * 1000, 3),
+                "kind": kind,
+                **detail,
+            }
+        )
+        if kind == "query.submitted":
+            summary["strategy"] = detail.get("strategy")
+            summary["priority"] = detail.get("priority")
+        elif kind in _TERMINAL_OUTCOMES:
+            summary["outcome"] = _TERMINAL_OUTCOMES[kind]
+            summary["rejected_reason"] = detail.get("reason")
+            if summary["latency_ms"] is None:
+                summary["latency_ms"] = detail.get("queued_ms")
+        elif kind == "query.finished":
+            summary["outcome"] = detail.get("outcome")
+            summary["latency_ms"] = detail.get("latency_ms")
+            summary["error_type"] = detail.get("error_type")
+            summary["metrics"] = detail.get("metrics")
+            if detail.get("strategy"):
+                summary["strategy"] = detail["strategy"]
+        elif kind == "query.phases":
+            summary["phases"] = detail.get("phases")
+            summary["brownout_level"] = detail.get("brownout_level")
+            if summary["outcome"] is None:
+                summary["outcome"] = detail.get("outcome")
+            if summary["latency_ms"] is None:
+                summary["latency_ms"] = detail.get("latency_ms")
+        elif kind == "query.degraded":
+            degradations.append(detail)
+        elif kind == "guard.budget_exceeded":
+            budget_trips.append(detail)
+        elif kind == "fault.fired":
+            faults.append(detail)
+        elif kind == "plan.cache_hit":
+            summary["plan_cache"] = "hit"
+        elif kind == "plan.cache_miss":
+            summary["plan_cache"] = "miss"
+        elif kind == "query.slow":
+            summary["slow_threshold_ms"] = detail.get("threshold_ms")
+
+    context = [
+        {
+            "seq": event.get("seq"),
+            "offset_ms": round((event.get("ts", t0) - t0) * 1000, 3),
+            "kind": event["kind"],
+            **_detail(event),
+        }
+        for event in events
+        if event.get("query_id") is None
+        and event.get("kind") in CONTEXT_KINDS
+        and t0 <= event.get("ts", t0 - 1) <= t_end
+    ]
+    return {
+        "query_id": query_id,
+        "summary": summary,
+        "steps": steps,
+        "context": context,
+        "degradations": degradations,
+        "budget_trips": budget_trips,
+        "faults": faults,
+        "workers": worker_spans(trace) if trace is not None else [],
+    }
+
+
+def _fields_line(detail: dict, skip: tuple = ()) -> str:
+    return " ".join(
+        f"{key}={detail[key]!r}" if isinstance(detail[key], str)
+        else f"{key}={json.dumps(detail[key])}"
+        for key in sorted(detail)
+        if key not in skip and detail[key] is not None
+    )
+
+
+def _render_worker(span: dict, indent: str) -> list[str]:
+    attrs = span.get("attrs", {})
+    dispatches = span.get("children", [])
+    lines = [
+        f"{indent}{span.get('name', 'worker ?')} "
+        f"(pid {attrs.get('pid', '?')}): {len(dispatches)} dispatches"
+    ]
+    for dispatch in dispatches:
+        da = dispatch.get("attrs", {})
+        outcome = da.get("outcome", "?")
+        reason = f" [{da['reason']}]" if da.get("reason") else ""
+        ops = [
+            child
+            for grafted in dispatch.get("children", ())
+            for child in _span_iter(grafted)
+            if child.get("kind") in ("operator", "step")
+        ]
+        ops.sort(key=lambda s: s.get("elapsed_s", 0.0), reverse=True)
+        top = ", ".join(o.get("name", "?") for o in ops[:3])
+        suffix = f" -- {top}" if top else ""
+        lines.append(
+            f"{indent}  {dispatch.get('name', 'dispatch ?')} "
+            f"{dispatch.get('elapsed_s', 0.0) * 1000:>9.3f}ms "
+            f"{outcome}{reason}{suffix}"
+        )
+    return lines
+
+
+def render_timeline(timeline: dict, width: int = 40, indent: str = "") -> str:
+    """The :func:`build_timeline` join as an annotated text waterfall."""
+    summary = timeline["summary"]
+    lines: list[str] = []
+    head = (
+        f"{indent}query {timeline['query_id']}: "
+        f"{summary.get('outcome') or '?'}"
+    )
+    if summary.get("strategy"):
+        head += f" via {summary['strategy']}"
+    if summary.get("latency_ms") is not None:
+        head += f" in {summary['latency_ms']:.3f}ms"
+    qualifiers = []
+    if summary.get("priority"):
+        qualifiers.append(f"priority {summary['priority']}")
+    if summary.get("plan_cache"):
+        qualifiers.append(f"plan cache {summary['plan_cache']}")
+    if summary.get("brownout_level"):
+        qualifiers.append(f"brownout rung {summary['brownout_level']}")
+    if summary.get("rejected_reason"):
+        qualifiers.append(f"reason: {summary['rejected_reason']}")
+    if summary.get("error_type"):
+        qualifiers.append(f"error: {summary['error_type']}")
+    if summary.get("slow_threshold_ms") is not None:
+        qualifiers.append(
+            f"slow-logged over {summary['slow_threshold_ms']}ms"
+        )
+    if qualifiers:
+        head += f" ({', '.join(qualifiers)})"
+    lines.append(head)
+
+    phases = summary.get("phases")
+    if phases:
+        lines.append(f"{indent}phase budget:")
+        lines.extend(
+            render_phases(
+                {name: ms / 1000.0 for name, ms in phases.items()},
+                width=width,
+                indent=indent + "  ",
+            )
+        )
+    lines.append(f"{indent}timeline:")
+    for step in timeline["steps"]:
+        detail = _fields_line(
+            step, skip=("seq", "offset_ms", "kind", "phases", "metrics")
+        )
+        lines.append(
+            f"{indent}  +{step['offset_ms']:>10.3f}ms {step['kind']:<22} "
+            f"{detail}".rstrip()
+        )
+    for label, entries in (
+        ("degradations", timeline["degradations"]),
+        ("budget trips", timeline["budget_trips"]),
+        ("faults fired", timeline["faults"]),
+    ):
+        if entries:
+            lines.append(f"{indent}{label}:")
+            for entry in entries:
+                lines.append(f"{indent}  {_fields_line(entry)}")
+    metrics = summary.get("metrics")
+    if metrics:
+        consumed = " ".join(
+            f"{name}={value}" for name, value in sorted(metrics.items())
+            if value
+        )
+        if consumed:
+            lines.append(f"{indent}budget consumption: {consumed}")
+    if timeline["context"]:
+        lines.append(f"{indent}concurrent service context:")
+        for entry in timeline["context"]:
+            detail = _fields_line(entry, skip=("seq", "offset_ms", "kind"))
+            lines.append(
+                f"{indent}  +{entry['offset_ms']:>10.3f}ms "
+                f"{entry['kind']:<22} {detail}".rstrip()
+            )
+    if timeline["workers"]:
+        lines.append(f"{indent}worker processes (grafted spans):")
+        for span in timeline["workers"]:
+            lines.extend(_render_worker(span, indent + "  "))
+    return "\n".join(lines)

@@ -52,7 +52,23 @@ Transport note: worker-to-coordinator messages (heartbeats, counts,
 qualifying-row lists) stay far below Linux's ``PIPE_BUF`` (4096 bytes is
 the portable floor; 64KiB in practice), so a SIGKILL mid-send cannot leave
 a torn frame on the per-worker result queue; bulk data only ever flows
-coordinator-to-workers, and the coordinator is never killed.
+coordinator-to-workers, and the coordinator is never killed. Traced runs
+(``tracer=``) ship each task's span tree alongside its ``Metrics`` and may
+exceed that floor -- a frame torn by a kill mid-send surfaces as an
+EOF/OS error on the drain path, which the liveness machinery already
+treats as worker loss.
+
+Cross-process tracing: give the pool (or :func:`run_real`) a
+:class:`repro.trace.Tracer` and every worker runs each task under its own
+child tracer, serialising the span tree back with the result. The
+coordinator grafts accepted trees under the distributing operator's span
+as ``worker`` (one per contributing process, tagged ``worker_id``/``pid``)
+-> ``dispatch`` (one per (task, attempt) -- retries and re-hosted attempts
+appear as *sibling* dispatches with their failure reason) -> the worker's
+own spans. Coordinator-side worker/dispatch spans carry zero metric
+counters, so the grafted tree's exclusive-delta totals reconcile exactly
+with ``rows_processed`` (only epoch-accepted results are grafted, the same
+rule the counters follow).
 """
 
 from __future__ import annotations
@@ -70,6 +86,7 @@ from ..errors import WorkerPoolError, WorkerTaskError
 from ..exec.metrics import Metrics
 from ..guard import guard_for
 from ..rewrite.engine import DegradationEvent
+from ..trace.tracer import _span_from_dict
 from .cluster import (
     MEASURED_RETRY_POLICY,
     ROWS_PER_MESSAGE,
@@ -135,6 +152,7 @@ def _worker_main(worker_id: int, config: dict, task_queue, result_queue) -> None
     )
     heartbeat_interval = config["heartbeat_interval"]
     stall_seconds = config["stall_seconds"]
+    trace = bool(config.get("trace"))
     catalog = Catalog()
     # An explicit empty registry: the worker must not pick engine-level
     # faults out of REPRO_FAULTS -- process-level sites are injected here,
@@ -153,10 +171,19 @@ def _worker_main(worker_id: int, config: dict, task_queue, result_queue) -> None
             "worker.stall", detail=f"w{worker_id}:{task_id}"
         ):
             time.sleep(stall_seconds)  # no heartbeats while stalled
+        tracer = None
+        if trace:
+            # A child tracer per task: its span tree rides back with the
+            # result and the coordinator grafts it under the dispatch span.
+            from ..trace import Tracer
+
+            tracer = Tracer()
         try:
             if op == "sql":
                 sql, strategy_value = payload
-                result = db.execute(sql, strategy=Strategy(strategy_value))
+                result = db.execute(
+                    sql, strategy=Strategy(strategy_value), tracer=tracer
+                )
                 rows = sorted(result.rows, key=_row_key)
                 outcome: Any = rows
                 metrics = result.metrics
@@ -169,7 +196,8 @@ def _worker_main(worker_id: int, config: dict, task_queue, result_queue) -> None
                 else:
                     result = db.execute(
                         f"Select Count(*) From {table} "
-                        f"Where {column} = {_sql_literal(value)}"
+                        f"Where {column} = {_sql_literal(value)}",
+                        tracer=tracer,
                     )
                     outcome, metrics = result.scalar(), result.metrics
             else:
@@ -184,8 +212,12 @@ def _worker_main(worker_id: int, config: dict, task_queue, result_queue) -> None
             "exchange.drop", detail=f"w{worker_id}:{task_id}"
         ):
             return  # the result evaporates; recovery is the task timeout
+        spans = (
+            [span.as_dict() for span in tracer.roots]
+            if tracer is not None else []
+        )
         result_queue.put(
-            ("result", worker_id, task_id, attempt, outcome, metrics)
+            ("result", worker_id, task_id, attempt, outcome, metrics, spans)
         )
 
     heartbeat()
@@ -305,6 +337,7 @@ class WorkerPool:
         task_timeout: float = 5.0,
         events=None,
         guard=None,
+        tracer=None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ):
@@ -322,6 +355,12 @@ class WorkerPool:
         self.task_timeout = task_timeout
         self.events = events
         self.guard = guard
+        self.tracer = tracer
+        #: Span the grafted ``worker``/``dispatch`` sub-trees hang under;
+        #: :func:`run_real` points it at the distributing operator's span.
+        #: Left ``None`` with a tracer set, the pool lazily creates a
+        #: ``parallel pool`` root on first graft.
+        self.graft_parent = None
         self._clock = clock
         self._sleep = sleep
         self._poll_interval = min(heartbeat_interval, 0.01)
@@ -366,6 +405,7 @@ class WorkerPool:
                 "heartbeat_interval": self.heartbeat_interval,
                 # Long enough that a stall is always detected as lost.
                 "stall_seconds": self.heartbeat_timeout * 3.0,
+                "trace": self.tracer is not None,
             }
             process = self._ctx.Process(
                 target=_worker_main,
@@ -526,6 +566,13 @@ class WorkerPool:
         back off per the :class:`RetryPolicy`, and re-dispatch to the
         partition's current host."""
         task.attempt += 1
+        if self.tracer is not None and task.worker_id is not None:
+            # The failed attempt stays visible as a sibling dispatch span
+            # (grafted even when the retry budget is about to exhaust).
+            self._graft_dispatch(
+                task.worker_id, task, task.attempt - 1,
+                outcome="retried", reason=reason,
+            )
         if not self.retry_policy.allows(task.attempt):
             raise WorkerTaskError(task.task_id, task.attempt, reason)
         delay = self.retry_policy.delay(
@@ -583,7 +630,7 @@ class WorkerPool:
         if kind == "heartbeat":
             return
         if kind == "result":
-            _, worker_id, task_id, attempt, outcome, metrics = message
+            _, worker_id, task_id, attempt, outcome, metrics, spans = message
             task = self._pending.get(task_id)
             if task is None or task.done or task.attempt != attempt:
                 self.stale_results += 1
@@ -595,6 +642,8 @@ class WorkerPool:
                 self.rows_processed += metrics.rows_scanned
                 if self.guard is not None:
                     self.guard.absorb(metrics)
+            if self.tracer is not None:
+                self._graft(worker_id, task, attempt, spans)
             return
         if kind == "error":
             _, worker_id, task_id, attempt, error_type, text = message
@@ -607,6 +656,63 @@ class WorkerPool:
             raise WorkerTaskError(
                 task_id, attempt + 1, f"{error_type}: {text}"
             )
+
+    # -- cross-process span grafting ---------------------------------------
+
+    def _graft_dispatch(
+        self, worker_id: int, task: Task, attempt: int, **attrs
+    ) -> "Any":
+        """The coordinator-side ``worker`` -> ``dispatch`` chain for one
+        (task, attempt). Both spans keep zero metric counters, so the
+        grafted tree's exclusive-delta totals are exactly the sum of the
+        accepted worker sub-trees -- the reconciliation invariant."""
+        parent = self.graft_parent
+        if parent is None:
+            parent = self.tracer._node(
+                ("parallel", "pool"), "parallel pool", "operator"
+            )
+            self.graft_parent = parent
+        state = self._workers[worker_id]
+        wspan = parent.child(
+            ("worker", worker_id), f"worker {worker_id}", "worker"
+        )
+        if not wspan.attrs:
+            wspan.attrs.update(
+                {"worker_id": worker_id, "pid": state.process.pid}
+            )
+        dspan = wspan.child(
+            ("dispatch", task.task_id, attempt),
+            f"dispatch {task.task_id}#{attempt}",
+            "dispatch",
+        )
+        dspan.calls += 1
+        # Inclusive dispatch->disposition wall time, on the pool's clock.
+        dspan.elapsed += max(0.0, self._clock() - task.dispatched_at)
+        dspan.attrs.update(
+            {
+                "task": task.task_id,
+                "attempt": attempt,
+                "worker_id": worker_id,
+                "op": task.op,
+                **attrs,
+            }
+        )
+        return dspan
+
+    def _graft(
+        self, worker_id: int, task: Task, attempt: int, spans: list
+    ) -> None:
+        """Attach an epoch-accepted result's worker span tree (shipped as
+        ``as_dict`` payloads) under its dispatch span."""
+        dspan = self._graft_dispatch(
+            worker_id, task, attempt, outcome="accepted"
+        )
+        for data in spans:
+            child = _span_from_dict(data)
+            # (task, attempt) keys make the dispatch span unique, so the
+            # rebuilt roots never collide with an existing child.
+            dspan._index[child.key] = child
+            dspan.children.append(child)
 
     def _drain(self) -> bool:
         progressed = False
@@ -790,6 +896,7 @@ def run_real(
     events=None,
     degrade: bool = True,
     on_pool: Optional[Callable[[WorkerPool], None]] = None,
+    tracer=None,
     **pool_kwargs,
 ) -> WorkerRunMetrics:
     """Measure one strategy on real worker processes.
@@ -801,6 +908,11 @@ def run_real(
     ``degrade=False`` lets the typed :class:`~repro.errors.WorkerError`
     propagate. Budget trips (:class:`~repro.errors.BudgetExceeded`) always
     propagate -- governance is not an infrastructure failure.
+
+    ``tracer`` (a :class:`repro.trace.Tracer`) turns on cross-process
+    tracing: workers run child tracers and the pool grafts their span
+    trees under the ``parallel <strategy>`` span opened here (see the
+    module docstring for the grafting contract).
     """
     if strategy not in _PLANS:
         raise ValueError(
@@ -815,9 +927,18 @@ def run_real(
         retry_policy=retry_policy,
         events=events,
         guard=guard,
+        tracer=tracer,
         **pool_kwargs,
     )
     started = pool._clock()
+    frame = None
+    if tracer is not None:
+        # The distributing operator's span: every grafted worker/dispatch
+        # sub-tree hangs under it, degraded runs included.
+        frame = tracer.begin(
+            ("parallel", strategy), f"parallel {strategy}", "operator"
+        )
+        pool.graft_parent = frame.span
     try:
         pool.start()
         pool.load_partitioned(
@@ -830,6 +951,9 @@ def run_real(
             on_pool(pool)
         t0 = pool._clock()
         answer, fragments = _PLANS[strategy](pool, budget_limit)
+        if frame is not None:
+            tracer.end(frame, rows_out=len(answer))
+            frame = None
         return WorkerRunMetrics(
             strategy=strategy,
             n_workers=n_workers,
@@ -875,6 +999,8 @@ def run_real(
             degradations=[event],
         )
     finally:
+        if frame is not None:
+            tracer.end(frame)
         pool.close()
 
 

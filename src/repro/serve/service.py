@@ -72,6 +72,7 @@ from ..errors import (
 )
 from ..exec.metrics import Metrics
 from ..guard import ExecutionGuard, Limits
+from ..obs.phases import PHASES, PhaseTimeline
 from .breaker import BreakerTransition, CircuitBreaker
 from .overload import (
     BROWNOUT_RUNGS,
@@ -137,6 +138,10 @@ class Ticket:
         self.brownout_level = 0
         #: Strategy the brownout ladder forces (level >= 3), else None.
         self.forced_strategy: Optional[str] = None
+        #: The per-phase latency budget (:class:`repro.obs.phases.
+        #: PhaseTimeline`); None unless the service runs with phase
+        #: accounting on. Durations sum to :attr:`latency` exactly.
+        self.phases: Optional[PhaseTimeline] = None
         self._event = threading.Event()
         self._result: Optional[Result] = None
         self._error: Optional[BaseException] = None
@@ -273,8 +278,13 @@ class ServiceStats:
     #: ``from``/``to`` levels, ``direction`` (``"down"`` = degrading),
     #: ``utilization`` and ``rung`` (the new level's rung name).
     brownout_transitions: list = field(default_factory=list)
-    #: Cumulative histogram of queue wait (admission to dequeue, seconds).
+    #: Cumulative histogram of queue wait (admission to dequeue for run
+    #: tickets; admission to eviction for shed/expired ones, seconds).
     queue_wait_histogram: dict = field(default_factory=dict)
+    #: Per-phase cumulative latency histograms (phase name ->
+    #: :func:`_histogram` layout, canonical :data:`repro.obs.phases.PHASES`
+    #: order); populated only with phase accounting on.
+    phase_histograms: dict = field(default_factory=dict)
     #: Overload-control internals (estimator/retry-governor summaries);
     #: empty without ``overload=``.
     overload: dict = field(default_factory=dict)
@@ -359,6 +369,16 @@ class ServiceStats:
                         "buckets", {}
                     ).items()
                 },
+            },
+            "phase_histograms": {
+                phase: {
+                    **hist,
+                    "buckets": {
+                        str(k): v
+                        for k, v in hist.get("buckets", {}).items()
+                    },
+                }
+                for phase, hist in self.phase_histograms.items()
             },
             "overload": self.overload,
             "plan_cache_hits": self.plan_cache_hits,
@@ -466,8 +486,16 @@ class ServiceStats:
         ))
         lines.extend(_prometheus_histogram(
             "repro_queue_wait_seconds",
-            "Queue wait from admission to worker dequeue",
+            "Queue wait from admission to worker dequeue "
+            "(or to shed/expiry for tickets that never ran)",
             self.queue_wait_histogram,
+        ))
+        lines.extend(_prometheus_labeled_histograms(
+            "repro_phase_seconds",
+            "Per-phase share of query latency "
+            "(admit/queue/plan_cache/rewrite/optimize/execute/drain)",
+            "phase",
+            self.phase_histograms,
         ))
         if self.breakers:
             metric = "repro_breaker_open"
@@ -495,6 +523,30 @@ def _prometheus_histogram(metric: str, help_text: str, data: dict) -> list:
     lines.append(f'{metric}_bucket{{le="+Inf"}} {data["count"]}')
     lines.append(f"{metric}_sum {data['sum']}")
     lines.append(f"{metric}_count {data['count']}")
+    return lines
+
+
+def _prometheus_labeled_histograms(
+    metric: str, help_text: str, label: str, series: dict
+) -> list:
+    """One histogram *family*: a shared HELP/TYPE header, then one full
+    bucket/sum/count series per label value (Prometheus requires all
+    series of a family under a single TYPE declaration)."""
+    if not series:
+        return []
+    lines = [
+        f"# HELP {metric} {help_text}",
+        f"# TYPE {metric} histogram",
+    ]
+    for value, data in series.items():
+        pair = f'{label}="{value}"'
+        for bound, count in data["buckets"].items():
+            lines.append(
+                f'{metric}_bucket{{{pair},le="{bound}"}} {count}'
+            )
+        lines.append(f'{metric}_bucket{{{pair},le="+Inf"}} {data["count"]}')
+        lines.append(f'{metric}_sum{{{pair}}} {data["sum"]}')
+        lines.append(f'{metric}_count{{{pair}}} {data["count"]}')
     return lines
 
 
@@ -538,6 +590,18 @@ class QueryService:
         per-query trace summaries (operator breakdown, metrics, latency)
         in a bounded ring buffer, surfaced on
         :attr:`ServiceStats.recent_traces` and :meth:`recent_traces`.
+    phases:
+        Phase-budget accounting (:mod:`repro.obs.phases`): every ticket
+        carries a :class:`~repro.obs.phases.PhaseTimeline` splitting its
+        latency into admit/queue/plan_cache/rewrite/optimize/execute/
+        drain on the service's injectable clock, with the invariant that
+        the durations sum to ``ticket.latency`` exactly. Per-phase
+        cumulative histograms surface on
+        :attr:`ServiceStats.phase_histograms` (JSON and the
+        ``repro_phase_seconds{phase=...}`` Prometheus family) and each
+        terminal ticket emits a ``query.phases`` event. ``None``
+        (default) follows ``trace``; an explicit bool overrides. Off
+        means zero overhead -- no timeline is ever constructed.
     events:
         A :class:`repro.obs.events.EventLog`: the service emits one
         structured event per lifecycle edge (``query.submitted`` /
@@ -603,6 +667,7 @@ class QueryService:
         queue_depth_buckets=None,
         overload: Optional[OverloadConfig] = None,
         plan_cache=None,
+        phases: Optional[bool] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -645,6 +710,10 @@ class QueryService:
         if trace_history < 1:
             raise ValueError("trace_history must be >= 1")
         self._trace_history: deque[dict] = deque(maxlen=trace_history)
+        #: Phase accounting defaults to following ``trace`` -- a traced
+        #: service wants the budget breakdown; a bare one stays lean.
+        self.phases = trace if phases is None else phases
+        self._phase_samples: dict[str, list[float]] = {}
         self._queue_depth_samples: list[int] = []
         self._latency_buckets = (
             LATENCY_BUCKETS if latency_buckets is None
@@ -888,6 +957,14 @@ class QueryService:
                 )
             self._tickets[ticket.query_id] = ticket
             self._queue_depth_samples.append(len(self._queue))
+            if self.phases:
+                # The timeline starts at the ticket's birth; the second
+                # clock read here closes the "admit" phase (everything
+                # between submission and enqueue). Subsequent marks
+                # attribute each later interval, so durations always sum
+                # to ticket.latency exactly.
+                ticket.phases = PhaseTimeline(start=now, clock=self._clock)
+                ticket.phases.mark("admit")
             self._enqueue_locked(ticket)
             self._not_empty.notify()
             self._observe_overload_locked(now)
@@ -1062,6 +1139,13 @@ class QueryService:
         critical section.)"""
         ticket.state = outcome
         ticket.latency = now - ticket.submitted_at
+        # Shed/expired tickets are the *longest* waiters; the queue-wait
+        # histogram must see them too, not just the dequeue-to-run path
+        # (sampling only at dequeue biases the exported wait low).
+        self._queue_wait_samples.append(max(0.0, ticket.latency))
+        if ticket.phases is not None:
+            ticket.phases.mark("queue", now)
+            self._record_phases_locked(ticket, outcome)
         self._tickets.pop(ticket.query_id, None)
         self._queued_by_rank[ticket.rank] -= 1
         if outcome == SHED:
@@ -1082,6 +1166,25 @@ class QueryService:
         ticket._result = None
         ticket._error = error
         ticket._event.set()
+
+    def _record_phases_locked(self, ticket: Ticket, outcome: str) -> None:
+        """Fold one terminal ticket's phase budget into the per-phase
+        histogram samples and emit its ``query.phases`` event (inside
+        the counters' critical section, like every lifecycle emission,
+        so the event count reconciles with terminal outcomes exactly).
+        Caller holds the lock and has set ``ticket.latency``."""
+        timeline = ticket.phases
+        for name, seconds in timeline.durations.items():
+            self._phase_samples.setdefault(name, []).append(seconds)
+        if self.events is not None:
+            self.events.emit(
+                "query.phases",
+                query_id=ticket.query_id,
+                outcome=outcome,
+                latency_ms=round(ticket.latency * 1000, 3),
+                brownout_level=ticket.brownout_level,
+                phases=timeline.as_ms_dict(),
+            )
 
     def _tighten_limits(self, merged: Limits) -> Limits:
         """The tighten-budgets brownout rung: scale the row/invocation
@@ -1268,6 +1371,10 @@ class QueryService:
                 self._queue_wait_samples.append(
                     max(0.0, now - ticket.submitted_at)
                 )
+                if ticket.phases is not None:
+                    # Reuses the dequeue clock read: the "queue" phase
+                    # ends exactly where started_at begins.
+                    ticket.phases.mark("queue", now)
                 if self._brownout is not None:
                     # Snapshot the ladder at dequeue: the whole run uses
                     # one consistent level, however the ladder moves.
@@ -1344,6 +1451,7 @@ class QueryService:
                 fallback=True,
                 disabled=disabled,
                 tracer=tracer,
+                phases=ticket.phases,
             )
             outcome = COMPLETED
             # Breaker bookkeeping: every strategy that *failed* on the way
@@ -1392,7 +1500,14 @@ class QueryService:
         error: Optional[BaseException],
         tracer=None,
     ) -> None:
-        latency = self._clock() - ticket.submitted_at
+        # One clock read settles both the measured latency and the final
+        # "drain" phase mark -- sharing the reading is what makes the
+        # phase durations sum to ticket.latency *exactly*.
+        end = self._clock()
+        latency = end - ticket.submitted_at
+        phases = ticket.phases
+        if phases is not None:
+            phases.mark("drain", end)
         summary = None
         if tracer is not None:
             # Summarise outside the lock (walks the span tree), append
@@ -1472,6 +1587,8 @@ class QueryService:
                         if result is not None else None
                     ),
                 )
+            if phases is not None:
+                self._record_phases_locked(ticket, outcome)
         if self.slow_log is not None and ticket.brownout_level < 1:
             # Slow-query capture is shed at the first brownout rung,
             # together with tracing (see BROWNOUT_RUNGS).
@@ -1486,6 +1603,10 @@ class QueryService:
                 ),
                 metrics=result.metrics if result is not None else None,
                 tracer=tracer,
+                phases=(
+                    phases.as_ms_dict() if phases is not None else None
+                ),
+                brownout_level=ticket.brownout_level,
             )
         ticket._result = result
         ticket._error = error
@@ -1624,6 +1745,13 @@ class QueryService:
                 queue_wait_histogram=_histogram(
                     self._queue_wait_samples, self._latency_buckets
                 ),
+                phase_histograms={
+                    name: _histogram(
+                        self._phase_samples[name], self._latency_buckets
+                    )
+                    for name in PHASES
+                    if name in self._phase_samples
+                },
                 overload=overload_summary,
                 plan_cache_hits=cache_summary.get("hits", 0),
                 plan_cache_misses=cache_summary.get("misses", 0),

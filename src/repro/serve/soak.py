@@ -35,6 +35,7 @@ from ..api.database import Database
 from ..errors import AdmissionRejected, ReproError
 from ..faults import FaultRegistry
 from ..guard import Limits
+from ..obs.phases import check_phase_sum
 from ..storage import Catalog
 from ..tpcd import QUERY_1, QUERY_2, QUERY_3, load_tpcd
 from ..tpcd.queries import EMP_DEPT_QUERY
@@ -314,6 +315,18 @@ def run_soak(
                           f"query {ticket.query_id} never finished")
             )
             continue
+        if ticket.phases is not None and ticket.latency is not None:
+            # The sum-to-latency invariant, on every completed query
+            # (failed and cancelled included -- their residual time lands
+            # in ``drain``).
+            problem = check_phase_sum(
+                ticket.phases.durations, ticket.latency
+            )
+            if problem is not None:
+                report.violations.append(
+                    Violation("phase_sum", name, ticket.strategy,
+                              f"query {ticket.query_id}: {problem}")
+                )
         error = ticket.error()
         if error is not None:
             label = type(error).__name__
@@ -387,6 +400,10 @@ class WorkerSoakReport:
     messages: int = 0
     #: Per-kind ``worker.*`` event counts from the run's event log.
     event_counts: dict = field(default_factory=dict)
+    #: Epochs whose grafted trace reconciled exactly (traced runs only).
+    trace_reconciled: int = 0
+    #: One exported v2 trace per traced epoch (JSON-ready).
+    traces: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -406,6 +423,8 @@ class WorkerSoakReport:
             "recovery_time": round(self.recovery_time, 6),
             "messages": self.messages,
             "event_counts": dict(sorted(self.event_counts.items())),
+            "trace_reconciled": self.trace_reconciled,
+            "traces": self.traces,
         }
 
 
@@ -419,6 +438,7 @@ def run_worker_soak(
     kill_per_epoch: bool = True,
     events=None,
     reconcile: Optional[bool] = None,
+    trace: bool = False,
 ) -> WorkerSoakReport:
     """Chaos-soak the real shared-nothing executor
     (:mod:`repro.parallel.workers`).
@@ -437,10 +457,21 @@ def run_worker_soak(
     ``worker.*`` events are reconciled against the pool counters
     (lost/retry/degraded), the same closed-loop check the service soak
     applies to :class:`ServiceStats`.
+
+    ``trace=True`` runs each epoch under a coordinator
+    :class:`~repro.trace.Tracer`: workers ship their span trees back and
+    the pool grafts them (kills included -- the failed attempt appears as
+    a ``retried`` dispatch span). Each epoch's export is schema-validated,
+    round-tripped, and reconciled *exactly* -- grafted
+    ``metric_totals()["rows_scanned"]`` must equal the pool's
+    ``rows_processed`` -- or a ``trace_reconciliation`` violation is
+    recorded.
     """
     from ..obs.events import EventLog, RingSink, count_by_kind
     from ..parallel import local_reference, run_real
     from ..tpcd import load_empdept
+    from ..trace import Tracer
+    from ..trace.tracer import trace_round_trips, validate_trace
 
     catalog = load_empdept(
         n_depts=n_depts, n_emps=n_emps, n_buildings=8, seed=seed
@@ -467,6 +498,12 @@ def run_worker_soak(
                 pool.kill_worker(epoch % n_workers)
                 report.kills += 1
 
+        # Each epoch is one "query" to the event log (query_id = epoch),
+        # so ``repro why <epoch>`` can join the timeline with the
+        # epoch's grafted trace from the same run.
+        epoch_started = time.monotonic()
+        log.emit("query.submitted", query_id=epoch, strategy=strategy)
+        tracer = Tracer() if trace else None
         try:
             run = run_real(
                 strategy,
@@ -477,6 +514,7 @@ def run_worker_soak(
                 events=log,
                 degrade=True,
                 on_pool=kill_one,
+                tracer=tracer,
                 heartbeat_interval=0.02,
                 heartbeat_timeout=0.3,
                 task_timeout=3.0,
@@ -484,6 +522,13 @@ def run_worker_soak(
         except ReproError as exc:
             label = type(exc).__name__
             report.outcomes[label] = report.outcomes.get(label, 0) + 1
+            log.emit(
+                "query.finished", query_id=epoch, outcome="failed",
+                strategy=strategy, error_type=label,
+                latency_ms=round(
+                    (time.monotonic() - epoch_started) * 1000, 3
+                ),
+            )
             continue
         except Exception as exc:  # noqa: BLE001 - the invariant under test
             report.violations.append(
@@ -492,13 +537,59 @@ def run_worker_soak(
                     f"{type(exc).__name__}: {exc}",
                 )
             )
+            log.emit(
+                "query.finished", query_id=epoch, outcome="failed",
+                strategy=strategy, error_type=type(exc).__name__,
+                latency_ms=round(
+                    (time.monotonic() - epoch_started) * 1000, 3
+                ),
+            )
             continue
         report.workers_lost += run.workers_lost
         report.retries += run.retries
         report.recovery_time += run.recovery_time
         report.messages += run.messages
+        if tracer is not None:
+            export = tracer.export(
+                sql=EMP_DEPT_QUERY, strategy=strategy, epoch=epoch
+            )
+            try:
+                validate_trace(export)
+                round_trips = trace_round_trips(export)
+            except ReproError as exc:
+                report.violations.append(
+                    Violation("trace_schema", strategy, "real",
+                              f"epoch {epoch}: {exc}")
+                )
+            else:
+                if not round_trips:
+                    report.violations.append(
+                        Violation("trace_schema", strategy, "real",
+                                  f"epoch {epoch}: export does not "
+                                  f"round-trip")
+                    )
+                scanned = tracer.metric_totals()["rows_scanned"]
+                if scanned != run.rows_processed:
+                    report.violations.append(
+                        Violation(
+                            "trace_reconciliation", strategy, "real",
+                            f"epoch {epoch}: grafted spans account "
+                            f"{scanned} rows_scanned but the pool "
+                            f"accepted {run.rows_processed}",
+                        )
+                    )
+                else:
+                    report.trace_reconciled += 1
+            report.traces.append(export)
         label = "degraded" if run.degraded else "ok"
         report.outcomes[label] = report.outcomes.get(label, 0) + 1
+        log.emit(
+            "query.finished", query_id=epoch, outcome="completed",
+            strategy=strategy, degraded=run.degraded,
+            latency_ms=round((time.monotonic() - epoch_started) * 1000, 3),
+            workers_lost=run.workers_lost, retries=run.retries,
+            messages=run.messages, rows_processed=run.rows_processed,
+        )
         if run.answer != reference:
             report.violations.append(
                 Violation(

@@ -22,6 +22,8 @@ exactly -- see :meth:`Tracer.metric_totals`.
 """
 
 from .tracer import (
+    ACCEPTED_TRACE_VERSIONS,
+    SPAN_KINDS,
     TRACE_VERSION,
     OperatorStats,
     Span,
@@ -35,6 +37,8 @@ from .tracer import (
 )
 
 __all__ = [
+    "ACCEPTED_TRACE_VERSIONS",
+    "SPAN_KINDS",
     "TRACE_VERSION",
     "OperatorStats",
     "Span",

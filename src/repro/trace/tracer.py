@@ -23,13 +23,25 @@ from ..errors import TraceError
 from ..exec.metrics import SUM_FIELD_NAMES, Metrics
 
 #: Trace JSON schema version (bump on incompatible layout changes).
-TRACE_VERSION = 1
+#: Version 2 only *adds* the cross-process span kinds (``worker``,
+#: ``dispatch``), so v1 payloads still validate.
+TRACE_VERSION = 2
+
+#: Schema versions :func:`validate_trace` accepts.
+ACCEPTED_TRACE_VERSIONS = frozenset((1, 2))
 
 _N_COUNTERS = len(SUM_FIELD_NAMES)
 _ZEROS = (0,) * _N_COUNTERS
 
-#: Span kinds admitted by the schema.
-SPAN_KINDS = ("query", "operator", "step", "rewrite", "rewrite-step")
+#: Span kinds admitted by the schema. ``worker`` (one per worker process
+#: that contributed results) and ``dispatch`` (one per (task, attempt)
+#: shipped to a worker -- retries appear as sibling dispatches) are the
+#: v2 cross-process kinds grafted by :class:`repro.parallel.workers.
+#: WorkerPool`.
+SPAN_KINDS = (
+    "query", "operator", "step", "rewrite", "rewrite-step",
+    "worker", "dispatch",
+)
 
 #: Installed by :func:`repro.obs.profiler.activate`: called with each new
 #: Tracer so the sampling profiler can attribute the creating thread's
@@ -437,9 +449,10 @@ def validate_trace(payload: Any) -> None:
     problems: list[str] = []
     if not isinstance(payload, dict):
         raise TraceError("trace must be a JSON object")
-    if payload.get("version") != TRACE_VERSION:
+    if payload.get("version") not in ACCEPTED_TRACE_VERSIONS:
         problems.append(
-            f"version must be {TRACE_VERSION}, got {payload.get('version')!r}"
+            f"version must be one of {sorted(ACCEPTED_TRACE_VERSIONS)}, "
+            f"got {payload.get('version')!r}"
         )
     for name in ("sql", "strategy"):
         if not isinstance(payload.get(name), str):

@@ -270,7 +270,7 @@ class TestTraceCheck:
         ]) == 0
         capsys.readouterr()
         assert main(["trace-check", str(out)]) == 0
-        assert "OK (version 1" in capsys.readouterr().out
+        assert "OK (version 2" in capsys.readouterr().out
 
     def test_schema_violation_fails(self, tmp_path, capsys):
         out = tmp_path / "bad.json"

@@ -264,3 +264,72 @@ class TestDatabaseEmission:
         db.execute(QUERY, strategy=Strategy.MAGIC)
         for event in sink.events():
             assert json.loads(json.dumps(event)) == event
+
+
+class TestSchemaV2:
+    """PR 10: v2 only *adds* the ``query.phases`` kind -- v1 streams must
+    keep validating, emissions must stamp v=2, and truncating FileSink
+    mode keeps a re-written path loadable."""
+
+    def _event(self, **overrides):
+        event = {
+            "v": EVENTS_VERSION, "seq": 1, "ts": 1.0,
+            "kind": "query.started", "query_id": 1,
+        }
+        event.update(overrides)
+        return event
+
+    def test_current_version_is_two(self):
+        from repro.obs.events import ACCEPTED_VERSIONS
+
+        assert EVENTS_VERSION == 2
+        assert ACCEPTED_VERSIONS == frozenset((1, 2))
+
+    def test_v1_streams_remain_valid(self):
+        assert validate_events([
+            self._event(v=1),
+            self._event(v=1, seq=2, kind="query.finished"),
+        ]) == 2
+
+    def test_mixed_version_stream_is_valid(self):
+        assert validate_events([
+            self._event(v=1),
+            self._event(seq=2, kind="query.phases",
+                        phases={"execute": 1.0}),
+        ]) == 2
+
+    def test_emissions_stamp_the_current_version(self):
+        sink = RingSink()
+        EventLog(sink).emit(
+            "query.phases", query_id=3, phases={"queue": 2.0}
+        )
+        [event] = sink.events()
+        assert event["v"] == 2
+        assert event["kind"] == "query.phases"
+        validate_events([event])
+
+    def test_file_sink_truncate_mode_replaces_a_stale_stream(
+        self, tmp_path
+    ):
+        path = tmp_path / "events.jsonl"
+        first = EventLog(FileSink(str(path), mode="w"))
+        first.emit("query.started", query_id=1)
+        first.emit("query.finished", query_id=1)
+        first.close()
+        # A second run onto the same path must not concatenate (append
+        # mode would leave two streams with colliding seq numbers).
+        second = EventLog(FileSink(str(path), mode="w"))
+        second.emit("query.started", query_id=1)
+        second.close()
+        events = load_events(str(path))
+        assert [e["seq"] for e in events] == [1]
+
+    def test_file_sink_default_stays_append(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(FileSink(str(path)))
+        log.emit("query.started", query_id=1)
+        log.close()
+        again = EventLog(FileSink(str(path)))
+        again.emit("fault.fired")
+        again.close()
+        assert len(path.read_text().splitlines()) == 2

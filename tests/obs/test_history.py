@@ -167,3 +167,42 @@ class TestCompare:
         for key in ("throughput_qps", "latency_p50_ms", "latency_p95_ms"):
             assert isinstance(baseline[key], (int, float))
         assert compare(baseline, baseline, tolerance=0.0) == []
+
+
+class TestPhaseTotals:
+    """PR 10: per-phase means join the record so bench-compare can flag a
+    regression that moved latency into a phase."""
+
+    class _Stats:
+        def __init__(self, phase_histograms):
+            self.phase_histograms = phase_histograms
+
+    def test_phase_totals_from_stats_reports_means_in_ms(self):
+        from repro.bench.history import phase_totals_from_stats
+
+        stats = self._Stats({
+            "queue": {"buckets": {}, "count": 4, "sum": 2.0},
+            "execute": {"buckets": {}, "count": 4, "sum": 0.4},
+            "optimize": {"buckets": {}, "count": 0, "sum": 0.0},
+        })
+        assert phase_totals_from_stats(stats) == {
+            "phase_queue_ms_avg": 500.0,
+            "phase_execute_ms_avg": 100.0,
+        }
+
+    def test_stats_without_phases_contribute_nothing(self):
+        from repro.bench.history import phase_totals_from_stats
+
+        assert phase_totals_from_stats(self._Stats({})) == {}
+        assert phase_totals_from_stats(object()) == {}
+
+    def test_phase_regression_is_flagged_and_absence_is_not(self):
+        base = _record(throughput_qps=100.0, latency_p50_ms=10.0,
+                       phase_queue_ms_avg=50.0)
+        slow = _record(throughput_qps=100.0, latency_p50_ms=10.0,
+                       phase_queue_ms_avg=80.0)
+        problems = compare(slow, base, tolerance=0.2)
+        assert any("phase_queue_ms_avg" in p for p in problems)
+        # A pre-phase baseline (no phase keys) stays comparable.
+        old = _record(throughput_qps=100.0, latency_p50_ms=10.0)
+        assert compare(slow, old, tolerance=0.2) == []

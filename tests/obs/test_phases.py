@@ -1,0 +1,158 @@
+"""Phase-budget accounting: the mark-based timeline, the sum-to-latency
+law, rendering, and the service integration (tickets, histograms, the
+``query.phases`` event, and the phases-follow-trace default)."""
+
+import pytest
+
+from repro.obs import (
+    PHASES,
+    EventLog,
+    PhaseTimeline,
+    RingSink,
+    check_phase_sum,
+    render_phases,
+    validate_events,
+)
+from repro.serve import QueryService
+from repro.tpcd import EMP_DEPT_QUERY
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestPhaseTimeline:
+    def test_contiguous_marks_attribute_every_interval_once(self):
+        clock = FakeClock(10.0)
+        timeline = PhaseTimeline(start=10.0, clock=clock)
+        assert timeline.mark("admit", 10.5) == 10.5
+        assert timeline.mark("queue", 12.0) == 12.0
+        clock.now = 12.25
+        assert timeline.mark("execute") == 12.25
+        assert timeline.durations == {
+            "admit": 0.5, "queue": 1.5, "execute": 0.25,
+        }
+        assert timeline.total() == pytest.approx(2.25)
+
+    def test_remarking_a_phase_accumulates(self):
+        timeline = PhaseTimeline(start=0.0, clock=FakeClock())
+        timeline.mark("rewrite", 1.0)
+        timeline.mark("execute", 2.0)
+        timeline.mark("rewrite", 2.5)  # retry re-enters the phase
+        assert timeline.durations["rewrite"] == pytest.approx(1.5)
+        assert timeline.total() == pytest.approx(2.5)
+
+    def test_unknown_phase_rejected(self):
+        timeline = PhaseTimeline(start=0.0, clock=FakeClock())
+        with pytest.raises(ValueError, match="unknown phase"):
+            timeline.mark("teleport", 1.0)
+        assert timeline.durations == {}
+
+    def test_dict_exports_follow_canonical_order(self):
+        timeline = PhaseTimeline(start=0.0, clock=FakeClock())
+        timeline.mark("execute", 1.0)
+        timeline.mark("admit", 1.5)   # marked out of lifecycle order
+        assert list(timeline.as_dict()) == ["admit", "execute"]
+        assert timeline.as_ms_dict() == {"admit": 500.0, "execute": 1000.0}
+
+    def test_sum_law_is_exact_when_latency_shares_the_final_read(self):
+        timeline = PhaseTimeline(start=0.0, clock=FakeClock())
+        for offset, phase in enumerate(PHASES, start=1):
+            timeline.mark(phase, offset * 0.1)
+        latency = 0.1 * len(PHASES)
+        assert check_phase_sum(timeline.durations, latency) is None
+
+    def test_sum_law_violation_reports_the_delta(self):
+        problem = check_phase_sum({"execute": 1.0}, 2.0)
+        assert problem is not None
+        assert "1.000000000s" in problem and "2.000000000s" in problem
+
+    def test_sum_law_tolerance_is_configurable(self):
+        phases = {"execute": 1.0}
+        assert check_phase_sum(phases, 1.0 + 5e-7) is None
+        assert check_phase_sum(phases, 1.0 + 5e-7, tolerance=1e-8)
+
+
+class TestRenderPhases:
+    def test_only_marked_phases_render_longest_gets_full_width(self):
+        lines = render_phases(
+            {"queue": 0.3, "execute": 0.1}, width=10, indent="> "
+        )
+        assert len(lines) == 2
+        assert lines[0].startswith("> queue")
+        assert lines[0].endswith("#" * 10)
+        assert lines[1].startswith("> execute")
+        assert lines[1].rstrip().endswith("#" * 3)
+        assert " 75.0%" in lines[0] and " 25.0%" in lines[1]
+
+    def test_empty_budget_renders_nothing(self):
+        assert render_phases({}) == []
+
+
+class TestServicePhases:
+    def _drain(self, db, n=3, **kwargs):
+        sink = RingSink(capacity=16384)
+        with QueryService(
+            db, workers=2, events=EventLog(sink), **kwargs
+        ) as service:
+            tickets = [
+                service.submit(EMP_DEPT_QUERY, strategy="magic")
+                for _ in range(n)
+            ]
+            service.drain(timeout=30)
+            stats = service.stats()
+        return tickets, stats, sink.events()
+
+    def test_every_terminal_ticket_satisfies_the_sum_law(self, db):
+        tickets, stats, events = self._drain(db, phases=True)
+        for ticket in tickets:
+            assert ticket.phases is not None
+            assert check_phase_sum(
+                ticket.phases.durations, ticket.latency
+            ) is None
+        # Histograms cover every completion, keyed by phase name.
+        assert set(stats.phase_histograms) <= set(PHASES)
+        for name in ("admit", "queue", "execute", "drain"):
+            assert stats.phase_histograms[name]["count"] == len(tickets)
+
+    def test_query_phases_event_matches_the_ticket(self, db):
+        tickets, _, events = self._drain(db, phases=True)
+        validate_events(events)
+        phased = [e for e in events if e["kind"] == "query.phases"]
+        assert len(phased) == len(tickets)
+        by_id = {e["query_id"]: e for e in phased}
+        for ticket in tickets:
+            event = by_id[ticket.query_id]
+            assert event["phases"] == ticket.phases.as_ms_dict()
+            assert event["outcome"] == "completed"
+            assert event["latency_ms"] == round(ticket.latency * 1000, 3)
+            assert event["brownout_level"] == 0
+
+    def test_phases_default_follows_trace(self, db):
+        tickets, stats, events = self._drain(db, trace=True)
+        assert all(t.phases is not None for t in tickets)
+        assert stats.phase_histograms
+
+    def test_phases_off_by_default_and_stamps_nothing(self, db):
+        tickets, stats, events = self._drain(db)
+        assert all(t.phases is None for t in tickets)
+        assert stats.phase_histograms == {}
+        assert not [e for e in events if e["kind"] == "query.phases"]
+
+    def test_failed_queries_keep_the_sum_law(self, db):
+        sink = RingSink(capacity=16384)
+        with QueryService(
+            db, workers=1, phases=True, events=EventLog(sink)
+        ) as service:
+            ticket = service.submit(EMP_DEPT_QUERY, deadline=0.0)
+            ticket.wait(30)
+        assert ticket.error() is not None
+        assert check_phase_sum(
+            ticket.phases.durations, ticket.latency
+        ) is None
+        [event] = [e for e in sink.events() if e["kind"] == "query.phases"]
+        assert event["outcome"] == "failed"

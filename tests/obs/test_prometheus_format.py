@@ -1,0 +1,295 @@
+"""Strict Prometheus text-exposition validation of the stats export.
+
+``ServiceStats.export("prometheus")`` is scraped by real collectors, so
+spot-checking a few substrings (as the service suite does) is not enough:
+one malformed label, a HELP without a TYPE, or a non-monotone histogram
+bucket silently corrupts every downstream dashboard. This module parses
+the *entire* exposition with a strict line-format parser and enforces:
+
+* every line is a well-formed HELP/TYPE comment or a sample;
+* each metric family declares HELP then TYPE exactly once, before its
+  samples, and families are not interleaved;
+* counters end in ``_total``; histogram samples are exactly the
+  ``_bucket``/``_sum``/``_count`` triple of their family;
+* label names are legal, label values use only valid escapes
+  (``\\\\``, ``\\"``, ``\\n``), and no two samples share a name+labelset;
+* per histogram series (labelset minus ``le``): bucket bounds strictly
+  increase, cumulative counts are monotone non-decreasing, and the
+  ``+Inf`` bucket equals ``_count``.
+
+The parser itself is exercised against malformed lines so a bug in it
+cannot make the format test vacuous.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.serve import QueryService
+from repro.tpcd import EMP_DEPT_QUERY
+
+METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+HELP_LINE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.+)$")
+TYPE_LINE = re.compile(
+    r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$"
+)
+SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$"
+)
+#: One label pair; the value admits only the three legal escapes.
+LABEL_PAIR = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\\\|\\"|\\n)*)"'
+)
+
+
+def _parse_labels(raw):
+    """``key="value",...`` -> dict, rejecting anything malformed."""
+    labels = {}
+    pos = 0
+    while pos < len(raw):
+        match = LABEL_PAIR.match(raw, pos)
+        if match is None:
+            raise AssertionError(f"malformed label at {raw[pos:]!r}")
+        name, value = match.group(1), match.group(2)
+        if name in labels:
+            raise AssertionError(f"duplicate label {name!r} in {raw!r}")
+        labels[name] = value
+        pos = match.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                raise AssertionError(f"expected ',' at {raw[pos:]!r}")
+            pos += 1
+    return labels
+
+
+def _parse_value(raw):
+    if raw == "+Inf":
+        return math.inf
+    try:
+        return float(raw)
+    except ValueError:
+        raise AssertionError(f"unparseable sample value {raw!r}") from None
+
+
+def _family_of(name, families):
+    """The declared family a sample name belongs to (histograms own their
+    ``_bucket``/``_sum``/``_count`` suffixes), or None."""
+    if name in families:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in families:
+            return name[: -len(suffix)]
+    return None
+
+
+def parse_exposition(text):
+    """Parse a full exposition, enforcing the format rules above.
+
+    Returns ``{family: {"type": str, "help": str, "samples": [(name,
+    labels, value), ...]}}``; raises AssertionError on any violation.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    families = {}
+    pending_help = None  # HELP seen, TYPE not yet
+    current = None  # family whose samples we are inside
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        where = f"line {lineno}: {line!r}"
+        assert line == line.strip(), f"stray whitespace ({where})"
+        assert line, f"blank line ({where})"
+        if line.startswith("#"):
+            help_match = HELP_LINE.match(line)
+            type_match = TYPE_LINE.match(line)
+            assert help_match or type_match, f"malformed comment ({where})"
+            if help_match:
+                name = help_match.group(1)
+                assert pending_help is None, (
+                    f"HELP {pending_help} never got a TYPE ({where})"
+                )
+                assert name not in families, f"duplicate HELP ({where})"
+                families[name] = {
+                    "type": None,
+                    "help": help_match.group(2),
+                    "samples": [],
+                }
+                pending_help = name
+            else:
+                name = type_match.group(1)
+                assert pending_help == name, (
+                    f"TYPE without immediately-preceding HELP ({where})"
+                )
+                families[name]["type"] = type_match.group(2)
+                pending_help = None
+                current = name
+            continue
+        assert pending_help is None, (
+            f"sample between HELP and TYPE ({where})"
+        )
+        sample = SAMPLE_LINE.match(line)
+        assert sample, f"malformed sample ({where})"
+        name, raw_labels, raw_value = sample.groups()
+        family = _family_of(name, families)
+        assert family is not None, f"sample before its TYPE ({where})"
+        assert family == current, (
+            f"family {family} interleaved into {current} ({where})"
+        )
+        ftype = families[family]["type"]
+        if ftype == "histogram":
+            assert name != family, (
+                f"bare histogram sample ({where})"
+            )
+        else:
+            assert name == family, (
+                f"suffixed sample on a {ftype} ({where})"
+            )
+        labels = _parse_labels(raw_labels) if raw_labels else {}
+        value = _parse_value(raw_value)
+        key = (name, tuple(sorted(labels.items())))
+        seen = {
+            (s_name, tuple(sorted(s_labels.items())))
+            for s_name, s_labels, _ in families[family]["samples"]
+        }
+        assert key not in seen, f"duplicate sample ({where})"
+        families[family]["samples"].append((name, labels, value))
+    assert pending_help is None, f"trailing HELP {pending_help} without TYPE"
+    for family, data in families.items():
+        assert data["samples"], f"family {family} declared but has no samples"
+    return families
+
+
+def check_histogram_family(family, data):
+    """Bucket monotonicity, +Inf == _count, and the full triple, per
+    series (labelset minus ``le``)."""
+    series = {}
+    for name, labels, value in data["samples"]:
+        suffix = name[len(family):]
+        key = tuple(
+            sorted((k, v) for k, v in labels.items() if k != "le")
+        )
+        entry = series.setdefault(key, {"buckets": [], "sum": None,
+                                        "count": None})
+        if suffix == "_bucket":
+            assert "le" in labels, f"{family} bucket without le"
+            entry["buckets"].append((_parse_value(labels["le"]), value))
+        elif suffix == "_sum":
+            entry["sum"] = value
+        elif suffix == "_count":
+            entry["count"] = value
+    for key, entry in series.items():
+        label = f"{family}{dict(key)}"
+        bounds = [b for b, _ in entry["buckets"]]
+        counts = [c for _, c in entry["buckets"]]
+        assert bounds == sorted(bounds) and len(set(bounds)) == len(bounds), (
+            f"{label}: bucket bounds not strictly increasing: {bounds}"
+        )
+        assert bounds and bounds[-1] == math.inf, f"{label}: no +Inf bucket"
+        assert counts == sorted(counts), (
+            f"{label}: cumulative bucket counts decrease: {counts}"
+        )
+        assert entry["count"] is not None, f"{label}: missing _count"
+        assert entry["sum"] is not None, f"{label}: missing _sum"
+        assert counts[-1] == entry["count"], (
+            f"{label}: +Inf bucket {counts[-1]} != _count {entry['count']}"
+        )
+
+
+@pytest.fixture
+def exposition(db):
+    """A fully-populated exposition: counters, gauges, breaker labels,
+    latency/queue histograms, the labelled per-phase family and the
+    slow-query counter all present."""
+    with QueryService(
+        db, workers=2, max_queue=8, trace=True, slow_query_ms=0.0
+    ) as service:
+        for strategy in ("magic", "ni", "magic", "kim"):
+            service.submit(EMP_DEPT_QUERY, strategy=strategy)
+        service.drain(timeout=30)
+        yield service.stats().export("prometheus")
+
+
+class TestExpositionFormat:
+    def test_whole_export_parses_strictly(self, exposition):
+        families = parse_exposition(exposition)
+        assert "repro_queries_completed_total" in families
+        assert "repro_query_latency_seconds" in families
+        assert "repro_phase_seconds" in families
+        assert "repro_breaker_open" in families
+
+    def test_counters_end_in_total(self, exposition):
+        families = parse_exposition(exposition)
+        for family, data in families.items():
+            if data["type"] == "counter":
+                assert family.endswith("_total"), family
+
+    def test_histogram_invariants(self, exposition):
+        families = parse_exposition(exposition)
+        histograms = [
+            (family, data)
+            for family, data in families.items()
+            if data["type"] == "histogram"
+        ]
+        assert len(histograms) >= 4  # latency, depth, wait, phases
+        for family, data in histograms:
+            check_histogram_family(family, data)
+
+    def test_phase_family_is_labelled_per_phase(self, exposition):
+        families = parse_exposition(exposition)
+        phases = {
+            labels["phase"]
+            for name, labels, _ in families["repro_phase_seconds"]["samples"]
+            if "phase" in labels
+        }
+        # A traced drain always crosses at least these four phases.
+        assert {"admit", "queue", "execute", "drain"} <= phases
+
+    def test_gauges_are_bare_families(self, exposition):
+        families = parse_exposition(exposition)
+        for family in ("repro_in_flight", "repro_workers",
+                       "repro_brownout_level"):
+            data = families[family]
+            assert data["type"] == "gauge"
+            (sample,) = data["samples"]
+            assert sample[0] == family and sample[1] == {}
+
+
+class TestParserIsNotVacuous:
+    """Malformed expositions must fail -- otherwise every check above
+    could pass by parsing nothing."""
+
+    def test_rejects_type_without_help(self):
+        with pytest.raises(AssertionError, match="TYPE without"):
+            parse_exposition("# TYPE x counter\nx 1\n")
+
+    def test_rejects_sample_before_declaration(self):
+        with pytest.raises(AssertionError, match="before its TYPE"):
+            parse_exposition("x 1\n")
+
+    def test_rejects_duplicate_samples(self):
+        with pytest.raises(AssertionError, match="duplicate sample"):
+            parse_exposition(
+                "# HELP x h\n# TYPE x counter\nx 1\nx 2\n"
+            )
+
+    def test_rejects_bad_label_escape(self):
+        with pytest.raises(AssertionError, match="malformed label"):
+            parse_exposition(
+                '# HELP x h\n# TYPE x gauge\nx{a="b\\q"} 1\n'
+            )
+
+    def test_rejects_unparseable_value(self):
+        with pytest.raises(AssertionError, match="unparseable"):
+            parse_exposition("# HELP x h\n# TYPE x gauge\nx one\n")
+
+    def test_rejects_missing_trailing_newline(self):
+        with pytest.raises(AssertionError, match="newline"):
+            parse_exposition("# HELP x h\n# TYPE x gauge\nx 1")
+
+    def test_rejects_decreasing_buckets(self):
+        text = (
+            "# HELP h h\n# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\nh_bucket{le="1"} 3\n'
+            'h_bucket{le="+Inf"} 3\nh_sum 1\nh_count 3\n'
+        )
+        families = parse_exposition(text)
+        with pytest.raises(AssertionError, match="decrease"):
+            check_histogram_family("h", families["h"])

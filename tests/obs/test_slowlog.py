@@ -103,3 +103,47 @@ class TestRender:
         assert any("degraded: kim -> magic" in line for line in lines)
         assert any("groupby" in line for line in lines)
         assert all(line.startswith("  ") for line in lines)
+
+
+class TestPhaseBreakdown:
+    """PR 10: a slow-log entry answers "slow because queued or slow
+    because executing" without needing a separate trace."""
+
+    def test_capture_carries_phases_and_brownout_rung(self):
+        log = SlowQueryLog(10.0)
+        record = log.observe(
+            150.0, sql="SELECT x", strategy="magic", query_id=3,
+            phases={"queue": 120.0, "execute": 30.0}, brownout_level=2,
+        )
+        assert record["phases"] == {"queue": 120.0, "execute": 30.0}
+        assert record["brownout_level"] == 2
+
+    def test_render_shows_the_budget_and_rung(self):
+        log = SlowQueryLog(0.0)
+        log.observe(
+            150.0, sql="SELECT x", strategy="magic", query_id=3,
+            phases={"queue": 120.0, "execute": 30.0}, brownout_level=2,
+        )
+        text = render_slow_log(log.records())
+        assert "phases: queue=120.000ms execute=30.000ms" in text
+        assert "(brownout rung 2)" in text
+
+    def test_unphased_capture_renders_no_budget_line(self):
+        log = SlowQueryLog(0.0)
+        log.observe(5.0, sql="SELECT 1", query_id=1)
+        assert "phases:" not in render_slow_log(log.records())
+
+    def test_service_slow_entries_carry_the_ticket_budget(
+        self, empdept_catalog
+    ):
+        from repro.serve import QueryService
+
+        db = Database(empdept_catalog)
+        with QueryService(
+            db, workers=1, phases=True, slow_query_ms=0.0
+        ) as service:
+            ticket = service.submit(QUERY, strategy="magic")
+            ticket.result(timeout=30)
+        [record] = service.slow_log.records()
+        assert record["phases"] == ticket.phases.as_ms_dict()
+        assert record["brownout_level"] == 0

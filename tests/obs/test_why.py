@@ -1,0 +1,190 @@
+"""``repro why``: the event-log/trace join and the rendered waterfall."""
+
+import json
+
+import pytest
+
+from repro.errors import EventLogError
+from repro.obs import (
+    EventLog,
+    RingSink,
+    build_timeline,
+    render_timeline,
+    worker_spans,
+)
+from repro.serve import QueryService
+from repro.tpcd import EMP_DEPT_QUERY
+
+
+def _event(seq, ts, kind, query_id, **detail):
+    return {"v": 2, "seq": seq, "ts": ts, "kind": kind,
+            "query_id": query_id, **detail}
+
+
+@pytest.fixture
+def events():
+    """A hand-built stream: query 7 completes with phases and one budget
+    trip; query 8 is rejected; a breaker transition overlaps 7's lifetime
+    and a brownout move falls outside it."""
+    return [
+        _event(1, 100.0, "query.submitted", 7, strategy="magic",
+               priority="high"),
+        _event(2, 100.001, "query.admitted", 7, queue_depth=3,
+               priority="high"),
+        _event(3, 100.05, "breaker.transition", None, strategy="kim",
+               to="open"),
+        _event(4, 100.1, "query.started", 7, strategy="magic"),
+        _event(5, 100.15, "guard.budget_exceeded", 7, budget="rows",
+               limit=100, observed=150),
+        _event(6, 100.2, "query.finished", 7, outcome="completed",
+               strategy="magic", latency_ms=200.0,
+               metrics={"rows_scanned": 150, "rows_output": 0}),
+        _event(7, 100.201, "query.phases", 7, outcome="completed",
+               latency_ms=200.0, brownout_level=2,
+               phases={"admit": 1.0, "queue": 99.0, "execute": 100.0}),
+        _event(8, 103.0, "query.submitted", 8, strategy="ni",
+               priority="low"),
+        _event(9, 103.001, "query.rejected", 8, reason="queue full",
+               retry_after_hint=0.5),
+        _event(10, 104.0, "overload.brownout", None, rung=1),  # after 7
+    ]
+
+
+TRACE = {
+    "version": 2,
+    "spans": [
+        {
+            "name": "parallel magic_decorrelated", "kind": "operator",
+            "children": [
+                {
+                    "name": "worker 0", "kind": "worker",
+                    "attrs": {"worker_id": 0, "pid": 4242},
+                    "children": [
+                        {
+                            "name": "dispatch t.0#0", "kind": "dispatch",
+                            "elapsed_s": 0.012,
+                            "attrs": {"task": "t.0", "attempt": 0,
+                                      "outcome": "retried",
+                                      "reason": "process died"},
+                            "children": [],
+                        },
+                    ],
+                },
+                {
+                    "name": "worker 1", "kind": "worker",
+                    "attrs": {"worker_id": 1, "pid": 4243},
+                    "children": [
+                        {
+                            "name": "dispatch t.0#1", "kind": "dispatch",
+                            "elapsed_s": 0.034,
+                            "attrs": {"task": "t.0", "attempt": 1,
+                                      "outcome": "accepted"},
+                            "children": [
+                                {"name": "scan dept_p0", "kind": "operator",
+                                 "elapsed_s": 0.01, "children": []},
+                            ],
+                        },
+                    ],
+                },
+            ],
+        },
+    ],
+}
+
+
+class TestBuildTimeline:
+    def test_unknown_query_id_raises(self, events):
+        with pytest.raises(EventLogError, match="no events .* query 99"):
+            build_timeline(99, events)
+
+    def test_summary_joins_the_lifecycle(self, events):
+        timeline = build_timeline(7, events)
+        summary = timeline["summary"]
+        assert summary["outcome"] == "completed"
+        assert summary["strategy"] == "magic"
+        assert summary["priority"] == "high"
+        assert summary["latency_ms"] == 200.0
+        assert summary["brownout_level"] == 2
+        assert summary["phases"] == {
+            "admit": 1.0, "queue": 99.0, "execute": 100.0,
+        }
+        assert summary["metrics"]["rows_scanned"] == 150
+        assert [t["budget"] for t in timeline["budget_trips"]] == ["rows"]
+
+    def test_steps_are_offset_from_submission(self, events):
+        timeline = build_timeline(7, events)
+        kinds = [s["kind"] for s in timeline["steps"]]
+        assert kinds == ["query.submitted", "query.admitted",
+                         "query.started", "guard.budget_exceeded",
+                         "query.finished", "query.phases"]
+        offsets = [s["offset_ms"] for s in timeline["steps"]]
+        assert offsets[0] == 0.0
+        assert offsets == sorted(offsets)
+        assert offsets[-1] == pytest.approx(201.0)
+
+    def test_context_is_windowed_to_the_query_lifetime(self, events):
+        timeline = build_timeline(7, events)
+        # The breaker transition at +50ms overlaps; the brownout move
+        # fired seconds after the query resolved and must not appear.
+        assert [c["kind"] for c in timeline["context"]] == [
+            "breaker.transition"
+        ]
+
+    def test_rejected_query_summary(self, events):
+        timeline = build_timeline(8, events)
+        assert timeline["summary"]["outcome"] == "rejected"
+        assert timeline["summary"]["rejected_reason"] == "queue full"
+        assert timeline["workers"] == []
+
+    def test_worker_spans_extracts_grafted_blocks(self):
+        blocks = worker_spans(TRACE)
+        assert [b["name"] for b in blocks] == ["worker 0", "worker 1"]
+        timeline_workers = build_timeline(
+            7, [_event(1, 0.0, "query.submitted", 7)], trace=TRACE
+        )["workers"]
+        assert timeline_workers == blocks
+
+    def test_payload_is_json_serialisable(self, events):
+        timeline = build_timeline(7, events, trace=TRACE)
+        assert json.loads(json.dumps(timeline)) == timeline
+
+
+class TestRenderTimeline:
+    def test_waterfall_carries_every_section(self, events):
+        text = render_timeline(build_timeline(7, events, trace=TRACE))
+        assert text.startswith(
+            "query 7: completed via magic in 200.000ms"
+        )
+        assert "priority high" in text and "brownout rung 2" in text
+        assert "phase budget:" in text
+        assert "queue" in text and "#" in text
+        assert "timeline:" in text
+        assert "budget trips:" in text
+        assert "budget consumption: rows_scanned=150" in text
+        assert "rows_output" not in text  # zero-valued metrics dropped
+        assert "concurrent service context:" in text
+        assert "worker processes (grafted spans):" in text
+        assert "worker 0 (pid 4242): 1 dispatches" in text
+        assert "retried [process died]" in text
+        assert "accepted -- scan dept_p0" in text
+
+    def test_rejected_render_has_no_phase_or_worker_sections(self, events):
+        text = render_timeline(build_timeline(8, events))
+        assert "rejected" in text and "reason: queue full" in text
+        assert "phase budget:" not in text
+        assert "worker processes" not in text
+
+
+class TestServiceIntegration:
+    def test_live_ring_round_trips_through_the_join(self, db):
+        sink = RingSink(capacity=16384)
+        with QueryService(
+            db, workers=2, phases=True, events=EventLog(sink)
+        ) as service:
+            ticket = service.submit(EMP_DEPT_QUERY, strategy="magic")
+            ticket.result(timeout=30)
+        timeline = build_timeline(ticket.query_id, sink.events())
+        assert timeline["summary"]["outcome"] == "completed"
+        assert timeline["summary"]["phases"] == ticket.phases.as_ms_dict()
+        text = render_timeline(timeline)
+        assert "phase budget:" in text and "query.finished" in text

@@ -198,14 +198,14 @@ class TestStaleResults:
 
     def test_result_from_old_attempt_is_dropped(self):
         pool, task, state = self._pool_with_pending()
-        pool._handle(state, ("result", 0, "t.0", 1, [("stale",)], None))
+        pool._handle(state, ("result", 0, "t.0", 1, [("stale",)], None, []))
         assert pool.stale_results == 1
         assert not task.done and task.result is None
         assert "t.0" in pool._pending
 
     def test_result_for_current_attempt_merges(self):
         pool, task, state = self._pool_with_pending()
-        pool._handle(state, ("result", 0, "t.0", 2, [("fresh",)], None))
+        pool._handle(state, ("result", 0, "t.0", 2, [("fresh",)], None, []))
         assert pool.stale_results == 0
         assert task.done and task.result == [("fresh",)]
         assert "t.0" not in pool._pending
@@ -288,3 +288,96 @@ class TestPoolValidation:
         pool.close()
         with pytest.raises(WorkerPoolError):
             pool.start()
+
+
+class TestCrossProcessTracing:
+    """The grafting contract: workers run child tracers, the coordinator
+    grafts their span trees under the distributing operator, and summing
+    exclusive per-span metrics over the grafted tree reproduces the pool
+    counters exactly (coordinator-side spans carry no counters, and only
+    epoch-accepted results are grafted -- the same rule the counters
+    follow)."""
+
+    def _worker_spans(self, tracer):
+        (root,) = tracer.roots
+        workers = [c for c in root.children if c.kind == "worker"]
+        return root, workers
+
+    @pytest.mark.parametrize("runner,strategy", [
+        (run_real_nested_iteration, "nested_iteration"),
+        (run_real_decorrelated, "magic_decorrelated"),
+    ])
+    def test_grafted_metrics_reconcile_exactly(
+        self, data, reference, runner, strategy
+    ):
+        from repro.trace import Tracer, trace_round_trips, validate_trace
+
+        dept_rows, emp_rows = data
+        tracer = Tracer()
+        run = runner(dept_rows, emp_rows, 3, tracer=tracer, **FAST)
+        assert run.answer == reference
+        root, workers = self._worker_spans(tracer)
+        assert root.key == ("parallel", strategy)
+        assert root.kind == "operator"
+        assert workers, "no worker spans grafted"
+        for wspan in workers:
+            assert wspan.attrs["pid"]
+            assert wspan.attrs["worker_id"] == wspan.key[1]
+            for dispatch in wspan.children:
+                assert dispatch.kind == "dispatch"
+                assert dispatch.attrs["outcome"] == "accepted"
+                assert dispatch.children, "accepted dispatch without spans"
+        # Exact, not approximate: the attribution invariant across the
+        # process boundary.
+        assert tracer.metric_totals()["rows_scanned"] == run.rows_processed
+        export = tracer.export(sql="parity", strategy=strategy)
+        validate_trace(export)
+        assert trace_round_trips(export)
+
+    def test_killed_worker_retry_is_a_visible_sibling(
+        self, data, reference
+    ):
+        from repro.trace import Tracer
+
+        dept_rows, emp_rows = data
+        tracer = Tracer()
+        run = run_real_decorrelated(
+            dept_rows, emp_rows, 3, tracer=tracer,
+            on_pool=lambda pool: pool.kill_worker(1),
+            **FAST,
+        )
+        assert run.answer == reference
+        assert run.workers_lost == 1 and run.retries >= 1
+        _, workers = self._worker_spans(tracer)
+        dispatches = [d for w in workers for d in w.children]
+        retried = [
+            d for d in dispatches if d.attrs["outcome"] == "retried"
+        ]
+        assert len(retried) == run.retries
+        assert all(d.attrs.get("reason") for d in retried)
+        # A retried dispatch never carries grafted spans (its result, if
+        # any arrived, was stale) -- and the re-hosted attempt of the same
+        # task is accepted elsewhere in the tree.
+        for d in retried:
+            assert not d.children
+            rehosted = [
+                a for a in dispatches
+                if a.attrs["task"] == d.attrs["task"]
+                and a.attrs["outcome"] == "accepted"
+            ]
+            assert rehosted, f"task {d.attrs['task']} never re-hosted"
+        # Reconciliation survives the kill: stale results merge nothing,
+        # grafting grafts nothing stale.
+        assert tracer.metric_totals()["rows_scanned"] == run.rows_processed
+
+    def test_untraced_run_never_touches_the_graft_path(
+        self, data, reference, monkeypatch
+    ):
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("graft machinery reached without a tracer")
+
+        monkeypatch.setattr(WorkerPool, "_graft", boom)
+        monkeypatch.setattr(WorkerPool, "_graft_dispatch", boom)
+        dept_rows, emp_rows = data
+        run = run_real_decorrelated(dept_rows, emp_rows, 2, **FAST)
+        assert run.answer == reference

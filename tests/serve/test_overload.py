@@ -879,3 +879,37 @@ class TestOverloadStatsExport:
             + stats.shed + stats.expired_in_queue
         )
         assert stats.reconciles()
+
+
+class TestQueueWaitSamplingCoverage:
+    """Regression (PR 10): shed and expired-in-queue tickets -- the
+    *longest* waiters -- must reach the queue-wait histogram too.
+    Sampling only on the dequeue-to-run path biased the exported wait
+    low exactly when the queue was pathological."""
+
+    def test_every_admitted_ticket_is_sampled_exactly_once(
+        self, gated_db, gate
+    ):
+        service = QueryService(
+            gated_db, workers=1, max_queue=2, overload=PLAIN
+        )
+        try:
+            service.submit(EMP_DEPT_QUERY)       # runs (wedges the worker)
+            assert gate.started.wait(30)
+            doomed = service.submit(EMP_DEPT_QUERY, deadline=0.0)
+            service.evaluate_overload()          # expires doomed in queue
+            service.submit(EMP_DEPT_QUERY, priority="low")
+            low_new = service.submit(EMP_DEPT_QUERY, priority="low")
+            service.submit(EMP_DEPT_QUERY, priority="high")  # sheds low_new
+            assert doomed.state == "expired"
+            assert low_new.state == "shed"
+        finally:
+            gate.release.set()
+            service.close(drain=True, timeout=30)
+        stats = service.stats()
+        assert stats.shed == 1 and stats.expired_in_queue == 1
+        hist = stats.queue_wait_histogram
+        # One sample per *admitted* ticket -- the three that reached a
+        # worker AND the two evicted from the queue, not just the runners.
+        assert stats.admitted == 5
+        assert hist["count"] == stats.admitted
